@@ -1,0 +1,100 @@
+// Figure 2: execution time of the three parallelism granularities
+// (CI-level, edge-level, sample-level) across thread counts, all built on
+// the optimized sequential kernel (Section V-C).
+//
+// Shapes to reproduce: CI-level is the fastest at every thread count;
+// sample-level is the slowest (atomics + overhead); edge-level sits in
+// between, trailing CI-level by its load imbalance.
+#include <cstdio>
+
+#include "bench_util/reporting.hpp"
+#include "bench_util/runner.hpp"
+#include "bench_util/workloads.hpp"
+#include "common/args.hpp"
+
+namespace {
+
+using namespace fastbns;
+
+EngineRunConfig scheme_config(const std::string& scheme, int threads) {
+  EngineRunConfig config;
+  config.threads = threads;
+  if (scheme == "ci") {
+    config.engine = EngineKind::kCiParallel;
+    // The practical group size (Figure 4): one endpoint-code pass per 8
+    // CI tests, amortizing the pool's per-group work the way the paper's
+    // tuned configuration does; first-accept early stop keeps the larger
+    // group from paying redundant tests (see EXPERIMENTS.md).
+    config.group_size = 8;
+    config.eager_group_stop = true;
+  } else if (scheme == "edge") {
+    config.engine = EngineKind::kEdgeParallel;
+  } else {  // sample
+    config.engine = EngineKind::kSampleParallel;
+    config.sample_parallel = true;
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_fig2_granularity",
+                 "Figure 2: CI-level vs edge-level vs sample-level "
+                 "parallelism across thread counts");
+  args.add_flag("networks", "comma list; empty = scale default", "");
+  args.add_flag("samples", "samples per network; 0 = scale default", "0");
+  args.add_flag("threads", "thread grid; empty = scale default", "");
+  if (!args.parse(argc, argv)) return 1;
+
+  const BenchScale scale = bench_scale();
+  std::vector<std::string> networks = args.get_list("networks");
+  if (networks.empty()) {
+    networks = scale == BenchScale::kPaper
+                   ? std::vector<std::string>{"alarm", "insurance", "hepar2",
+                                              "munin1", "diabetes", "link"}
+                   : std::vector<std::string>{"alarm", "insurance", "hepar2",
+                                              "munin1"};
+  }
+  std::vector<int> threads;
+  for (const auto t : args.get_int_list("threads")) {
+    threads.push_back(static_cast<int>(t));
+  }
+  if (threads.empty()) threads = thread_grid(scale);
+
+  std::printf("Figure 2 reproduction (scale=%s)\n", to_string(scale));
+  std::printf(
+      "Granularity summary (paper Table I): CI-level = load balance + no\n"
+      "atomics + reasonable workloads; edge-level lacks load balance;\n"
+      "sample-level needs atomics and has tiny per-thread workloads.\n");
+
+  TablePrinter table({"Data set", "threads", "CI-level(s)", "edge-level(s)",
+                      "sample-level(s)"});
+
+  for (const std::string& name : networks) {
+    Count samples = args.get_int("samples");
+    if (samples == 0) samples = comparison_samples(scale, 5000);
+    std::printf("[run] %s (%lld samples)\n", name.c_str(),
+                static_cast<long long>(samples));
+    std::fflush(stdout);
+    const Workload workload = make_workload(name, samples);
+    for (const int t : threads) {
+      const double ci_time =
+          run_skeleton_best(workload, scheme_config("ci", t)).seconds;
+      const double edge_time =
+          run_skeleton_best(workload, scheme_config("edge", t)).seconds;
+      const double sample_time =
+          run_skeleton_best(workload, scheme_config("sample", t)).seconds;
+      table.add_row({name, std::to_string(t), TablePrinter::num(ci_time, 4),
+                     TablePrinter::num(edge_time, 4),
+                     TablePrinter::num(sample_time, 4)});
+    }
+  }
+
+  emit_table("Figure 2: granularity comparison", "fig2_granularity", table);
+  std::printf(
+      "\nShape check vs paper: CI-level <= edge-level <= sample-level at\n"
+      "matched thread counts (paper: CI-level cuts >20%% off edge-level,\n"
+      "over 3x on Diabetes/Link; sample-level is uniformly worst).\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks (google-benchmark) for the hot building blocks:
+// contingency-table construction under both layouts, the group-protocol
+// code reuse, combination unranking, d-separation, and work-pool ops.
+#include <benchmark/benchmark.h>
+
+#include "combinatorics/combination.hpp"
+#include "common/rng.hpp"
+#include "graph/dseparation.hpp"
+#include "network/forward_sampler.hpp"
+#include "network/standard_networks.hpp"
+#include "pc/work_pool.hpp"
+#include "stats/discrete_ci_test.hpp"
+
+namespace {
+
+using namespace fastbns;
+
+const DiscreteDataset& alarm_data() {
+  static const DiscreteDataset data = [] {
+    const BayesianNetwork alarm = alarm_network();
+    Rng rng(1);
+    return forward_sample(alarm, 10000, rng, DataLayout::kBoth);
+  }();
+  return data;
+}
+
+void BM_CiTestColumnMajor(benchmark::State& state) {
+  const DiscreteDataset& data = alarm_data();
+  DiscreteCiTest test(data, {});
+  const std::vector<VarId> z{2, 10};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(test.test(4, 5, z));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_samples());
+}
+BENCHMARK(BM_CiTestColumnMajor);
+
+void BM_CiTestRowMajor(benchmark::State& state) {
+  const DiscreteDataset& data = alarm_data();
+  CiTestOptions options;
+  options.use_row_major = true;
+  DiscreteCiTest test(data, options);
+  const std::vector<VarId> z{2, 10};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(test.test(4, 5, z));
+  }
+  state.SetItemsProcessed(state.iterations() * data.num_samples());
+}
+BENCHMARK(BM_CiTestRowMajor);
+
+void BM_CiTestGroupReuse(benchmark::State& state) {
+  // Endpoint codes computed once per group of gs tests.
+  const DiscreteDataset& data = alarm_data();
+  DiscreteCiTest test(data, {});
+  const std::vector<std::vector<VarId>> sets = {{2}, {10}, {12}, {20}};
+  for (auto _ : state) {
+    test.begin_group(4, 5);
+    for (const auto& z : sets) {
+      benchmark::DoNotOptimize(test.test_in_group(z));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * sets.size());
+}
+BENCHMARK(BM_CiTestGroupReuse);
+
+void BM_CiTestNoGroupReuse(benchmark::State& state) {
+  const DiscreteDataset& data = alarm_data();
+  DiscreteCiTest test(data, {});
+  const std::vector<std::vector<VarId>> sets = {{2}, {10}, {12}, {20}};
+  for (auto _ : state) {
+    for (const auto& z : sets) {
+      benchmark::DoNotOptimize(test.test(4, 5, z));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * sets.size());
+}
+BENCHMARK(BM_CiTestNoGroupReuse);
+
+void BM_UnrankCombination(benchmark::State& state) {
+  const auto p = static_cast<std::int32_t>(state.range(0));
+  const std::int32_t q = 3;
+  const std::uint64_t total = binomial(p, q);
+  std::vector<std::int32_t> out(q);
+  std::uint64_t rank = 0;
+  for (auto _ : state) {
+    unrank_combination(p, q, rank % total, out);
+    benchmark::DoNotOptimize(out.data());
+    rank += 7919;
+  }
+}
+BENCHMARK(BM_UnrankCombination)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_NextCombination(benchmark::State& state) {
+  const std::int32_t p = 64;
+  std::vector<std::int32_t> combination{0, 1, 2};
+  for (auto _ : state) {
+    if (!next_combination(p, combination)) {
+      combination = {0, 1, 2};
+    }
+    benchmark::DoNotOptimize(combination.data());
+  }
+}
+BENCHMARK(BM_NextCombination);
+
+void BM_DSeparation(benchmark::State& state) {
+  const BayesianNetwork alarm = alarm_network();
+  const std::vector<VarId> given{5, 20};
+  VarId x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        d_separated(alarm.dag(), x % 37, (x * 7 + 3) % 37, given));
+    ++x;
+  }
+}
+BENCHMARK(BM_DSeparation);
+
+void BM_WorkPoolPushPop(benchmark::State& state) {
+  std::vector<std::int64_t> initial(1024);
+  for (std::int64_t i = 0; i < 1024; ++i) initial[i] = i;
+  WorkPool pool(std::move(initial), 1 << 30);
+  for (auto _ : state) {
+    const auto index = pool.try_pop();
+    benchmark::DoNotOptimize(index);
+    pool.push(*index);
+  }
+}
+BENCHMARK(BM_WorkPoolPushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

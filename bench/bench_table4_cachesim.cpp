@@ -1,0 +1,101 @@
+// Table IV: cache behaviour of Fast-BNS vs the baseline data path.
+//
+// The paper reads Linux `perf` hardware counters; this reproduction replays
+// the *exact* CI-test trace of a skeleton run through a two-level
+// set-associative cache simulator under both storage layouts. The paper's
+// observation to reproduce: Fast-BNS (column-major) performs ~3x fewer L1
+// accesses than bnlearn and cuts the last-level miss rate by an order of
+// magnitude (39.9%/47.1% for bnlearn-par vs ~2-6% for Fast-BNS).
+#include <cstdio>
+
+#include "bench_util/reporting.hpp"
+#include "bench_util/workloads.hpp"
+#include "cachesim/access_replay.hpp"
+#include "cachesim/trace_ci_test.hpp"
+#include "common/args.hpp"
+#include "pc/skeleton.hpp"
+#include "stats/discrete_ci_test.hpp"
+
+namespace {
+
+using namespace fastbns;
+
+std::vector<TracedCiCall> record_trace(const Workload& workload,
+                                       EngineKind engine) {
+  auto trace = std::make_shared<CiTrace>();
+  const TracingCiTest prototype(
+      std::make_unique<DiscreteCiTest>(workload.data, CiTestOptions{}), trace);
+  PcOptions options;
+  options.engine = engine;
+  (void)learn_skeleton(workload.data.num_vars(), prototype, options);
+  return trace->snapshot();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_table4_cachesim",
+                 "Table IV: simulated cache counters for the column-major "
+                 "(Fast-BNS) vs row-major (baseline) data layouts");
+  args.add_flag("networks", "comma list", "hepar2,munin1");
+  args.add_flag("samples", "samples per network; 0 = scale default", "0");
+  if (!args.parse(argc, argv)) return 1;
+
+  const BenchScale scale = bench_scale();
+  Count samples = args.get_int("samples");
+  if (samples == 0) samples = comparison_samples(scale, 5000);
+
+  TablePrinter table({"Data set", "Layout", "L1 accesses", "L1 misses",
+                      "L1 miss rate", "LL accesses", "LL misses",
+                      "LL miss rate"});
+
+  for (const std::string& name : args.get_list("networks")) {
+    std::printf("[run] tracing %s (%lld samples)...\n", name.c_str(),
+                static_cast<long long>(samples));
+    std::fflush(stdout);
+    const Workload workload = make_workload(name, samples);
+    // Each system is replayed on *its own* CI-test trace, as perf would
+    // measure it: Fast-BNS executes fewer tests (endpoint grouping) than
+    // the naive baseline, which is where the paper's "fewer L1/LL
+    // accesses" rows come from, on top of the per-test miss-rate gap.
+    const std::vector<TracedCiCall> fast_trace =
+        record_trace(workload, EngineKind::kFastSequential);
+    const std::vector<TracedCiCall> naive_trace =
+        record_trace(workload, EngineKind::kNaiveSequential);
+    std::printf("[run] traced %zu CI tests (Fast-BNS) / %zu (baseline)\n",
+                fast_trace.size(), naive_trace.size());
+    std::fflush(stdout);
+
+    ReplayConfig config;
+    config.num_samples = workload.data.num_samples();
+    config.num_vars = workload.data.num_vars();
+    config.value_bytes = 1;  // this library stores 1-byte values
+    // Geometry close to the paper's Xeon 8167M: 32KB/8-way L1,
+    // 16MB/16-way LL slice.
+    config.l1 = {32 * 1024, 64, 8};
+    config.last_level = {16 * 1024 * 1024, 64, 16};
+
+    for (const bool column_major : {true, false}) {
+      config.column_major = column_major;
+      const ReplayResult result =
+          replay_trace(column_major ? fast_trace : naive_trace, config);
+      table.add_row(
+          {name,
+           column_major ? "FastBNS (column-major)" : "baseline (row-major)",
+           TablePrinter::sci(static_cast<double>(result.l1.accesses)),
+           TablePrinter::sci(static_cast<double>(result.l1.misses)),
+           TablePrinter::num(result.l1.miss_rate() * 100.0, 2) + "%",
+           TablePrinter::sci(static_cast<double>(result.last_level.accesses)),
+           TablePrinter::sci(static_cast<double>(result.last_level.misses)),
+           TablePrinter::num(result.last_level.miss_rate() * 100.0, 2) + "%"});
+    }
+  }
+
+  emit_table("Table IV: simulated cache counters (perf-counter substitute)",
+             "table4_cachesim", table);
+  std::printf(
+      "\nShape check vs paper: the row-major baseline shows several-fold\n"
+      "more misses and a far higher LL miss rate than the column-major\n"
+      "Fast-BNS layout (paper: 39.9-47.1%% vs 2-6%% LL miss rate).\n");
+  return 0;
+}

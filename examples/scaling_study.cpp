@@ -1,0 +1,48 @@
+// Thread-scaling study through the public API: how each parallel engine
+// behaves as threads grow on one workload — a user-runnable miniature of
+// the paper's Figures 2 and 5.
+#include <cstdio>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/workloads.hpp"
+#include "common/args.hpp"
+#include "common/table_printer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fastbns;
+  ArgParser args("scaling_study", "thread scaling of the skeleton engines");
+  args.add_flag("network", "benchmark network name", "hepar2");
+  args.add_flag("samples", "number of samples", "2000");
+  args.add_flag("threads", "thread grid", "1,2,4,8");
+  if (!args.parse(argc, argv)) return 1;
+
+  const Workload workload =
+      make_workload(args.get("network"), args.get_int("samples"));
+  std::printf("workload: %s, %d nodes, %lld samples\n",
+              workload.name.c_str(), workload.data.num_vars(),
+              static_cast<long long>(workload.data.num_samples()));
+
+  const EngineRunResult seq = run_skeleton_best(workload, fastbns_seq_config());
+  std::printf("Fast-BNS-seq reference: %.4f s (%lld CI tests)\n", seq.seconds,
+              static_cast<long long>(seq.ci_tests));
+
+  TablePrinter table({"threads", "ci-level(s)", "speedup", "edge-level(s)",
+                      "speedup"});
+  for (const auto threads : args.get_int_list("threads")) {
+    const int t = static_cast<int>(threads);
+    const double ci = run_skeleton_best(workload, fastbns_par_config(t)).seconds;
+    EngineRunConfig edge;
+    edge.engine = EngineKind::kEdgeParallel;
+    edge.threads = t;
+    const double edge_time = run_skeleton_best(workload, edge).seconds;
+    table.add_row({std::to_string(t), TablePrinter::num(ci, 4),
+                   TablePrinter::num(seq.seconds / ci, 2),
+                   TablePrinter::num(edge_time, 4),
+                   TablePrinter::num(seq.seconds / edge_time, 2)});
+  }
+  table.print();
+  std::printf(
+      "\nSpeedups saturate at the machine's physical core count; on the\n"
+      "paper's 52-core box the same sweep reaches 8-19x at 32 threads.\n");
+  return 0;
+}

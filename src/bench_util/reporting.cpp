@@ -1,0 +1,20 @@
+#include "bench_util/reporting.hpp"
+
+#include <cstdio>
+
+#include "common/csv_writer.hpp"
+
+namespace fastbns {
+
+void emit_table(const std::string& title, const std::string& stem,
+                const TablePrinter& table) {
+  std::printf("\n== %s ==\n", title.c_str());
+  table.print();
+  const std::string path = bench_result_dir() + "/" + stem + ".csv";
+  if (write_text_file(path, table.to_csv())) {
+    std::printf("[csv] %s\n", path.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace fastbns

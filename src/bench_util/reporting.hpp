@@ -1,0 +1,16 @@
+// Bench output conventions: print the paper-style table to stdout and
+// persist the same rows as CSV under bench_results/.
+#pragma once
+
+#include <string>
+
+#include "common/table_printer.hpp"
+
+namespace fastbns {
+
+/// Prints `table` with a titled banner and writes `<stem>.csv` to the
+/// bench result directory.
+void emit_table(const std::string& title, const std::string& stem,
+                const TablePrinter& table);
+
+}  // namespace fastbns

@@ -1,0 +1,58 @@
+// Shared measurement wrapper: configures a CI test + engine pair the way
+// the paper's comparisons do and times one skeleton run.
+#pragma once
+
+#include <cstdint>
+
+#include "bench_util/workloads.hpp"
+#include "pc/skeleton.hpp"
+
+namespace fastbns {
+
+struct EngineRunConfig {
+  EngineKind engine = EngineKind::kCiParallel;
+  int threads = 0;
+  std::int32_t group_size = 1;
+  double alpha = 0.05;
+  /// Baseline knobs (bnlearn-style): strided data access, materialized
+  /// conditioning sets, ungrouped edge directions.
+  bool row_major = false;
+  bool materialize_sets = false;
+  bool group_endpoints = true;
+  /// Build contingency tables sample-parallel (sample-level scheme).
+  bool sample_parallel = false;
+  /// Extension: first-accept early stop inside a gs-group (see PcOptions).
+  bool eager_group_stop = false;
+};
+
+struct EngineRunResult {
+  double seconds = 0.0;
+  std::int64_t ci_tests = 0;
+  std::int64_t edges = 0;
+  std::int32_t max_depth = 0;
+  SkeletonResult skeleton{};
+};
+
+/// The Fast-BNS-seq configuration (optimized sequential).
+[[nodiscard]] EngineRunConfig fastbns_seq_config();
+/// The Fast-BNS-par configuration (CI-level, gs = 1 as in Table III).
+[[nodiscard]] EngineRunConfig fastbns_par_config(int threads);
+/// The bnlearn-like sequential baseline.
+[[nodiscard]] EngineRunConfig baseline_seq_config();
+/// The bnlearn-par-like baseline (edge-level over the naive data path).
+[[nodiscard]] EngineRunConfig baseline_par_config(int threads);
+
+/// Runs the skeleton phase once and reports wall time and counters.
+[[nodiscard]] EngineRunResult run_skeleton(const Workload& workload,
+                                           const EngineRunConfig& config);
+
+/// Noise-controlled measurement for sub-second runs: repeats the run
+/// (after one untimed warmup) until `min_total_seconds` of measurement has
+/// accumulated or `max_repeats` is reached, and reports the fastest
+/// repetition — the convention the paper's best-over-threads tables use.
+[[nodiscard]] EngineRunResult run_skeleton_best(const Workload& workload,
+                                                const EngineRunConfig& config,
+                                                double min_total_seconds = 0.5,
+                                                int max_repeats = 12);
+
+}  // namespace fastbns

@@ -1,0 +1,43 @@
+#include "cachesim/trace_ci_test.hpp"
+
+namespace fastbns {
+
+void CiTrace::record(VarId x, VarId y, std::span<const VarId> z) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  calls_.push_back(TracedCiCall{x, y, std::vector<VarId>(z.begin(), z.end())});
+}
+
+std::vector<TracedCiCall> CiTrace::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return calls_;
+}
+
+std::size_t CiTrace::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return calls_.size();
+}
+
+CiResult TracingCiTest::test(VarId x, VarId y, std::span<const VarId> z) {
+  trace_->record(x, y, z);
+  const CiResult result = inner_->test(x, y, z);
+  ++tests_performed_;
+  return result;
+}
+
+void TracingCiTest::begin_group(VarId x, VarId y) {
+  CiTest::begin_group(x, y);
+  inner_->begin_group(x, y);
+}
+
+CiResult TracingCiTest::test_in_group(std::span<const VarId> z) {
+  trace_->record(group_x_, group_y_, z);
+  const CiResult result = inner_->test_in_group(z);
+  ++tests_performed_;
+  return result;
+}
+
+std::unique_ptr<CiTest> TracingCiTest::clone() const {
+  return std::make_unique<TracingCiTest>(inner_->clone(), trace_);
+}
+
+}  // namespace fastbns

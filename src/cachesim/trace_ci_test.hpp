@@ -1,0 +1,49 @@
+// Decorator that records every CI test an engine executes.
+//
+// Wraps any CiTest; clones share one (mutex-guarded) sink, so the trace of
+// a full parallel skeleton run lands in a single list. The cache replay
+// (access_replay) then re-walks the trace's data accesses under different
+// storage layouts.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "stats/ci_test.hpp"
+
+namespace fastbns {
+
+struct TracedCiCall {
+  VarId x = kInvalidVar;
+  VarId y = kInvalidVar;
+  std::vector<VarId> z;
+};
+
+class CiTrace {
+ public:
+  void record(VarId x, VarId y, std::span<const VarId> z);
+  [[nodiscard]] std::vector<TracedCiCall> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TracedCiCall> calls_;
+};
+
+class TracingCiTest final : public CiTest {
+ public:
+  TracingCiTest(std::unique_ptr<CiTest> inner, std::shared_ptr<CiTrace> trace)
+      : inner_(std::move(inner)), trace_(std::move(trace)) {}
+
+  CiResult test(VarId x, VarId y, std::span<const VarId> z) override;
+  void begin_group(VarId x, VarId y) override;
+  CiResult test_in_group(std::span<const VarId> z) override;
+  [[nodiscard]] std::unique_ptr<CiTest> clone() const override;
+
+ private:
+  std::unique_ptr<CiTest> inner_;
+  std::shared_ptr<CiTrace> trace_;
+};
+
+}  // namespace fastbns

@@ -1,0 +1,28 @@
+#include "combinatorics/binomial.hpp"
+
+#include <algorithm>
+
+namespace fastbns {
+
+std::uint64_t binomial(std::int64_t n, std::int64_t k) noexcept {
+  if (k < 0 || n < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  // Multiplicative formula with exact division at each step:
+  // C(n, i) = C(n, i-1) * (n - i + 1) / i. The intermediate product fits
+  // in 128 bits whenever the running value fits in 64.
+  __uint128_t result = 1;
+  for (std::int64_t i = 1; i <= k; ++i) {
+    result = result * static_cast<std::uint64_t>(n - i + 1);
+    result /= static_cast<std::uint64_t>(i);
+    if (result > static_cast<__uint128_t>(kBinomialSaturated - 1)) {
+      return kBinomialSaturated;
+    }
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+bool binomial_overflows(std::int64_t n, std::int64_t k) noexcept {
+  return binomial(n, k) == kBinomialSaturated;
+}
+
+}  // namespace fastbns

@@ -1,0 +1,23 @@
+// Saturating binomial coefficients.
+//
+// PC-stable enumerates C(|adj|, depth) conditioning sets per edge
+// direction. On dense intermediate graphs these counts can exceed 2^64, so
+// the binomial used for work accounting saturates instead of overflowing;
+// saturated counts only ever mean "more work than we will ever finish",
+// which the algorithm treats identically.
+#pragma once
+
+#include <cstdint>
+
+namespace fastbns {
+
+/// Value returned when C(n, k) does not fit in 64 bits.
+inline constexpr std::uint64_t kBinomialSaturated = ~std::uint64_t{0};
+
+/// C(n, k) with saturation. C(n, 0) == 1, C(n, k > n) == 0.
+[[nodiscard]] std::uint64_t binomial(std::int64_t n, std::int64_t k) noexcept;
+
+/// True iff binomial(n, k) saturated.
+[[nodiscard]] bool binomial_overflows(std::int64_t n, std::int64_t k) noexcept;
+
+}  // namespace fastbns

@@ -1,0 +1,38 @@
+#include "common/csv_writer.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hpp"
+
+namespace fastbns {
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::error_code ec;
+  const std::filesystem::path file_path(path);
+  if (file_path.has_parent_path()) {
+    std::filesystem::create_directories(file_path.parent_path(), ec);
+    if (ec) {
+      Log(LogLevel::kWarn) << "cannot create directory for " << path << ": "
+                           << ec.message();
+      return false;
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    Log(LogLevel::kWarn) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+std::string bench_result_dir() {
+  if (const char* env = std::getenv("FASTBNS_RESULT_DIR")) {
+    return env;
+  }
+  return "bench_results";
+}
+
+}  // namespace fastbns

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Examples and benches use it for progress lines;
+// the library itself only logs at Warn and above so it stays quiet in
+// timed regions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fastbns {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kInfo and
+/// honours the FASTBNS_LOG environment variable (debug|info|warn|error|off).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style sink: Log(LogLevel::kInfo) << "depth " << d;
+class Log {
+ public:
+  explicit Log(LogLevel level) noexcept : level_(level) {}
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+  ~Log() {
+    if (level_ >= log_level()) detail::emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  Log& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fastbns

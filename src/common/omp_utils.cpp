@@ -1,0 +1,18 @@
+#include "common/omp_utils.hpp"
+
+#include <omp.h>
+
+namespace fastbns {
+
+int hardware_threads() noexcept { return omp_get_max_threads(); }
+
+int current_thread() noexcept { return omp_get_thread_num(); }
+
+ScopedNumThreads::ScopedNumThreads(int num_threads) noexcept
+    : previous_(omp_get_max_threads()) {
+  if (num_threads > 0) omp_set_num_threads(num_threads);
+}
+
+ScopedNumThreads::~ScopedNumThreads() { omp_set_num_threads(previous_); }
+
+}  // namespace fastbns

@@ -1,0 +1,118 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace fastbns {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::gamma(double shape) noexcept {
+  // Marsaglia & Tsang (2000). For shape < 1 use the boost trick
+  // Gamma(a) = Gamma(a+1) * U^(1/a).
+  if (shape < 1.0) {
+    const double u = next_double();
+    return gamma(shape + 1.0) * std::pow(u <= 0.0 ? 1e-300 : u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    // Box-Muller normal from two uniforms; deterministic across platforms.
+    const double u1 = next_double();
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1 <= 0.0 ? 1e-300 : u1));
+    const double x = r * std::cos(6.283185307179586476925286766559 * u2);
+    const double v_lin = 1.0 + c * x;
+    if (v_lin <= 0.0) continue;
+    const double v = v_lin * v_lin * v_lin;
+    const double u = next_double();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(u <= 0.0 ? 1e-300 : u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+void Rng::dirichlet(double alpha, std::vector<double>& out) {
+  double sum = 0.0;
+  for (auto& value : out) {
+    value = gamma(alpha);
+    // Guard against underflow to keep probabilities strictly positive so
+    // sampled datasets never contain impossible configurations.
+    if (value < 1e-12) value = 1e-12;
+    sum += value;
+  }
+  for (auto& value : out) value /= sum;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& probs) noexcept {
+  const double u = next_double();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (u < acc) return i;
+  }
+  return probs.empty() ? 0 : probs.size() - 1;
+}
+
+Rng Rng::split() noexcept {
+  return Rng(next() ^ 0xD2B74407B1CE6E93ULL);
+}
+
+}  // namespace fastbns

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (CPT synthesis, forward
+// sampling, random-DAG generation) takes an explicit `Rng`, so whole
+// experiments replay bit-identically from a seed. The generator is
+// xoshiro256** (Blackman & Vigna), seeded through splitmix64 as its
+// authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fastbns {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, though the helpers below avoid
+/// libstdc++ distributions to keep cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Standard Gamma(shape) variate (Marsaglia-Tsang), shape > 0.
+  [[nodiscard]] double gamma(double shape) noexcept;
+
+  /// Dirichlet(alpha,...,alpha) sample of length k written into `out`.
+  void dirichlet(double alpha, std::vector<double>& out);
+
+  /// Index sampled from a normalized discrete distribution.
+  [[nodiscard]] std::size_t categorical(const std::vector<double>& probs) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-thread determinism).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace fastbns

@@ -1,0 +1,34 @@
+// ASCII table rendering for the bench harness: every bench prints rows in
+// the same layout as the corresponding paper table/figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fastbns {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision, passing through
+  /// strings unchanged.
+  static std::string num(double value, int precision = 3);
+  /// Scientific notation like the paper's Table IV (e.g. "4.5e+09").
+  static std::string sci(double value, int precision = 1);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string to_string() const;
+  void print() const;
+
+  /// Comma-separated dump of the same content (headers + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastbns

@@ -1,0 +1,22 @@
+// Core scalar type aliases shared across the Fast-BNS library.
+#pragma once
+
+#include <cstdint>
+
+namespace fastbns {
+
+/// Index of a random variable (a node of the network). Networks in the
+/// paper's evaluation reach ~1041 nodes; 32 bits is ample.
+using VarId = std::int32_t;
+
+/// A discrete observed value of a variable. All benchmark networks have
+/// small cardinalities (2..4 states); one byte keeps the dataset compact
+/// and is the unit the cache-friendly layout streams.
+using DataValue = std::uint8_t;
+
+/// Count of samples / cells in contingency tables.
+using Count = std::int64_t;
+
+inline constexpr VarId kInvalidVar = -1;
+
+}  // namespace fastbns

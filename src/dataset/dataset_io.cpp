@@ -1,0 +1,105 @@
+#include "dataset/dataset_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fastbns {
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream stream(line);
+  std::string cell;
+  while (std::getline(stream, cell, ',')) {
+    // Trim surrounding whitespace/CR.
+    const auto first = cell.find_first_not_of(" \t\r");
+    const auto last = cell.find_last_not_of(" \t\r");
+    cells.push_back(first == std::string::npos
+                        ? std::string{}
+                        : cell.substr(first, last - first + 1));
+  }
+  return cells;
+}
+
+}  // namespace
+
+bool save_csv(const DiscreteDataset& data, const std::vector<std::string>& names,
+              const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (VarId v = 0; v < data.num_vars(); ++v) {
+    if (v != 0) out << ',';
+    if (static_cast<std::size_t>(v) < names.size() && !names[v].empty()) {
+      out << names[v];
+    } else {
+      out << 'V' << v;
+    }
+  }
+  out << '\n';
+  for (Count s = 0; s < data.num_samples(); ++s) {
+    for (VarId v = 0; v < data.num_vars(); ++v) {
+      if (v != 0) out << ',';
+      out << static_cast<int>(data.value(s, v));
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+NamedDataset load_csv(const std::string& path, DataLayout layout,
+                      const std::vector<std::int32_t>& cardinalities) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv: cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_csv: empty file " + path);
+  }
+  const std::vector<std::string> names = split_csv_line(line);
+  const auto num_vars = static_cast<VarId>(names.size());
+  if (num_vars == 0) throw std::runtime_error("load_csv: no columns in " + path);
+
+  std::vector<std::vector<DataValue>> samples;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split_csv_line(line);
+    if (static_cast<VarId>(cells.size()) != num_vars) {
+      throw std::runtime_error("load_csv: ragged row in " + path);
+    }
+    std::vector<DataValue> row(static_cast<std::size_t>(num_vars));
+    for (VarId v = 0; v < num_vars; ++v) {
+      const int parsed = std::stoi(cells[v]);
+      if (parsed < 0 || parsed > 255) {
+        throw std::runtime_error("load_csv: value out of byte range in " + path);
+      }
+      row[v] = static_cast<DataValue>(parsed);
+    }
+    samples.push_back(std::move(row));
+  }
+
+  std::vector<std::int32_t> cards = cardinalities;
+  if (cards.empty()) {
+    cards.assign(static_cast<std::size_t>(num_vars), 1);
+    for (const auto& row : samples) {
+      for (VarId v = 0; v < num_vars; ++v) {
+        cards[v] = std::max(cards[v], static_cast<std::int32_t>(row[v]) + 1);
+      }
+    }
+  }
+
+  DiscreteDataset data(num_vars, static_cast<Count>(samples.size()),
+                       std::move(cards), layout);
+  for (Count s = 0; s < data.num_samples(); ++s) {
+    for (VarId v = 0; v < num_vars; ++v) {
+      data.set(s, v, samples[static_cast<std::size_t>(s)][v]);
+    }
+  }
+  if (!data.values_in_range()) {
+    throw std::runtime_error("load_csv: value exceeds declared cardinality");
+  }
+  return {std::move(data), names};
+}
+
+}  // namespace fastbns

@@ -1,0 +1,28 @@
+// CSV persistence for datasets: header row of variable names, one integer
+// value per cell. Matches the format the FastBN reference release consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/discrete_dataset.hpp"
+
+namespace fastbns {
+
+struct NamedDataset {
+  DiscreteDataset data;
+  std::vector<std::string> names;
+};
+
+/// Writes `data` to CSV. Returns false on I/O failure.
+bool save_csv(const DiscreteDataset& data, const std::vector<std::string>& names,
+              const std::string& path);
+
+/// Loads a CSV written by save_csv (or any integer CSV with a header).
+/// Cardinalities are inferred as max(value)+1 per column unless
+/// `cardinalities` is provided. Throws std::runtime_error on parse errors.
+[[nodiscard]] NamedDataset load_csv(
+    const std::string& path, DataLayout layout = DataLayout::kColumnMajor,
+    const std::vector<std::int32_t>& cardinalities = {});
+
+}  // namespace fastbns

@@ -1,0 +1,111 @@
+#include "dataset/discrete_dataset.hpp"
+
+#include <cassert>
+
+namespace fastbns {
+
+DiscreteDataset::DiscreteDataset(VarId num_vars, Count num_samples,
+                                 std::vector<std::int32_t> cardinalities,
+                                 DataLayout layout)
+    : num_vars_(num_vars),
+      num_samples_(num_samples),
+      cardinalities_(std::move(cardinalities)),
+      layout_(layout) {
+  if (static_cast<VarId>(cardinalities_.size()) != num_vars) {
+    throw std::invalid_argument(
+        "DiscreteDataset: cardinalities size must equal num_vars");
+  }
+  const auto total =
+      static_cast<std::size_t>(num_vars) * static_cast<std::size_t>(num_samples);
+  if (layout == DataLayout::kRowMajor || layout == DataLayout::kBoth) {
+    rows_.assign(total, 0);
+  }
+  if (layout == DataLayout::kColumnMajor || layout == DataLayout::kBoth) {
+    cols_.assign(total, 0);
+  }
+}
+
+void DiscreteDataset::set(Count sample, VarId var, DataValue value) noexcept {
+  assert(sample >= 0 && sample < num_samples_ && var >= 0 && var < num_vars_);
+  if (!rows_.empty()) {
+    rows_[static_cast<std::size_t>(sample) * num_vars_ + var] = value;
+  }
+  if (!cols_.empty()) {
+    cols_[static_cast<std::size_t>(var) * num_samples_ + sample] = value;
+  }
+}
+
+DataValue DiscreteDataset::value(Count sample, VarId var) const noexcept {
+  assert(sample >= 0 && sample < num_samples_ && var >= 0 && var < num_vars_);
+  if (!cols_.empty()) {
+    return cols_[static_cast<std::size_t>(var) * num_samples_ + sample];
+  }
+  return rows_[static_cast<std::size_t>(sample) * num_vars_ + var];
+}
+
+std::span<const DataValue> DiscreteDataset::column(VarId var) const {
+  if (cols_.empty()) {
+    throw std::logic_error("DiscreteDataset::column: no column-major buffer");
+  }
+  return {cols_.data() + static_cast<std::size_t>(var) * num_samples_,
+          static_cast<std::size_t>(num_samples_)};
+}
+
+std::span<const DataValue> DiscreteDataset::row(Count sample) const {
+  if (rows_.empty()) {
+    throw std::logic_error("DiscreteDataset::row: no row-major buffer");
+  }
+  return {rows_.data() + static_cast<std::size_t>(sample) * num_vars_,
+          static_cast<std::size_t>(num_vars_)};
+}
+
+void DiscreteDataset::ensure_layout(DataLayout layout) {
+  const auto total =
+      static_cast<std::size_t>(num_vars_) * static_cast<std::size_t>(num_samples_);
+  const bool want_rows =
+      layout == DataLayout::kRowMajor || layout == DataLayout::kBoth;
+  const bool want_cols =
+      layout == DataLayout::kColumnMajor || layout == DataLayout::kBoth;
+  if (want_rows && rows_.empty()) {
+    rows_.resize(total);
+    for (Count s = 0; s < num_samples_; ++s) {
+      for (VarId v = 0; v < num_vars_; ++v) {
+        rows_[static_cast<std::size_t>(s) * num_vars_ + v] =
+            cols_[static_cast<std::size_t>(v) * num_samples_ + s];
+      }
+    }
+    layout_ = cols_.empty() ? DataLayout::kRowMajor : DataLayout::kBoth;
+  }
+  if (want_cols && cols_.empty()) {
+    cols_.resize(total);
+    for (Count s = 0; s < num_samples_; ++s) {
+      for (VarId v = 0; v < num_vars_; ++v) {
+        cols_[static_cast<std::size_t>(v) * num_samples_ + s] =
+            rows_[static_cast<std::size_t>(s) * num_vars_ + v];
+      }
+    }
+    layout_ = rows_.empty() ? DataLayout::kColumnMajor : DataLayout::kBoth;
+  }
+}
+
+bool DiscreteDataset::values_in_range() const noexcept {
+  for (VarId v = 0; v < num_vars_; ++v) {
+    for (Count s = 0; s < num_samples_; ++s) {
+      if (value(s, v) >= cardinalities_[v]) return false;
+    }
+  }
+  return true;
+}
+
+DiscreteDataset DiscreteDataset::head(Count count) const {
+  assert(count <= num_samples_);
+  DiscreteDataset result(num_vars_, count, cardinalities_, layout_);
+  for (Count s = 0; s < count; ++s) {
+    for (VarId v = 0; v < num_vars_; ++v) {
+      result.set(s, v, value(s, v));
+    }
+  }
+  return result;
+}
+
+}  // namespace fastbns

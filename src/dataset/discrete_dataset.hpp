@@ -1,0 +1,74 @@
+// Complete-data discrete dataset with selectable memory layout.
+//
+// The paper's "cache-friendly data storage" optimization (Section IV-C) is
+// exactly the column-major (transposed) layout: a CI test on (X, Y, S)
+// streams |S|+2 contiguous value arrays instead of striding row-by-row
+// across the sample matrix. Both layouts are first-class here so the
+// benches can ablate the choice; algorithms request the view they need.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastbns {
+
+enum class DataLayout : std::uint8_t {
+  kRowMajor,     ///< sample-contiguous: value(s, v) = rows[s * n + v]
+  kColumnMajor,  ///< variable-contiguous: value(s, v) = cols[v * m + s]
+  kBoth,         ///< keep both copies (layout ablation benches)
+};
+
+class DiscreteDataset {
+ public:
+  /// Zero-initialized dataset; fill with set().
+  DiscreteDataset(VarId num_vars, Count num_samples,
+                  std::vector<std::int32_t> cardinalities,
+                  DataLayout layout = DataLayout::kColumnMajor);
+
+  [[nodiscard]] VarId num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] Count num_samples() const noexcept { return num_samples_; }
+  [[nodiscard]] std::int32_t cardinality(VarId v) const noexcept {
+    return cardinalities_[v];
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& cardinalities() const noexcept {
+    return cardinalities_;
+  }
+  [[nodiscard]] DataLayout layout() const noexcept { return layout_; }
+  [[nodiscard]] bool has_column_major() const noexcept { return !cols_.empty(); }
+  [[nodiscard]] bool has_row_major() const noexcept { return !rows_.empty(); }
+
+  /// Writes to every materialized layout.
+  void set(Count sample, VarId var, DataValue value) noexcept;
+
+  [[nodiscard]] DataValue value(Count sample, VarId var) const noexcept;
+
+  /// Contiguous per-variable values; requires a column-major buffer.
+  [[nodiscard]] std::span<const DataValue> column(VarId var) const;
+
+  /// Contiguous per-sample values; requires a row-major buffer.
+  [[nodiscard]] std::span<const DataValue> row(Count sample) const;
+
+  /// Materializes the requested layout if missing (copies the data).
+  void ensure_layout(DataLayout layout);
+
+  /// True iff every stored value is < the cardinality of its variable.
+  [[nodiscard]] bool values_in_range() const noexcept;
+
+  /// Restriction to the first `count` samples (for sample-size sweeps,
+  /// e.g. Figure 3's 5k/10k/15k grid drawn from one 15k dataset).
+  [[nodiscard]] DiscreteDataset head(Count count) const;
+
+ private:
+  VarId num_vars_;
+  Count num_samples_;
+  std::vector<std::int32_t> cardinalities_;
+  DataLayout layout_;
+  std::vector<DataValue> rows_;  ///< m*n when materialized
+  std::vector<DataValue> cols_;  ///< n*m when materialized
+};
+
+}  // namespace fastbns

@@ -1,0 +1,60 @@
+#include "graph/dseparation.hpp"
+
+#include <deque>
+#include <utility>
+
+namespace fastbns {
+
+std::vector<bool> d_reachable(const Dag& dag, VarId source,
+                              const std::vector<VarId>& given) {
+  const VarId n = dag.num_nodes();
+  std::vector<bool> in_given(static_cast<std::size_t>(n), false);
+  for (const VarId z : given) in_given[z] = true;
+
+  // Phase 1: Z and its ancestors activate colliders.
+  std::vector<bool> in_anc = dag.ancestors_of(given);
+  for (const VarId z : given) in_anc[z] = true;
+
+  // Phase 2: BFS over (node, direction). kUp means the trail reached the
+  // node from one of its children (moving against an arrow is allowed
+  // next); kDown means it arrived from a parent.
+  enum Direction : int { kUp = 0, kDown = 1 };
+  std::vector<bool> visited(static_cast<std::size_t>(n) * 2, false);
+  std::vector<bool> reachable(static_cast<std::size_t>(n), false);
+  std::deque<std::pair<VarId, Direction>> queue;
+  queue.emplace_back(source, kUp);
+
+  while (!queue.empty()) {
+    const auto [v, dir] = queue.front();
+    queue.pop_front();
+    const std::size_t key = static_cast<std::size_t>(v) * 2 + dir;
+    if (visited[key]) continue;
+    visited[key] = true;
+    if (!in_given[v]) reachable[v] = true;
+
+    if (dir == kUp && !in_given[v]) {
+      for (const VarId parent : dag.parents(v)) queue.emplace_back(parent, kUp);
+      for (const VarId child : dag.children(v)) queue.emplace_back(child, kDown);
+    } else if (dir == kDown) {
+      if (!in_given[v]) {
+        for (const VarId child : dag.children(v)) {
+          queue.emplace_back(child, kDown);
+        }
+      }
+      if (in_anc[v]) {  // collider v is activated by Z or an ancestor link
+        for (const VarId parent : dag.parents(v)) {
+          queue.emplace_back(parent, kUp);
+        }
+      }
+    }
+  }
+  return reachable;
+}
+
+bool d_separated(const Dag& dag, VarId x, VarId y,
+                 const std::vector<VarId>& given) {
+  const std::vector<bool> reach = d_reachable(dag, x, given);
+  return !reach[y];
+}
+
+}  // namespace fastbns

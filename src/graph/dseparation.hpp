@@ -1,0 +1,26 @@
+// d-separation on a DAG (reachability formulation, Koller & Friedman
+// Algorithm 3.1 / Shachter's Bayes-Ball).
+//
+// This is the library's *oracle*: a perfect conditional-independence test.
+// Property tests run the whole PC-stable pipeline against it — with an
+// oracle test, PC-stable must recover the exact CPDAG of the generating
+// DAG, which pins down skeleton, v-structure, and Meek-rule correctness
+// simultaneously.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/dag.hpp"
+
+namespace fastbns {
+
+/// Nodes reachable from `source` through trails active given `given`.
+[[nodiscard]] std::vector<bool> d_reachable(const Dag& dag, VarId source,
+                                            const std::vector<VarId>& given);
+
+/// True iff x and y are d-separated by `given` in `dag`.
+[[nodiscard]] bool d_separated(const Dag& dag, VarId x, VarId y,
+                               const std::vector<VarId>& given);
+
+}  // namespace fastbns

@@ -1,0 +1,79 @@
+#include "graph/graph_metrics.hpp"
+
+#include <algorithm>
+
+#include "graph/meek_rules.hpp"
+
+namespace fastbns {
+
+double SkeletonMetrics::precision() const noexcept {
+  const auto denom = static_cast<double>(true_positives + false_positives);
+  return denom == 0.0 ? 1.0 : static_cast<double>(true_positives) / denom;
+}
+
+double SkeletonMetrics::recall() const noexcept {
+  const auto denom = static_cast<double>(true_positives + false_negatives);
+  return denom == 0.0 ? 1.0 : static_cast<double>(true_positives) / denom;
+}
+
+double SkeletonMetrics::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+SkeletonMetrics compare_skeletons(const UndirectedGraph& learned,
+                                  const UndirectedGraph& truth) {
+  SkeletonMetrics metrics;
+  const VarId n = std::min(learned.num_nodes(), truth.num_nodes());
+  for (VarId u = 0; u < n; ++u) {
+    for (VarId v = u + 1; v < n; ++v) {
+      const bool in_learned = learned.has_edge(u, v);
+      const bool in_truth = truth.has_edge(u, v);
+      if (in_learned && in_truth) ++metrics.true_positives;
+      if (in_learned && !in_truth) ++metrics.false_positives;
+      if (!in_learned && in_truth) ++metrics.false_negatives;
+    }
+  }
+  return metrics;
+}
+
+std::int64_t structural_hamming_distance(const Pdag& a, const Pdag& b) {
+  std::int64_t distance = 0;
+  const VarId n = std::min(a.num_nodes(), b.num_nodes());
+  for (VarId u = 0; u < n; ++u) {
+    for (VarId v = u + 1; v < n; ++v) {
+      // Encode the pair state: 0 none, 1 undirected, 2 u->v, 3 v->u.
+      auto state = [&](const Pdag& g) -> int {
+        if (g.has_undirected(u, v)) return 1;
+        if (g.has_directed(u, v)) return 2;
+        if (g.has_directed(v, u)) return 3;
+        return 0;
+      };
+      if (state(a) != state(b)) ++distance;
+    }
+  }
+  return distance;
+}
+
+Pdag cpdag_of_dag(const Dag& dag) {
+  const VarId n = dag.num_nodes();
+  Pdag pattern = Pdag::from_skeleton(dag.skeleton());
+  // Orient unshielded colliders a -> c <- b (a, b nonadjacent in the DAG).
+  for (VarId c = 0; c < n; ++c) {
+    const auto& parents = dag.parents(c);
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      for (std::size_t j = i + 1; j < parents.size(); ++j) {
+        const VarId a = parents[i];
+        const VarId b = parents[j];
+        if (dag.has_edge(a, b) || dag.has_edge(b, a)) continue;
+        if (pattern.has_undirected(a, c)) pattern.orient(a, c);
+        if (pattern.has_undirected(b, c)) pattern.orient(b, c);
+      }
+    }
+  }
+  apply_meek_rules(pattern);
+  return pattern;
+}
+
+}  // namespace fastbns

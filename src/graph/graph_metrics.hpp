@@ -1,0 +1,39 @@
+// Structural accuracy metrics for learned graphs vs. ground truth.
+//
+// The paper reports no accuracy numbers (Fast-BNS is algorithmically
+// identical to PC-stable), but examples and tests use these metrics to
+// demonstrate correct recovery.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/pdag.hpp"
+#include "graph/undirected_graph.hpp"
+
+namespace fastbns {
+
+struct SkeletonMetrics {
+  std::int64_t true_positives = 0;
+  std::int64_t false_positives = 0;
+  std::int64_t false_negatives = 0;
+
+  [[nodiscard]] double precision() const noexcept;
+  [[nodiscard]] double recall() const noexcept;
+  [[nodiscard]] double f1() const noexcept;
+};
+
+/// Edge-set comparison of a learned skeleton against the true skeleton.
+[[nodiscard]] SkeletonMetrics compare_skeletons(const UndirectedGraph& learned,
+                                                const UndirectedGraph& truth);
+
+/// Structural Hamming Distance between two PDAGs: number of node pairs
+/// whose connection differs (missing, extra, or differently oriented).
+[[nodiscard]] std::int64_t structural_hamming_distance(const Pdag& a,
+                                                       const Pdag& b);
+
+/// Computes the CPDAG (pattern / essential graph) of a DAG: skeleton plus
+/// unshielded-collider orientations closed under the Meek rules. Used as
+/// ground truth for oracle-driven PC tests.
+[[nodiscard]] Pdag cpdag_of_dag(const Dag& dag);
+
+}  // namespace fastbns

@@ -1,0 +1,98 @@
+#include "graph/meek_rules.hpp"
+
+namespace fastbns {
+namespace {
+
+// R1: if a -> b and b - c and a, c nonadjacent, orient b -> c (otherwise a
+// new v-structure a -> b <- c would have been detected earlier).
+bool apply_r1(Pdag& pdag, VarId b, VarId c) {
+  const VarId n = pdag.num_nodes();
+  for (VarId a = 0; a < n; ++a) {
+    if (pdag.has_directed(a, b) && !pdag.adjacent(a, c)) {
+      pdag.orient(b, c);
+      return true;
+    }
+  }
+  return false;
+}
+
+// R2: if a -> b -> c and a - c, orient a -> c (else a directed cycle).
+bool apply_r2(Pdag& pdag, VarId a, VarId c) {
+  const VarId n = pdag.num_nodes();
+  for (VarId b = 0; b < n; ++b) {
+    if (pdag.has_directed(a, b) && pdag.has_directed(b, c)) {
+      pdag.orient(a, c);
+      return true;
+    }
+  }
+  return false;
+}
+
+// R3: if a - b, a - c, a - d, c -> b, d -> b and c, d nonadjacent,
+// orient a -> b.
+bool apply_r3(Pdag& pdag, VarId a, VarId b) {
+  const VarId n = pdag.num_nodes();
+  for (VarId c = 0; c < n; ++c) {
+    if (!pdag.has_undirected(a, c) || !pdag.has_directed(c, b)) continue;
+    for (VarId d = c + 1; d < n; ++d) {
+      if (!pdag.has_undirected(a, d) || !pdag.has_directed(d, b)) continue;
+      if (!pdag.adjacent(c, d)) {
+        pdag.orient(a, b);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// R4: if a - b, a - c (or a adjacent to c), c -> d, d -> b, and b, c
+// nonadjacent would contradict the premise — the standard statement:
+// a - b, a adjacent to c, a - d, c -> d, d -> b, b and c nonadjacent
+// => orient a -> b.
+bool apply_r4(Pdag& pdag, VarId a, VarId b) {
+  const VarId n = pdag.num_nodes();
+  for (VarId d = 0; d < n; ++d) {
+    if (!pdag.has_directed(d, b) || !pdag.has_undirected(a, d)) continue;
+    for (VarId c = 0; c < n; ++c) {
+      if (c == a || c == b || c == d) continue;
+      if (pdag.has_directed(c, d) && pdag.adjacent(a, c) &&
+          !pdag.adjacent(c, b)) {
+        pdag.orient(a, b);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+MeekStats apply_meek_rules(Pdag& pdag) {
+  MeekStats stats;
+  const VarId n = pdag.num_nodes();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VarId u = 0; u < n; ++u) {
+      for (VarId v = 0; v < n; ++v) {
+        if (!pdag.has_undirected(u, v)) continue;
+        if (apply_r1(pdag, u, v)) {
+          ++stats.r1;
+          changed = true;
+        } else if (apply_r2(pdag, u, v)) {
+          ++stats.r2;
+          changed = true;
+        } else if (apply_r3(pdag, u, v)) {
+          ++stats.r3;
+          changed = true;
+        } else if (apply_r4(pdag, u, v)) {
+          ++stats.r4;
+          changed = true;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace fastbns

@@ -1,0 +1,29 @@
+// Meek's orientation rules (Meek 1995), the third phase of PC-stable.
+//
+// Applied to a PDAG whose v-structures are already oriented, the four rules
+// orient every remaining edge whose direction is compelled by acyclicity
+// and by the absence of further v-structures:
+//   R1: a -> b, b - c, a and c nonadjacent            =>  b -> c
+//   R2: a -> b -> c with a - c                        =>  a -> c
+//   R3: a - b, a - c, a - d, c -> b, d -> b, c,d nonadjacent  =>  a -> b
+//   R4: a - b, a - c, a - d(*), c -> d? (chordal form) — see implementation;
+//       R4 only fires when background knowledge introduces extra directed
+//       edges, but is included for completeness.
+#pragma once
+
+#include "graph/pdag.hpp"
+
+namespace fastbns {
+
+struct MeekStats {
+  std::int64_t r1 = 0;
+  std::int64_t r2 = 0;
+  std::int64_t r3 = 0;
+  std::int64_t r4 = 0;
+  [[nodiscard]] std::int64_t total() const noexcept { return r1 + r2 + r3 + r4; }
+};
+
+/// Applies R1..R4 to a fixed point. Returns per-rule orientation counts.
+MeekStats apply_meek_rules(Pdag& pdag);
+
+}  // namespace fastbns

@@ -1,0 +1,220 @@
+#include "graph/pdag.hpp"
+
+#include <cassert>
+#include <deque>
+#include <optional>
+
+namespace fastbns {
+
+Pdag::Pdag(VarId num_nodes)
+    : n_(num_nodes),
+      marks_(static_cast<std::size_t>(num_nodes) * static_cast<std::size_t>(num_nodes),
+             EdgeMark::kNone) {
+  assert(num_nodes >= 0);
+}
+
+Pdag Pdag::from_skeleton(const UndirectedGraph& skeleton) {
+  Pdag pdag(skeleton.num_nodes());
+  for (const auto& [u, v] : skeleton.edges()) {
+    pdag.add_undirected(u, v);
+  }
+  return pdag;
+}
+
+Pdag Pdag::from_dag(const Dag& dag) {
+  Pdag pdag(dag.num_nodes());
+  for (const auto& [from, to] : dag.edges()) {
+    pdag.add_directed(from, to);
+  }
+  return pdag;
+}
+
+bool Pdag::adjacent(VarId u, VarId v) const noexcept {
+  return mark(u, v) != EdgeMark::kNone || mark(v, u) != EdgeMark::kNone;
+}
+
+bool Pdag::has_undirected(VarId u, VarId v) const noexcept {
+  return mark(u, v) == EdgeMark::kUndirected;
+}
+
+bool Pdag::has_directed(VarId from, VarId to) const noexcept {
+  return mark(from, to) == EdgeMark::kDirected;
+}
+
+void Pdag::add_undirected(VarId u, VarId v) {
+  assert(u != v && !adjacent(u, v));
+  marks_[index(u, v)] = EdgeMark::kUndirected;
+  marks_[index(v, u)] = EdgeMark::kUndirected;
+}
+
+void Pdag::add_directed(VarId from, VarId to) {
+  assert(from != to && !adjacent(from, to));
+  marks_[index(from, to)] = EdgeMark::kDirected;
+}
+
+void Pdag::remove_edge(VarId u, VarId v) {
+  marks_[index(u, v)] = EdgeMark::kNone;
+  marks_[index(v, u)] = EdgeMark::kNone;
+}
+
+void Pdag::orient(VarId from, VarId to) {
+  assert(has_undirected(from, to));
+  marks_[index(from, to)] = EdgeMark::kDirected;
+  marks_[index(to, from)] = EdgeMark::kNone;
+}
+
+std::int64_t Pdag::num_directed_edges() const noexcept {
+  std::int64_t count = 0;
+  for (VarId u = 0; u < n_; ++u) {
+    for (VarId v = 0; v < n_; ++v) {
+      if (mark(u, v) == EdgeMark::kDirected) ++count;
+    }
+  }
+  return count;
+}
+
+std::int64_t Pdag::num_undirected_edges() const noexcept {
+  std::int64_t count = 0;
+  for (VarId u = 0; u < n_; ++u) {
+    for (VarId v = u + 1; v < n_; ++v) {
+      if (mark(u, v) == EdgeMark::kUndirected) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<VarId> Pdag::adjacent_nodes(VarId v) const {
+  std::vector<VarId> result;
+  for (VarId u = 0; u < n_; ++u) {
+    if (u != v && adjacent(v, u)) result.push_back(u);
+  }
+  return result;
+}
+
+std::vector<VarId> Pdag::parents(VarId v) const {
+  std::vector<VarId> result;
+  for (VarId u = 0; u < n_; ++u) {
+    if (has_directed(u, v)) result.push_back(u);
+  }
+  return result;
+}
+
+std::vector<VarId> Pdag::children(VarId v) const {
+  std::vector<VarId> result;
+  for (VarId u = 0; u < n_; ++u) {
+    if (has_directed(v, u)) result.push_back(u);
+  }
+  return result;
+}
+
+std::vector<VarId> Pdag::undirected_neighbors(VarId v) const {
+  std::vector<VarId> result;
+  for (VarId u = 0; u < n_; ++u) {
+    if (has_undirected(v, u)) result.push_back(u);
+  }
+  return result;
+}
+
+UndirectedGraph Pdag::skeleton() const {
+  UndirectedGraph g(n_);
+  for (VarId u = 0; u < n_; ++u) {
+    for (VarId v = u + 1; v < n_; ++v) {
+      if (adjacent(u, v)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+std::vector<std::pair<VarId, VarId>> Pdag::directed_edges() const {
+  std::vector<std::pair<VarId, VarId>> result;
+  for (VarId u = 0; u < n_; ++u) {
+    for (VarId v = 0; v < n_; ++v) {
+      if (has_directed(u, v)) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<VarId, VarId>> Pdag::undirected_edges() const {
+  std::vector<std::pair<VarId, VarId>> result;
+  for (VarId u = 0; u < n_; ++u) {
+    for (VarId v = u + 1; v < n_; ++v) {
+      if (has_undirected(u, v)) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+bool Pdag::has_directed_cycle() const {
+  // Kahn's algorithm restricted to directed marks.
+  std::vector<VarId> in_deg(static_cast<std::size_t>(n_), 0);
+  for (VarId u = 0; u < n_; ++u) {
+    for (VarId v = 0; v < n_; ++v) {
+      if (has_directed(u, v)) ++in_deg[v];
+    }
+  }
+  std::deque<VarId> ready;
+  for (VarId v = 0; v < n_; ++v) {
+    if (in_deg[v] == 0) ready.push_back(v);
+  }
+  VarId processed = 0;
+  while (!ready.empty()) {
+    const VarId v = ready.front();
+    ready.pop_front();
+    ++processed;
+    for (VarId u = 0; u < n_; ++u) {
+      if (has_directed(v, u) && --in_deg[u] == 0) ready.push_back(u);
+    }
+  }
+  return processed != n_;
+}
+
+std::optional<Dag> Pdag::consistent_extension() const {
+  // Dor & Tarsi: repeatedly find a sink candidate x (no outgoing directed
+  // edges) whose undirected neighbors are adjacent to all of x's other
+  // neighbors; orient all undirected edges into x, remove x, repeat.
+  Pdag work = *this;
+  Dag dag(n_);
+  for (const auto& [from, to] : directed_edges()) {
+    dag.add_edge_unchecked(from, to);
+  }
+  if (!dag.is_acyclic()) return std::nullopt;
+
+  std::vector<bool> removed(static_cast<std::size_t>(n_), false);
+  for (VarId remaining = n_; remaining > 0; --remaining) {
+    VarId sink = kInvalidVar;
+    for (VarId x = 0; x < n_; ++x) {
+      if (removed[x]) continue;
+      bool has_out = false;
+      for (VarId y = 0; y < n_ && !has_out; ++y) {
+        has_out = !removed[y] && work.has_directed(x, y);
+      }
+      if (has_out) continue;
+      // Undirected neighbors of x must be adjacent to every neighbor of x.
+      bool valid = true;
+      for (VarId u = 0; u < n_ && valid; ++u) {
+        if (removed[u] || !work.has_undirected(x, u)) continue;
+        for (VarId w = 0; w < n_ && valid; ++w) {
+          if (removed[w] || w == u || w == x) continue;
+          if (work.adjacent(x, w) && !work.adjacent(u, w)) valid = false;
+        }
+      }
+      if (valid) {
+        sink = x;
+        break;
+      }
+    }
+    if (sink == kInvalidVar) return std::nullopt;
+    for (VarId u = 0; u < n_; ++u) {
+      if (!removed[u] && work.has_undirected(sink, u)) {
+        dag.add_edge_unchecked(u, sink);
+        work.remove_edge(u, sink);
+      }
+    }
+    removed[sink] = true;
+  }
+  if (!dag.is_acyclic()) return std::nullopt;
+  return dag;
+}
+
+}  // namespace fastbns

@@ -1,0 +1,95 @@
+// Partially directed acyclic graph (PDAG): the output object of PC-stable.
+//
+// A CPDAG ("pattern" / essential graph) is a PDAG whose directed edges are
+// the compelled edges of a Markov equivalence class and whose undirected
+// edges are reversible. The PC-stable pipeline produces one by orienting
+// v-structures in the skeleton and closing under the Meek rules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/dag.hpp"
+#include "graph/undirected_graph.hpp"
+
+namespace fastbns {
+
+enum class EdgeMark : std::uint8_t {
+  kNone = 0,        ///< no edge between the pair
+  kUndirected = 1,  ///< u - v
+  kDirected = 2,    ///< u -> v (mark stored on the (u,v) slot)
+};
+
+class Pdag {
+ public:
+  explicit Pdag(VarId num_nodes);
+
+  /// Every skeleton edge starts undirected.
+  [[nodiscard]] static Pdag from_skeleton(const UndirectedGraph& skeleton);
+
+  /// Fully directed PDAG mirroring a DAG.
+  [[nodiscard]] static Pdag from_dag(const Dag& dag);
+
+  [[nodiscard]] VarId num_nodes() const noexcept { return n_; }
+
+  /// Any connection (directed either way or undirected).
+  [[nodiscard]] bool adjacent(VarId u, VarId v) const noexcept;
+  [[nodiscard]] bool has_undirected(VarId u, VarId v) const noexcept;
+  [[nodiscard]] bool has_directed(VarId from, VarId to) const noexcept;
+
+  void add_undirected(VarId u, VarId v);
+  void add_directed(VarId from, VarId to);
+  void remove_edge(VarId u, VarId v);
+
+  /// Replaces the undirected u-v with from->to. Requires has_undirected.
+  void orient(VarId from, VarId to);
+
+  /// Counts.
+  [[nodiscard]] std::int64_t num_directed_edges() const noexcept;
+  [[nodiscard]] std::int64_t num_undirected_edges() const noexcept;
+
+  /// Neighbors connected by any edge type, ascending.
+  [[nodiscard]] std::vector<VarId> adjacent_nodes(VarId v) const;
+  /// Nodes p with p->v.
+  [[nodiscard]] std::vector<VarId> parents(VarId v) const;
+  /// Nodes c with v->c.
+  [[nodiscard]] std::vector<VarId> children(VarId v) const;
+  /// Nodes u with u-v undirected.
+  [[nodiscard]] std::vector<VarId> undirected_neighbors(VarId v) const;
+
+  /// Underlying skeleton (every edge becomes undirected).
+  [[nodiscard]] UndirectedGraph skeleton() const;
+
+  /// Directed edges as (from, to); undirected as (min, max).
+  [[nodiscard]] std::vector<std::pair<VarId, VarId>> directed_edges() const;
+  [[nodiscard]] std::vector<std::pair<VarId, VarId>> undirected_edges() const;
+
+  /// True if the directed part contains a cycle (a malformed CPDAG).
+  [[nodiscard]] bool has_directed_cycle() const;
+
+  /// A DAG in the represented equivalence class, if one exists: orients
+  /// undirected edges without creating new v-structures or cycles
+  /// (Dor & Tarsi 1992 style greedy extension). Empty optional on failure.
+  [[nodiscard]] std::optional<Dag> consistent_extension() const;
+
+  [[nodiscard]] bool operator==(const Pdag& other) const noexcept {
+    return n_ == other.n_ && marks_ == other.marks_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(VarId u, VarId v) const noexcept {
+    return static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(v);
+  }
+  [[nodiscard]] EdgeMark mark(VarId u, VarId v) const noexcept {
+    return marks_[index(u, v)];
+  }
+
+  VarId n_;
+  std::vector<EdgeMark> marks_;
+};
+
+}  // namespace fastbns

@@ -1,0 +1,162 @@
+#include "inference/factor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fastbns {
+
+Factor::Factor(std::vector<VarId> variables,
+               std::vector<std::int32_t> cardinalities)
+    : variables_(std::move(variables)), cardinalities_(std::move(cardinalities)) {
+  assert(variables_.size() == cardinalities_.size());
+  assert(std::is_sorted(variables_.begin(), variables_.end()));
+  std::size_t total = 1;
+  for (const auto card : cardinalities_) {
+    assert(card > 0);
+    total *= static_cast<std::size_t>(card);
+  }
+  values_.assign(total, 0.0);
+}
+
+Factor Factor::unit() {
+  Factor factor;
+  factor.values_.assign(1, 1.0);
+  return factor;
+}
+
+bool Factor::has_variable(VarId v) const noexcept {
+  return std::binary_search(variables_.begin(), variables_.end(), v);
+}
+
+std::size_t Factor::index_of(
+    const std::vector<std::int32_t>& full_assignment) const noexcept {
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    index = index * static_cast<std::size_t>(cardinalities_[i]) +
+            static_cast<std::size_t>(full_assignment[variables_[i]]);
+  }
+  return index;
+}
+
+Factor Factor::product(const Factor& other) const {
+  // Merge scopes.
+  std::vector<VarId> merged_vars;
+  std::vector<std::int32_t> merged_cards;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < variables_.size() || j < other.variables_.size()) {
+    if (j >= other.variables_.size() ||
+        (i < variables_.size() && variables_[i] < other.variables_[j])) {
+      merged_vars.push_back(variables_[i]);
+      merged_cards.push_back(cardinalities_[i]);
+      ++i;
+    } else if (i >= variables_.size() || other.variables_[j] < variables_[i]) {
+      merged_vars.push_back(other.variables_[j]);
+      merged_cards.push_back(other.cardinalities_[j]);
+      ++j;
+    } else {
+      assert(cardinalities_[i] == other.cardinalities_[j]);
+      merged_vars.push_back(variables_[i]);
+      merged_cards.push_back(cardinalities_[i]);
+      ++i;
+      ++j;
+    }
+  }
+
+  Factor result(std::move(merged_vars), std::move(merged_cards));
+  // Walk every assignment of the merged scope, reading both operands via
+  // a scratch full-assignment vector indexed by VarId.
+  const VarId max_var =
+      result.variables_.empty() ? 0 : result.variables_.back() + 1;
+  std::vector<std::int32_t> assignment(static_cast<std::size_t>(max_var), 0);
+  const std::size_t arity = result.variables_.size();
+  for (std::size_t flat = 0; flat < result.values_.size(); ++flat) {
+    // Decode `flat` into the merged assignment (row-major over the scope).
+    std::size_t remainder = flat;
+    for (std::size_t k = arity; k-- > 0;) {
+      const auto card = static_cast<std::size_t>(result.cardinalities_[k]);
+      assignment[result.variables_[k]] =
+          static_cast<std::int32_t>(remainder % card);
+      remainder /= card;
+    }
+    result.values_[flat] =
+        values_[index_of(assignment)] * other.values_[other.index_of(assignment)];
+  }
+  return result;
+}
+
+Factor Factor::marginalize(VarId variable) const {
+  assert(has_variable(variable));
+  std::vector<VarId> kept_vars;
+  std::vector<std::int32_t> kept_cards;
+  std::size_t dropped_pos = 0;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i] == variable) {
+      dropped_pos = i;
+      continue;
+    }
+    kept_vars.push_back(variables_[i]);
+    kept_cards.push_back(cardinalities_[i]);
+  }
+  Factor result(std::move(kept_vars), std::move(kept_cards));
+
+  // Strides of the dropped variable in this factor's flat layout.
+  std::size_t inner = 1;
+  for (std::size_t i = variables_.size(); i-- > dropped_pos + 1;) {
+    inner *= static_cast<std::size_t>(cardinalities_[i]);
+  }
+  const auto dropped_card = static_cast<std::size_t>(cardinalities_[dropped_pos]);
+  const std::size_t block = inner * dropped_card;
+
+  for (std::size_t flat = 0; flat < values_.size(); ++flat) {
+    const std::size_t outer = flat / block;
+    const std::size_t within = flat % inner;
+    result.values_[outer * inner + within] += values_[flat];
+  }
+  return result;
+}
+
+Factor Factor::reduce(VarId variable, std::int32_t state) const {
+  assert(has_variable(variable));
+  std::vector<VarId> kept_vars;
+  std::vector<std::int32_t> kept_cards;
+  std::size_t dropped_pos = 0;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i] == variable) {
+      dropped_pos = i;
+      continue;
+    }
+    kept_vars.push_back(variables_[i]);
+    kept_cards.push_back(cardinalities_[i]);
+  }
+  Factor result(std::move(kept_vars), std::move(kept_cards));
+
+  std::size_t inner = 1;
+  for (std::size_t i = variables_.size(); i-- > dropped_pos + 1;) {
+    inner *= static_cast<std::size_t>(cardinalities_[i]);
+  }
+  const auto dropped_card = static_cast<std::size_t>(cardinalities_[dropped_pos]);
+  const std::size_t block = inner * dropped_card;
+
+  for (std::size_t flat = 0; flat < result.values_.size(); ++flat) {
+    const std::size_t outer = flat / inner;
+    const std::size_t within = flat % inner;
+    result.values_[flat] =
+        values_[outer * block + static_cast<std::size_t>(state) * inner + within];
+  }
+  return result;
+}
+
+void Factor::normalize() {
+  const double total = sum();
+  if (total <= 0.0) return;
+  for (auto& value : values_) value /= total;
+}
+
+double Factor::sum() const noexcept {
+  double total = 0.0;
+  for (const auto value : values_) total += value;
+  return total;
+}
+
+}  // namespace fastbns

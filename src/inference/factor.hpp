@@ -1,0 +1,70 @@
+// Discrete factors (potential tables) over sets of variables — the
+// arithmetic underlying exact inference. A factor's scope is kept sorted
+// by VarId; values are a dense mixed-radix table over the scope.
+//
+// This substrate exists because structure learning is a means to an end:
+// the paper motivates BNs by "efficient reasoning", so the library ships
+// the reasoning too (see variable_elimination.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastbns {
+
+class Factor {
+ public:
+  Factor() = default;
+
+  /// `variables` must be strictly ascending; `cardinalities[i]` belongs to
+  /// `variables[i]`. Values are zero-initialized.
+  Factor(std::vector<VarId> variables, std::vector<std::int32_t> cardinalities);
+
+  /// The constant factor 1 (empty scope).
+  [[nodiscard]] static Factor unit();
+
+  [[nodiscard]] const std::vector<VarId>& variables() const noexcept {
+    return variables_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& cardinalities() const noexcept {
+    return cardinalities_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool has_variable(VarId v) const noexcept;
+
+  [[nodiscard]] double value_at(std::size_t flat_index) const noexcept {
+    return values_[flat_index];
+  }
+  void set_value_at(std::size_t flat_index, double value) noexcept {
+    values_[flat_index] = value;
+  }
+
+  /// Flat index of an assignment restricted to this factor's scope.
+  /// `full_assignment` is indexed by VarId (only scope entries are read).
+  [[nodiscard]] std::size_t index_of(
+      const std::vector<std::int32_t>& full_assignment) const noexcept;
+
+  /// Pointwise product; scopes are merged (the core join operation).
+  [[nodiscard]] Factor product(const Factor& other) const;
+
+  /// Sums out one variable of the scope.
+  [[nodiscard]] Factor marginalize(VarId variable) const;
+
+  /// Fixes `variable = state`: entries inconsistent with the evidence are
+  /// dropped and the variable leaves the scope.
+  [[nodiscard]] Factor reduce(VarId variable, std::int32_t state) const;
+
+  /// Scales values to sum to one. No-op on an all-zero factor.
+  void normalize();
+
+  [[nodiscard]] double sum() const noexcept;
+
+ private:
+  std::vector<VarId> variables_;
+  std::vector<std::int32_t> cardinalities_;
+  std::vector<double> values_;
+};
+
+}  // namespace fastbns

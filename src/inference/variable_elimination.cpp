@@ -1,0 +1,181 @@
+#include "inference/variable_elimination.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace fastbns {
+namespace {
+
+/// Eliminates `variable`: multiplies every factor containing it and sums
+/// it out; the remaining factors pass through.
+void eliminate_variable(std::vector<Factor>& factors, VarId variable) {
+  Factor combined = Factor::unit();
+  std::vector<Factor> remaining;
+  remaining.reserve(factors.size());
+  bool found = false;
+  for (auto& factor : factors) {
+    if (factor.has_variable(variable)) {
+      combined = combined.product(factor);
+      found = true;
+    } else {
+      remaining.push_back(std::move(factor));
+    }
+  }
+  if (found) {
+    remaining.push_back(combined.marginalize(variable));
+  }
+  factors = std::move(remaining);
+}
+
+/// Min-degree heuristic on the interaction graph of the current factors:
+/// repeatedly pick the variable appearing with the fewest distinct
+/// neighbours. Exact order quality only affects speed, not correctness.
+std::vector<VarId> elimination_order(const std::vector<Factor>& factors,
+                                     const std::set<VarId>& to_eliminate) {
+  std::map<VarId, std::set<VarId>> neighbours;
+  for (const VarId v : to_eliminate) neighbours[v];
+  for (const Factor& factor : factors) {
+    for (const VarId a : factor.variables()) {
+      if (to_eliminate.count(a) == 0) continue;
+      for (const VarId b : factor.variables()) {
+        if (a != b) neighbours[a].insert(b);
+      }
+    }
+  }
+  std::set<VarId> pending = to_eliminate;
+  std::vector<VarId> order;
+  order.reserve(pending.size());
+  while (!pending.empty()) {
+    VarId best = *pending.begin();
+    std::size_t best_degree = neighbours[best].size();
+    for (const VarId v : pending) {
+      if (neighbours[v].size() < best_degree) {
+        best = v;
+        best_degree = neighbours[v].size();
+      }
+    }
+    order.push_back(best);
+    pending.erase(best);
+    // Connect the neighbours of the eliminated variable (fill-in).
+    for (const VarId a : neighbours[best]) {
+      neighbours[a].erase(best);
+      for (const VarId b : neighbours[best]) {
+        if (a != b && pending.count(a) && pending.count(b)) {
+          neighbours[a].insert(b);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<Factor> reduced_cpt_factors(const BayesianNetwork& network,
+                                        const Evidence& evidence) {
+  for (const auto& [variable, state] : evidence) {
+    if (variable < 0 || variable >= network.num_nodes()) {
+      throw std::invalid_argument("evidence variable out of range");
+    }
+    if (state < 0 || state >= network.variable(variable).cardinality) {
+      throw std::invalid_argument("evidence state out of range");
+    }
+  }
+  std::vector<Factor> factors;
+  factors.reserve(static_cast<std::size_t>(network.num_nodes()));
+  for (VarId v = 0; v < network.num_nodes(); ++v) {
+    Factor factor = cpt_factor(network, v);
+    for (const auto& [variable, state] : evidence) {
+      if (factor.has_variable(variable)) {
+        factor = factor.reduce(variable, state);
+      }
+    }
+    factors.push_back(std::move(factor));
+  }
+  return factors;
+}
+
+}  // namespace
+
+Factor cpt_factor(const BayesianNetwork& network, VarId variable) {
+  const Cpt& cpt = network.cpt(variable);
+  std::vector<VarId> scope = cpt.parents();
+  scope.push_back(variable);
+  std::sort(scope.begin(), scope.end());
+  std::vector<std::int32_t> cards;
+  cards.reserve(scope.size());
+  for (const VarId v : scope) cards.push_back(network.variable(v).cardinality);
+  Factor factor(scope, cards);
+
+  // Enumerate all assignments of the scope and copy P(v | parents).
+  const VarId max_var = scope.back() + 1;
+  std::vector<std::int32_t> assignment(static_cast<std::size_t>(max_var), 0);
+  std::vector<DataValue> byte_assignment(
+      static_cast<std::size_t>(network.num_nodes()), 0);
+  for (std::size_t flat = 0; flat < factor.size(); ++flat) {
+    std::size_t remainder = flat;
+    for (std::size_t k = scope.size(); k-- > 0;) {
+      const auto card = static_cast<std::size_t>(cards[k]);
+      assignment[scope[k]] = static_cast<std::int32_t>(remainder % card);
+      remainder /= card;
+    }
+    for (const VarId v : scope) {
+      byte_assignment[v] = static_cast<DataValue>(assignment[v]);
+    }
+    const std::int64_t config = cpt.parent_config_from_assignment(byte_assignment);
+    factor.set_value_at(flat, cpt.probability(config, assignment[variable]));
+  }
+  return factor;
+}
+
+std::vector<double> posterior_marginal(const BayesianNetwork& network,
+                                       VarId target, const Evidence& evidence) {
+  if (target < 0 || target >= network.num_nodes()) {
+    throw std::invalid_argument("posterior_marginal: target out of range");
+  }
+  if (evidence.count(target) != 0) {
+    throw std::invalid_argument("posterior_marginal: target is observed");
+  }
+  std::vector<Factor> factors = reduced_cpt_factors(network, evidence);
+
+  std::set<VarId> to_eliminate;
+  for (VarId v = 0; v < network.num_nodes(); ++v) {
+    if (v != target && evidence.count(v) == 0) to_eliminate.insert(v);
+  }
+  for (const VarId v : elimination_order(factors, to_eliminate)) {
+    eliminate_variable(factors, v);
+  }
+
+  Factor result = Factor::unit();
+  for (const Factor& factor : factors) {
+    result = result.product(factor);
+  }
+  if (result.sum() <= 0.0) {
+    throw std::runtime_error("posterior_marginal: evidence has probability 0");
+  }
+  result.normalize();
+  std::vector<double> distribution(
+      static_cast<std::size_t>(network.variable(target).cardinality));
+  for (std::size_t state = 0; state < distribution.size(); ++state) {
+    distribution[state] = result.value_at(state);
+  }
+  return distribution;
+}
+
+double evidence_probability(const BayesianNetwork& network,
+                            const Evidence& evidence) {
+  std::vector<Factor> factors = reduced_cpt_factors(network, evidence);
+  std::set<VarId> to_eliminate;
+  for (VarId v = 0; v < network.num_nodes(); ++v) {
+    if (evidence.count(v) == 0) to_eliminate.insert(v);
+  }
+  for (const VarId v : elimination_order(factors, to_eliminate)) {
+    eliminate_variable(factors, v);
+  }
+  double probability = 1.0;
+  for (const Factor& factor : factors) {
+    probability *= factor.sum();
+  }
+  return probability;
+}
+
+}  // namespace fastbns

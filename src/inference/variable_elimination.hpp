@@ -1,0 +1,40 @@
+// Exact posterior inference by variable elimination with a min-degree
+// elimination order.
+//
+//   Evidence evidence{{alarm.index_of("HRBP"), 2}};
+//   std::vector<double> posterior =
+//       posterior_marginal(alarm, alarm.index_of("LVFAILURE"), evidence);
+//
+// Used by the examples to *do something* with the structures Fast-BNS
+// learns, closing the loop the paper motivates (interpretable models +
+// efficient reasoning).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "inference/factor.hpp"
+#include "network/bayesian_network.hpp"
+
+namespace fastbns {
+
+/// variable -> observed state.
+using Evidence = std::map<VarId, std::int32_t>;
+
+/// P(target | evidence) as a normalized distribution over the target's
+/// states. Throws std::invalid_argument for inconsistent inputs (target
+/// observed, state out of range) and std::runtime_error when the evidence
+/// has probability zero.
+[[nodiscard]] std::vector<double> posterior_marginal(
+    const BayesianNetwork& network, VarId target,
+    const Evidence& evidence = {});
+
+/// P(evidence): the probability of the observed assignment.
+[[nodiscard]] double evidence_probability(const BayesianNetwork& network,
+                                          const Evidence& evidence);
+
+/// The factor of one CPT (scope: variable + its parents).
+[[nodiscard]] Factor cpt_factor(const BayesianNetwork& network, VarId variable);
+
+}  // namespace fastbns

@@ -1,0 +1,388 @@
+#include "network/bif_parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace fastbns {
+namespace {
+
+/// Splits BIF text into tokens: punctuation characters become single-char
+/// tokens, everything else splits on whitespace. // and /* */ comments are
+/// stripped.
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  const auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      flush();
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      flush();
+      i += 2;
+      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) ++i;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else if (c == '{' || c == '}' || c == '(' || c == ')' || c == '[' ||
+               c == ']' || c == ';' || c == ',' || c == '|') {
+      flush();
+      tokens.emplace_back(1, c);
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= tokens_.size(); }
+
+  [[nodiscard]] const std::string& peek() const {
+    if (done()) throw BifParseError("unexpected end of BIF input");
+    return tokens_[pos_];
+  }
+
+  std::string next() {
+    if (done()) throw BifParseError("unexpected end of BIF input");
+    return tokens_[pos_++];
+  }
+
+  void expect(const std::string& token) {
+    const std::string got = next();
+    if (got != token) {
+      throw BifParseError("expected '" + token + "', got '" + got + "'");
+    }
+  }
+
+  /// Skips tokens up to and including the matching close brace; assumes
+  /// the opening brace was already consumed.
+  void skip_block() {
+    int depth = 1;
+    while (depth > 0) {
+      const std::string token = next();
+      if (token == "{") ++depth;
+      if (token == "}") --depth;
+    }
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+double parse_number(const std::string& token) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(token, &consumed);
+    if (consumed != token.size()) throw BifParseError("bad number: " + token);
+    return value;
+  } catch (const std::exception&) {
+    throw BifParseError("bad number: " + token);
+  }
+}
+
+struct ProbabilityBlock {
+  std::string target;
+  std::vector<std::string> given;  // declared parent order
+  // Rows: parent state names (empty for unconditional) -> probabilities.
+  std::vector<std::pair<std::vector<std::string>, std::vector<double>>> rows;
+  std::vector<double> flat_table;  // used when `table` appears
+};
+
+}  // namespace
+
+BayesianNetwork parse_bif_string(const std::string& text) {
+  TokenCursor cursor(tokenize(text));
+
+  std::vector<Variable> variables;
+  std::map<std::string, VarId> var_index;
+  std::vector<ProbabilityBlock> blocks;
+
+  while (!cursor.done()) {
+    const std::string keyword = cursor.next();
+    if (keyword == "network") {
+      while (cursor.peek() != "{") cursor.next();
+      cursor.expect("{");
+      cursor.skip_block();
+    } else if (keyword == "variable") {
+      Variable variable;
+      variable.name = cursor.next();
+      cursor.expect("{");
+      while (cursor.peek() != "}") {
+        const std::string inner = cursor.next();
+        if (inner == "type") {
+          cursor.expect("discrete");
+          cursor.expect("[");
+          variable.cardinality =
+              static_cast<std::int32_t>(parse_number(cursor.next()));
+          cursor.expect("]");
+          cursor.expect("{");
+          while (cursor.peek() != "}") {
+            const std::string state = cursor.next();
+            if (state != ",") variable.states.push_back(state);
+          }
+          cursor.expect("}");
+          cursor.expect(";");
+        } else if (inner == "property") {
+          while (cursor.next() != ";") {
+          }
+        } else {
+          throw BifParseError("unexpected token in variable block: " + inner);
+        }
+      }
+      cursor.expect("}");
+      if (variable.cardinality !=
+          static_cast<std::int32_t>(variable.states.size())) {
+        throw BifParseError("state count mismatch for variable " +
+                            variable.name);
+      }
+      var_index[variable.name] = static_cast<VarId>(variables.size());
+      variables.push_back(std::move(variable));
+    } else if (keyword == "probability") {
+      ProbabilityBlock block;
+      cursor.expect("(");
+      block.target = cursor.next();
+      if (cursor.peek() == "|") {
+        cursor.next();
+        while (cursor.peek() != ")") {
+          const std::string token = cursor.next();
+          if (token != ",") block.given.push_back(token);
+        }
+      }
+      cursor.expect(")");
+      cursor.expect("{");
+      while (cursor.peek() != "}") {
+        const std::string row_head = cursor.next();
+        if (row_head == "table") {
+          while (cursor.peek() != ";") {
+            const std::string token = cursor.next();
+            if (token != ",") block.flat_table.push_back(parse_number(token));
+          }
+          cursor.expect(";");
+        } else if (row_head == "(") {
+          std::vector<std::string> states;
+          while (cursor.peek() != ")") {
+            const std::string token = cursor.next();
+            if (token != ",") states.push_back(token);
+          }
+          cursor.expect(")");
+          std::vector<double> probs;
+          while (cursor.peek() != ";") {
+            const std::string token = cursor.next();
+            if (token != ",") probs.push_back(parse_number(token));
+          }
+          cursor.expect(";");
+          block.rows.emplace_back(std::move(states), std::move(probs));
+        } else if (row_head == "property") {
+          while (cursor.next() != ";") {
+          }
+        } else {
+          throw BifParseError("unexpected token in probability block: " +
+                              row_head);
+        }
+      }
+      cursor.expect("}");
+      blocks.push_back(std::move(block));
+    } else {
+      throw BifParseError("unexpected top-level token: " + keyword);
+    }
+  }
+
+  // Build the DAG from the probability blocks.
+  Dag dag(static_cast<VarId>(variables.size()));
+  for (const auto& block : blocks) {
+    const auto target_it = var_index.find(block.target);
+    if (target_it == var_index.end()) {
+      throw BifParseError("probability block for unknown variable " +
+                          block.target);
+    }
+    for (const auto& parent : block.given) {
+      const auto parent_it = var_index.find(parent);
+      if (parent_it == var_index.end()) {
+        throw BifParseError("unknown parent " + parent);
+      }
+      if (!dag.add_edge(parent_it->second, target_it->second)) {
+        throw BifParseError("parent edge rejected (duplicate or cycle): " +
+                            parent + " -> " + block.target);
+      }
+    }
+  }
+
+  BayesianNetwork network(std::move(variables), std::move(dag));
+
+  // Fill CPTs. Cpt stores parents sorted by id, so rows indexed by the
+  // declared parent order are translated through a full assignment vector.
+  std::vector<DataValue> assignment(
+      static_cast<std::size_t>(network.num_nodes()), 0);
+  for (const auto& block : blocks) {
+    const VarId target = network.index_of(block.target);
+    Cpt& cpt = network.mutable_cpt(target);
+    const std::int32_t target_card = network.variable(target).cardinality;
+
+    auto state_index = [&](VarId var, const std::string& state) -> DataValue {
+      const Variable& variable = network.variable(var);
+      for (std::size_t i = 0; i < variable.states.size(); ++i) {
+        if (variable.states[i] == state) return static_cast<DataValue>(i);
+      }
+      throw BifParseError("unknown state '" + state + "' of variable " +
+                          variable.name);
+    };
+
+    if (!block.flat_table.empty()) {
+      // `table`: probabilities iterate target states fastest... The BIF
+      // convention lists, for each parent configuration in declared-order
+      // row-major sequence, the probabilities of all target states.
+      std::int64_t expected = target_card;
+      for (const auto& parent : block.given) {
+        expected *= network.variable(network.index_of(parent)).cardinality;
+      }
+      if (static_cast<std::int64_t>(block.flat_table.size()) != expected) {
+        throw BifParseError("table size mismatch for " + block.target);
+      }
+      const std::int64_t configs = expected / target_card;
+      for (std::int64_t declared_config = 0; declared_config < configs;
+           ++declared_config) {
+        // Decode declared_config over declared parent order.
+        std::int64_t remainder = declared_config;
+        for (std::size_t i = block.given.size(); i-- > 0;) {
+          const VarId parent = network.index_of(block.given[i]);
+          const std::int32_t card = network.variable(parent).cardinality;
+          assignment[parent] = static_cast<DataValue>(remainder % card);
+          remainder /= card;
+        }
+        const std::int64_t config = cpt.parent_config_from_assignment(assignment);
+        for (std::int32_t state = 0; state < target_card; ++state) {
+          cpt.set_probability(
+              config, state,
+              block.flat_table[declared_config * target_card + state]);
+        }
+      }
+    }
+    for (const auto& [states, probs] : block.rows) {
+      if (states.size() != block.given.size()) {
+        throw BifParseError("row arity mismatch for " + block.target);
+      }
+      if (static_cast<std::int32_t>(probs.size()) != target_card) {
+        throw BifParseError("row probability count mismatch for " +
+                            block.target);
+      }
+      for (std::size_t i = 0; i < states.size(); ++i) {
+        const VarId parent = network.index_of(block.given[i]);
+        assignment[parent] = state_index(parent, states[i]);
+      }
+      const std::int64_t config = cpt.parent_config_from_assignment(assignment);
+      for (std::int32_t state = 0; state < target_card; ++state) {
+        cpt.set_probability(config, state, probs[state]);
+      }
+    }
+  }
+
+  if (!network.valid()) {
+    throw BifParseError("parsed network failed validation (missing or "
+                        "unnormalized probability rows?)");
+  }
+  return network;
+}
+
+BayesianNetwork load_bif(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_bif: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_bif_string(buffer.str());
+}
+
+std::string to_bif_string(const BayesianNetwork& network) {
+  std::ostringstream out;
+  // Full round-trip precision: probabilities must re-parse to rows that
+  // still sum to one within the validator's tolerance.
+  out.precision(17);
+  out << "network unknown {\n}\n";
+  for (VarId v = 0; v < network.num_nodes(); ++v) {
+    const Variable& variable = network.variable(v);
+    out << "variable " << variable.name << " {\n  type discrete [ "
+        << variable.cardinality << " ] { ";
+    for (std::int32_t s = 0; s < variable.cardinality; ++s) {
+      if (s != 0) out << ", ";
+      out << variable.state_name(s);
+    }
+    out << " };\n}\n";
+  }
+  std::vector<DataValue> assignment(
+      static_cast<std::size_t>(network.num_nodes()), 0);
+  for (VarId v = 0; v < network.num_nodes(); ++v) {
+    const Cpt& cpt = network.cpt(v);
+    const Variable& variable = network.variable(v);
+    out << "probability ( " << variable.name;
+    if (!cpt.parents().empty()) {
+      out << " | ";
+      for (std::size_t i = 0; i < cpt.parents().size(); ++i) {
+        if (i != 0) out << ", ";
+        out << network.variable(cpt.parents()[i]).name;
+      }
+    }
+    out << " ) {\n";
+    if (cpt.parents().empty()) {
+      out << "  table ";
+      for (std::int32_t s = 0; s < variable.cardinality; ++s) {
+        if (s != 0) out << ", ";
+        out << cpt.probability(0, s);
+      }
+      out << ";\n";
+    } else {
+      for (std::int64_t config = 0; config < cpt.num_parent_configs();
+           ++config) {
+        // Decode config over the canonical (ascending id) parent order.
+        std::int64_t remainder = config;
+        for (std::size_t i = cpt.parents().size(); i-- > 0;) {
+          const VarId parent = cpt.parents()[i];
+          const std::int32_t card = network.variable(parent).cardinality;
+          assignment[parent] = static_cast<DataValue>(remainder % card);
+          remainder /= card;
+        }
+        out << "  (";
+        for (std::size_t i = 0; i < cpt.parents().size(); ++i) {
+          if (i != 0) out << ", ";
+          const VarId parent = cpt.parents()[i];
+          out << network.variable(parent).state_name(assignment[parent]);
+        }
+        out << ") ";
+        for (std::int32_t s = 0; s < variable.cardinality; ++s) {
+          if (s != 0) out << ", ";
+          out << cpt.probability(config, s);
+        }
+        out << ";\n";
+      }
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+bool save_bif(const BayesianNetwork& network, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_bif_string(network);
+  return static_cast<bool>(out);
+}
+
+}  // namespace fastbns

@@ -1,0 +1,31 @@
+// Reader/writer for the Bayesian Interchange Format (BIF 0.15), the
+// format the bnlearn repository distributes benchmark networks in. Users
+// who do have the original Table II .bif files can load them directly and
+// run every experiment against the real networks.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "network/bayesian_network.hpp"
+
+namespace fastbns {
+
+class BifParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a BIF document. Throws BifParseError on malformed input.
+[[nodiscard]] BayesianNetwork parse_bif_string(const std::string& text);
+
+/// Loads a .bif file. Throws BifParseError / std::runtime_error.
+[[nodiscard]] BayesianNetwork load_bif(const std::string& path);
+
+/// Serializes a network to BIF (parents in canonical ascending-id order).
+[[nodiscard]] std::string to_bif_string(const BayesianNetwork& network);
+
+/// Writes to_bif_string() to `path`. Returns false on I/O failure.
+bool save_bif(const BayesianNetwork& network, const std::string& path);
+
+}  // namespace fastbns

@@ -1,0 +1,62 @@
+#include "network/cpt.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fastbns {
+
+Cpt::Cpt(VarId variable, std::int32_t cardinality, std::vector<VarId> parents,
+         std::vector<std::int32_t> parent_cards)
+    : variable_(variable),
+      cardinality_(cardinality),
+      parents_(std::move(parents)),
+      parent_cards_(std::move(parent_cards)) {
+  assert(parents_.size() == parent_cards_.size());
+  for (const auto card : parent_cards_) {
+    num_parent_configs_ *= card;
+  }
+  probs_.assign(
+      static_cast<std::size_t>(num_parent_configs_) * cardinality_, 0.0);
+}
+
+std::int64_t Cpt::parent_config_from_assignment(
+    std::span<const DataValue> assignment) const noexcept {
+  std::int64_t config = 0;
+  for (std::size_t i = 0; i < parents_.size(); ++i) {
+    config = config * parent_cards_[i] + assignment[parents_[i]];
+  }
+  return config;
+}
+
+void Cpt::randomize(Rng& rng, double alpha) {
+  std::vector<double> row(static_cast<std::size_t>(cardinality_));
+  for (std::int64_t config = 0; config < num_parent_configs_; ++config) {
+    rng.dirichlet(alpha, row);
+    for (std::int32_t state = 0; state < cardinality_; ++state) {
+      set_probability(config, state, row[state]);
+    }
+  }
+}
+
+std::int32_t Cpt::sample(Rng& rng, std::int64_t parent_config) const {
+  const double u = rng.next_double();
+  double acc = 0.0;
+  for (std::int32_t state = 0; state < cardinality_; ++state) {
+    acc += probability(parent_config, state);
+    if (u < acc) return state;
+  }
+  return cardinality_ - 1;
+}
+
+bool Cpt::rows_normalized(double tolerance) const noexcept {
+  for (std::int64_t config = 0; config < num_parent_configs_; ++config) {
+    double sum = 0.0;
+    for (std::int32_t state = 0; state < cardinality_; ++state) {
+      sum += probability(config, state);
+    }
+    if (std::fabs(sum - 1.0) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace fastbns

@@ -1,0 +1,66 @@
+// Conditional probability table P(V | Pa(V)) for one variable.
+//
+// Probabilities are stored as a dense [parent_configuration][state] matrix;
+// parent configurations are mixed-radix codes over the parents in ascending
+// VarId order (the same canonical order Dag keeps).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fastbns {
+
+class Cpt {
+ public:
+  Cpt() = default;
+
+  /// `parent_cards[i]` is the cardinality of `parents[i]`.
+  Cpt(VarId variable, std::int32_t cardinality, std::vector<VarId> parents,
+      std::vector<std::int32_t> parent_cards);
+
+  [[nodiscard]] VarId variable() const noexcept { return variable_; }
+  [[nodiscard]] std::int32_t cardinality() const noexcept { return cardinality_; }
+  [[nodiscard]] const std::vector<VarId>& parents() const noexcept {
+    return parents_;
+  }
+  [[nodiscard]] std::int64_t num_parent_configs() const noexcept {
+    return num_parent_configs_;
+  }
+
+  /// Mixed-radix code of one full-assignment's parent values.
+  [[nodiscard]] std::int64_t parent_config_from_assignment(
+      std::span<const DataValue> assignment) const noexcept;
+
+  [[nodiscard]] double probability(std::int64_t parent_config,
+                                   std::int32_t state) const noexcept {
+    return probs_[static_cast<std::size_t>(parent_config) * cardinality_ + state];
+  }
+
+  void set_probability(std::int64_t parent_config, std::int32_t state,
+                       double p) noexcept {
+    probs_[static_cast<std::size_t>(parent_config) * cardinality_ + state] = p;
+  }
+
+  /// Fills every row with a Dirichlet(alpha) draw.
+  void randomize(Rng& rng, double alpha);
+
+  /// Draws a state given the parent configuration.
+  [[nodiscard]] std::int32_t sample(Rng& rng, std::int64_t parent_config) const;
+
+  /// True iff every row sums to 1 within `tolerance`.
+  [[nodiscard]] bool rows_normalized(double tolerance = 1e-9) const noexcept;
+
+ private:
+  VarId variable_ = kInvalidVar;
+  std::int32_t cardinality_ = 0;
+  std::vector<VarId> parents_;
+  std::vector<std::int32_t> parent_cards_;
+  std::int64_t num_parent_configs_ = 1;
+  std::vector<double> probs_;  ///< [config][state]
+};
+
+}  // namespace fastbns

@@ -1,0 +1,28 @@
+#include "network/forward_sampler.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace fastbns {
+
+DiscreteDataset forward_sample(const BayesianNetwork& network,
+                               Count num_samples, Rng& rng, DataLayout layout) {
+  const VarId n = network.num_nodes();
+  const std::vector<VarId> order = network.dag().topological_order();
+  assert(static_cast<VarId>(order.size()) == n && "network DAG must be acyclic");
+
+  DiscreteDataset data(n, num_samples, network.cardinalities(), layout);
+  std::vector<DataValue> assignment(static_cast<std::size_t>(n), 0);
+  for (Count s = 0; s < num_samples; ++s) {
+    for (const VarId v : order) {
+      const Cpt& cpt = network.cpt(v);
+      const std::int64_t config = cpt.parent_config_from_assignment(assignment);
+      const std::int32_t state = cpt.sample(rng, config);
+      assignment[v] = static_cast<DataValue>(state);
+      data.set(s, v, assignment[v]);
+    }
+  }
+  return data;
+}
+
+}  // namespace fastbns

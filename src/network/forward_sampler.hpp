@@ -1,0 +1,21 @@
+// Ancestral (forward) sampling: draws i.i.d. complete samples from a
+// Bayesian network by visiting nodes in topological order.
+//
+// This replaces the paper's pre-generated benchmark datasets: Table II's
+// data are forward samples of the listed networks, so sampling the same
+// networks (same seeds) yields statistically equivalent inputs.
+#pragma once
+
+#include "common/rng.hpp"
+#include "dataset/discrete_dataset.hpp"
+#include "network/bayesian_network.hpp"
+
+namespace fastbns {
+
+/// Draws `num_samples` rows. The dataset is materialized in `layout`
+/// (column-major by default — Fast-BNS's cache-friendly storage).
+[[nodiscard]] DiscreteDataset forward_sample(
+    const BayesianNetwork& network, Count num_samples, Rng& rng,
+    DataLayout layout = DataLayout::kColumnMajor);
+
+}  // namespace fastbns

@@ -1,0 +1,35 @@
+// Parameterized random Bayesian-network generator.
+//
+// Stands in for the benchmark networks we cannot ship (Table II): given a
+// target node/edge count, cardinality range and seed, it produces a DAG by
+// sampling edges over a random topological order (optionally with a
+// locality window, mimicking the chain-like structure of the Munin family)
+// and fills CPTs with Dirichlet draws. Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "network/bayesian_network.hpp"
+
+namespace fastbns {
+
+struct RandomNetworkConfig {
+  VarId num_nodes = 50;
+  std::int64_t num_edges = 75;
+  /// Cap on parents per node; keeps CPTs small and graphs PC-friendly.
+  std::int32_t max_parents = 4;
+  std::int32_t min_cardinality = 2;
+  std::int32_t max_cardinality = 4;
+  /// When > 0, a node's parents are drawn from the `locality_window`
+  /// closest predecessors in the topological order.
+  VarId locality_window = 0;
+  double dirichlet_alpha = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Throws std::invalid_argument when num_edges is unachievable under the
+/// max_parents / locality constraints.
+[[nodiscard]] BayesianNetwork generate_random_network(
+    const RandomNetworkConfig& config);
+
+}  // namespace fastbns

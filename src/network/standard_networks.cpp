@@ -1,0 +1,194 @@
+#include "network/standard_networks.hpp"
+
+#include <array>
+#include <map>
+#include <stdexcept>
+
+#include "network/random_network.hpp"
+
+namespace fastbns {
+namespace {
+
+struct AlarmNode {
+  const char* name;
+  std::int32_t cardinality;
+};
+
+// Standard ALARM variables (Beinlich et al. 1989). Cardinalities follow
+// the published network: mostly three-level (LOW/NORMAL/HIGH), boolean
+// fault nodes, and four-level ventilation measurements.
+constexpr std::array<AlarmNode, 37> kAlarmNodes{{
+    {"CVP", 3},           // 0
+    {"PCWP", 3},          // 1
+    {"HISTORY", 2},       // 2
+    {"TPR", 3},           // 3
+    {"BP", 3},            // 4
+    {"CO", 3},            // 5
+    {"HRBP", 3},          // 6
+    {"HREKG", 3},         // 7
+    {"HRSAT", 3},         // 8
+    {"PAP", 3},           // 9
+    {"SAO2", 3},          // 10
+    {"FIO2", 2},          // 11
+    {"PRESS", 4},         // 12
+    {"EXPCO2", 4},        // 13
+    {"MINVOL", 4},        // 14
+    {"MINVOLSET", 3},     // 15
+    {"HYPOVOLEMIA", 2},   // 16
+    {"LVFAILURE", 2},     // 17
+    {"ANAPHYLAXIS", 2},   // 18
+    {"INSUFFANESTH", 2},  // 19
+    {"PULMEMBOLUS", 2},   // 20
+    {"INTUBATION", 3},    // 21
+    {"KINKEDTUBE", 2},    // 22
+    {"DISCONNECT", 2},    // 23
+    {"LVEDVOLUME", 3},    // 24
+    {"STROKEVOLUME", 3},  // 25
+    {"CATECHOL", 2},      // 26
+    {"ERRLOWOUTPUT", 2},  // 27
+    {"HR", 3},            // 28
+    {"ERRCAUTER", 2},     // 29
+    {"SHUNT", 2},         // 30
+    {"PVSAT", 3},         // 31
+    {"ARTCO2", 3},        // 32
+    {"VENTALV", 4},       // 33
+    {"VENTLUNG", 4},      // 34
+    {"VENTTUBE", 4},      // 35
+    {"VENTMACH", 4},      // 36
+}};
+
+// The published 46 directed edges, as (parent, child) name pairs.
+constexpr std::array<std::pair<const char*, const char*>, 46> kAlarmEdges{{
+    {"MINVOLSET", "VENTMACH"},
+    {"VENTMACH", "VENTTUBE"},
+    {"DISCONNECT", "VENTTUBE"},
+    {"VENTTUBE", "VENTLUNG"},
+    {"KINKEDTUBE", "VENTLUNG"},
+    {"INTUBATION", "VENTLUNG"},
+    {"VENTLUNG", "VENTALV"},
+    {"INTUBATION", "VENTALV"},
+    {"VENTALV", "ARTCO2"},
+    {"VENTALV", "PVSAT"},
+    {"FIO2", "PVSAT"},
+    {"PVSAT", "SAO2"},
+    {"SHUNT", "SAO2"},
+    {"PULMEMBOLUS", "SHUNT"},
+    {"INTUBATION", "SHUNT"},
+    {"PULMEMBOLUS", "PAP"},
+    {"ARTCO2", "CATECHOL"},
+    {"SAO2", "CATECHOL"},
+    {"TPR", "CATECHOL"},
+    {"INSUFFANESTH", "CATECHOL"},
+    {"ANAPHYLAXIS", "TPR"},
+    {"CATECHOL", "HR"},
+    {"HR", "CO"},
+    {"STROKEVOLUME", "CO"},
+    {"HYPOVOLEMIA", "STROKEVOLUME"},
+    {"LVFAILURE", "STROKEVOLUME"},
+    {"HYPOVOLEMIA", "LVEDVOLUME"},
+    {"LVFAILURE", "LVEDVOLUME"},
+    {"LVEDVOLUME", "CVP"},
+    {"LVEDVOLUME", "PCWP"},
+    {"LVFAILURE", "HISTORY"},
+    {"CO", "BP"},
+    {"TPR", "BP"},
+    {"ERRLOWOUTPUT", "HRBP"},
+    {"HR", "HRBP"},
+    {"ERRCAUTER", "HREKG"},
+    {"HR", "HREKG"},
+    {"ERRCAUTER", "HRSAT"},
+    {"HR", "HRSAT"},
+    {"VENTLUNG", "EXPCO2"},
+    {"ARTCO2", "EXPCO2"},
+    {"VENTLUNG", "MINVOL"},
+    {"INTUBATION", "MINVOL"},
+    {"VENTTUBE", "PRESS"},
+    {"KINKEDTUBE", "PRESS"},
+    {"INTUBATION", "PRESS"},
+}};
+
+// Fixed seeds so analog networks (and therefore all benches) are
+// reproducible run to run.
+constexpr std::uint64_t kAnalogSeedBase = 0xFA57B45EULL;
+
+RandomNetworkConfig analog_config(VarId nodes, std::int64_t edges,
+                                  std::uint64_t seed_offset,
+                                  VarId locality_window) {
+  RandomNetworkConfig config;
+  config.num_nodes = nodes;
+  config.num_edges = edges;
+  config.max_parents = 4;
+  config.min_cardinality = 2;
+  config.max_cardinality = 4;
+  config.locality_window = locality_window;
+  config.dirichlet_alpha = 0.5;
+  config.seed = kAnalogSeedBase + seed_offset;
+  return config;
+}
+
+}  // namespace
+
+const std::vector<NetworkSpec>& table_ii_specs() {
+  static const std::vector<NetworkSpec> specs = {
+      {"alarm", 37, 46, 15000, false},
+      {"insurance", 27, 52, 15000, false},
+      {"hepar2", 70, 123, 15000, false},
+      {"munin1", 186, 273, 15000, false},
+      {"diabetes", 413, 602, 5000, true},
+      {"link", 724, 1125, 5000, true},
+      {"munin2", 1003, 1244, 5000, true},
+      {"munin3", 1041, 1306, 5000, true},
+  };
+  return specs;
+}
+
+BayesianNetwork alarm_network() {
+  std::vector<Variable> variables;
+  variables.reserve(kAlarmNodes.size());
+  std::map<std::string, VarId> index;
+  for (std::size_t i = 0; i < kAlarmNodes.size(); ++i) {
+    Variable variable;
+    variable.name = kAlarmNodes[i].name;
+    variable.cardinality = kAlarmNodes[i].cardinality;
+    index[variable.name] = static_cast<VarId>(i);
+    variables.push_back(std::move(variable));
+  }
+  Dag dag(static_cast<VarId>(kAlarmNodes.size()));
+  for (const auto& [parent, child] : kAlarmEdges) {
+    if (!dag.add_edge(index.at(parent), index.at(child))) {
+      throw std::logic_error("alarm_network: bad edge table");
+    }
+  }
+  BayesianNetwork network(std::move(variables), std::move(dag));
+  Rng rng(kAnalogSeedBase);
+  network.randomize_cpts(rng, 0.5);
+  return network;
+}
+
+std::optional<BayesianNetwork> benchmark_network(const std::string& name) {
+  if (name == "alarm") return alarm_network();
+  if (name == "insurance") {
+    return generate_random_network(analog_config(27, 52, 2, 0));
+  }
+  if (name == "hepar2") {
+    return generate_random_network(analog_config(70, 123, 3, 0));
+  }
+  if (name == "munin1") {
+    return generate_random_network(analog_config(186, 273, 4, 40));
+  }
+  if (name == "diabetes") {
+    return generate_random_network(analog_config(413, 602, 5, 30));
+  }
+  if (name == "link") {
+    return generate_random_network(analog_config(724, 1125, 6, 30));
+  }
+  if (name == "munin2") {
+    return generate_random_network(analog_config(1003, 1244, 7, 40));
+  }
+  if (name == "munin3") {
+    return generate_random_network(analog_config(1041, 1306, 8, 40));
+  }
+  return std::nullopt;
+}
+
+}  // namespace fastbns

@@ -1,0 +1,84 @@
+#include "pc/bootstrap.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "pc/skeleton.hpp"
+#include "stats/discrete_ci_test.hpp"
+
+namespace fastbns {
+
+EdgeStrengths::EdgeStrengths(VarId num_nodes, std::int32_t replicates)
+    : n_(num_nodes),
+      replicates_(replicates),
+      counts_(static_cast<std::size_t>(num_nodes) *
+                  static_cast<std::size_t>(num_nodes),
+              0) {}
+
+std::size_t EdgeStrengths::index(VarId u, VarId v) const noexcept {
+  const VarId lo = std::min(u, v);
+  const VarId hi = std::max(u, v);
+  return static_cast<std::size_t>(lo) * static_cast<std::size_t>(n_) + hi;
+}
+
+double EdgeStrengths::strength(VarId u, VarId v) const noexcept {
+  if (replicates_ == 0) return 0.0;
+  return static_cast<double>(counts_[index(u, v)]) /
+         static_cast<double>(replicates_);
+}
+
+void EdgeStrengths::record_edge(VarId u, VarId v) noexcept {
+  ++counts_[index(u, v)];
+}
+
+std::vector<std::tuple<VarId, VarId, double>> EdgeStrengths::edges_above(
+    double threshold) const {
+  std::vector<std::tuple<VarId, VarId, double>> result;
+  for (VarId u = 0; u < n_; ++u) {
+    for (VarId v = u + 1; v < n_; ++v) {
+      const double s = strength(u, v);
+      if (s >= threshold && s > 0.0) result.emplace_back(u, v, s);
+    }
+  }
+  std::sort(result.begin(), result.end(), [](const auto& a, const auto& b) {
+    if (std::get<2>(a) != std::get<2>(b)) {
+      return std::get<2>(a) > std::get<2>(b);
+    }
+    return std::tie(std::get<0>(a), std::get<1>(a)) <
+           std::tie(std::get<0>(b), std::get<1>(b));
+  });
+  return result;
+}
+
+EdgeStrengths bootstrap_edge_strength(const DiscreteDataset& data,
+                                      const BootstrapOptions& options) {
+  const VarId n = data.num_vars();
+  const Count m = data.num_samples();
+  const Count resample_size =
+      options.resample_size > 0 ? options.resample_size : m;
+  EdgeStrengths strengths(n, options.replicates);
+
+  Rng rng(options.seed);
+  for (std::int32_t b = 0; b < options.replicates; ++b) {
+    // Resample rows with replacement.
+    DiscreteDataset resampled(n, resample_size, data.cardinalities(),
+                              DataLayout::kColumnMajor);
+    for (Count s = 0; s < resample_size; ++s) {
+      const Count source =
+          static_cast<Count>(rng.next_below(static_cast<std::uint64_t>(m)));
+      for (VarId v = 0; v < n; ++v) {
+        resampled.set(s, v, data.value(source, v));
+      }
+    }
+    CiTestOptions test_options;
+    test_options.alpha = options.pc.alpha;
+    const DiscreteCiTest test(resampled, test_options);
+    const SkeletonResult result = learn_skeleton(n, test, options.pc);
+    for (const auto& [u, v] : result.graph.edges()) {
+      strengths.record_edge(u, v);
+    }
+  }
+  return strengths;
+}
+
+}  // namespace fastbns

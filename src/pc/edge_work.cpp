@@ -1,0 +1,164 @@
+#include "pc/edge_work.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace fastbns {
+namespace {
+
+void snapshot_candidates(const UndirectedGraph& graph, VarId v, VarId excluded,
+                         std::vector<VarId>& out) {
+  graph.neighbors_into(v, out);
+  const auto it = std::find(out.begin(), out.end(), excluded);
+  if (it != out.end()) out.erase(it);
+}
+
+}  // namespace
+
+std::vector<EdgeWork> build_depth_works(const UndirectedGraph& graph,
+                                        std::int32_t depth,
+                                        bool group_endpoints) {
+  std::vector<EdgeWork> works;
+  const auto edges = graph.edges();
+  works.reserve(group_endpoints ? edges.size() : 2 * edges.size());
+
+  for (const auto& [u, v] : edges) {
+    EdgeWork forward;
+    forward.x = u;
+    forward.y = v;
+    snapshot_candidates(graph, u, v, forward.candidates1);
+    if (depth == 0) {
+      // Single marginal test I(u, v | {}) per edge regardless of grouping
+      // for the grouped engines; the ungrouped classic runs it once per
+      // direction.
+      forward.total1 = 1;
+      forward.candidates1.clear();
+      if (group_endpoints) {
+        works.push_back(std::move(forward));
+      } else {
+        works.push_back(forward);
+        EdgeWork backward = forward;
+        backward.x = v;
+        backward.y = u;
+        works.push_back(std::move(backward));
+      }
+      continue;
+    }
+
+    forward.total1 = binomial(
+        static_cast<std::int64_t>(forward.candidates1.size()), depth);
+    if (group_endpoints) {
+      snapshot_candidates(graph, v, u, forward.candidates2);
+      forward.total2 = binomial(
+          static_cast<std::int64_t>(forward.candidates2.size()), depth);
+      works.push_back(std::move(forward));
+    } else {
+      EdgeWork backward;
+      backward.x = v;
+      backward.y = u;
+      snapshot_candidates(graph, v, u, backward.candidates1);
+      backward.total1 = binomial(
+          static_cast<std::int64_t>(backward.candidates1.size()), depth);
+      works.push_back(std::move(forward));
+      works.push_back(std::move(backward));
+    }
+  }
+  return works;
+}
+
+void conditioning_set_for(const EdgeWork& work, std::int32_t depth,
+                          std::uint64_t r, std::vector<VarId>& z_out) {
+  z_out.resize(static_cast<std::size_t>(depth));
+  if (depth == 0) return;
+  std::array<std::int32_t, 32> indices{};
+  assert(depth <= static_cast<std::int32_t>(indices.size()));
+  const std::span<std::int32_t> index_span(indices.data(),
+                                           static_cast<std::size_t>(depth));
+  const std::vector<VarId>* pool = nullptr;
+  if (r < work.total1) {
+    pool = &work.candidates1;
+    unrank_combination(static_cast<std::int32_t>(work.candidates1.size()),
+                       depth, r, index_span);
+  } else {
+    pool = &work.candidates2;
+    unrank_combination(static_cast<std::int32_t>(work.candidates2.size()),
+                       depth, r - work.total1, index_span);
+  }
+  for (std::int32_t i = 0; i < depth; ++i) {
+    z_out[i] = (*pool)[indices[i]];
+  }
+}
+
+namespace {
+
+template <bool kEarlyStop>
+std::int64_t process_impl(EdgeWork& work, std::int32_t depth,
+                          std::uint64_t max_tests, CiTest& test,
+                          bool use_group_protocol) {
+  if (work.finished() || max_tests == 0) return 0;
+  if (use_group_protocol) test.begin_group(work.x, work.y);
+
+  const std::uint64_t total = work.total_tests();
+  const std::uint64_t end = std::min<std::uint64_t>(
+      total, work.progress + max_tests);
+
+  std::int64_t executed = 0;
+  std::vector<VarId> z;
+  bool found = false;
+  for (std::uint64_t r = work.progress; r < end; ++r) {
+    conditioning_set_for(work, depth, r, z);
+    const CiResult result = use_group_protocol
+                                ? test.test_in_group(z)
+                                : test.test(work.x, work.y, z);
+    ++executed;
+    if (result.independent && !found) {
+      // Lowest-rank accepting set defines the sepset (determinism across
+      // engines and thread counts).
+      found = true;
+      work.removed = true;
+      work.sepset = z;
+      if constexpr (kEarlyStop) break;
+    }
+  }
+  work.progress = end;
+  return executed;
+}
+
+}  // namespace
+
+std::int64_t process_work_tests(EdgeWork& work, std::int32_t depth,
+                                std::uint64_t max_tests, CiTest& test,
+                                bool use_group_protocol) {
+  return process_impl<false>(work, depth, max_tests, test, use_group_protocol);
+}
+
+std::int64_t process_work_tests_early_stop(EdgeWork& work, std::int32_t depth,
+                                           std::uint64_t max_tests,
+                                           CiTest& test,
+                                           bool use_group_protocol) {
+  return process_impl<true>(work, depth, max_tests, test, use_group_protocol);
+}
+
+std::vector<VarId> materialize_conditioning_sets(const EdgeWork& work,
+                                                 std::int32_t depth,
+                                                 std::uint64_t limit) {
+  const std::uint64_t total = work.total_tests();
+  if (total > limit) {
+    throw std::runtime_error(
+        "materialize_conditioning_sets: conditioning-set table exceeds limit; "
+        "use the on-the-fly engines for this problem size");
+  }
+  std::vector<VarId> flat;
+  flat.reserve(static_cast<std::size_t>(total) *
+               static_cast<std::size_t>(depth));
+  std::vector<VarId> z;
+  for (std::uint64_t r = 0; r < total; ++r) {
+    conditioning_set_for(work, depth, r, z);
+    flat.insert(flat.end(), z.begin(), z.end());
+  }
+  return flat;
+}
+
+}  // namespace fastbns

@@ -1,0 +1,82 @@
+// Per-depth work units of skeleton discovery.
+//
+// An EdgeWork is one entry of the dynamic work pool: the edge's endpoints,
+// the depth-snapshot candidate pools of its two directions, how many CI
+// tests it has in total, and a progress cursor `r`. Conditioning sets are
+// recovered from `r` by lexicographic unranking — the pool itself stores
+// no set indices (Section IV-C, "generating conditioning sets on-the-fly").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "combinatorics/combination.hpp"
+#include "common/types.hpp"
+#include "graph/undirected_graph.hpp"
+#include "pc/pc_options.hpp"
+#include "stats/ci_test.hpp"
+
+namespace fastbns {
+
+struct EdgeWork {
+  VarId x = kInvalidVar;  ///< first endpoint (the tested ordered direction)
+  VarId y = kInvalidVar;  ///< second endpoint
+  /// Snapshot candidates adj(x)\{y}; ascending.
+  std::vector<VarId> candidates1;
+  /// Snapshot candidates adj(y)\{x}; ascending. Empty for ungrouped works.
+  std::vector<VarId> candidates2;
+  std::uint64_t total1 = 0;  ///< C(|candidates1|, d)
+  std::uint64_t total2 = 0;  ///< C(|candidates2|, d); 0 when ungrouped
+  std::uint64_t progress = 0;  ///< next CI-test rank r
+
+  // Outcome slots — written by exactly one thread (the current holder).
+  bool removed = false;
+  std::vector<VarId> sepset;
+
+  [[nodiscard]] std::uint64_t total_tests() const noexcept {
+    return total1 + total2;
+  }
+  [[nodiscard]] bool finished() const noexcept {
+    return removed || progress >= total_tests();
+  }
+};
+
+/// Builds the works of depth `d` from the current graph snapshot.
+/// Grouped: one work per undirected edge covering both directions.
+/// Ungrouped: two works per edge, (x, y) then (y, x), direction-1 only —
+/// the classic PC-stable ordered-pair traversal.
+/// Depth 0 is special-cased to a single marginal test per work (grouped)
+/// per the paper's Section IV-B.
+[[nodiscard]] std::vector<EdgeWork> build_depth_works(
+    const UndirectedGraph& graph, std::int32_t depth, bool group_endpoints);
+
+/// Reconstructs the conditioning set of test rank `r` of `work` at depth
+/// `d` into `z_out` (ascending variable ids).
+void conditioning_set_for(const EdgeWork& work, std::int32_t depth,
+                          std::uint64_t r, std::vector<VarId>& z_out);
+
+/// Runs up to `max_tests` CI tests of `work` starting at its progress
+/// cursor, in canonical rank order, using `test` via the group protocol
+/// (`use_group_protocol`) or plain test() calls. Implements the paper's
+/// group decision rule: if any test in the batch accepts independence, the
+/// work is marked removed with the *lowest-rank* accepting set; every test
+/// of the batch is still executed (the gs redundancy of Section IV-B).
+/// Returns the number of CI tests executed.
+std::int64_t process_work_tests(EdgeWork& work, std::int32_t depth,
+                                std::uint64_t max_tests, CiTest& test,
+                                bool use_group_protocol);
+
+/// Like process_work_tests but stops immediately at the first accepting
+/// test (sequential engines, where no batch redundancy exists).
+std::int64_t process_work_tests_early_stop(EdgeWork& work, std::int32_t depth,
+                                           std::uint64_t max_tests, CiTest& test,
+                                           bool use_group_protocol);
+
+/// Materializes all conditioning sets of `work` (flattened, each of size
+/// `depth`) — the naive baseline's memory-hungry strategy. Throws
+/// std::runtime_error beyond `limit` sets.
+[[nodiscard]] std::vector<VarId> materialize_conditioning_sets(
+    const EdgeWork& work, std::int32_t depth,
+    std::uint64_t limit = std::uint64_t{1} << 27);
+
+}  // namespace fastbns

@@ -1,0 +1,46 @@
+#include "pc/orientation.hpp"
+
+namespace fastbns {
+
+std::int64_t orient_v_structures(Pdag& pdag, const SepsetStore& sepsets) {
+  const VarId n = pdag.num_nodes();
+  std::int64_t count = 0;
+  for (VarId z = 0; z < n; ++z) {
+    const std::vector<VarId> adjacent = pdag.adjacent_nodes(z);
+    for (std::size_t i = 0; i < adjacent.size(); ++i) {
+      for (std::size_t j = i + 1; j < adjacent.size(); ++j) {
+        const VarId x = adjacent[i];
+        const VarId y = adjacent[j];
+        if (pdag.adjacent(x, y)) continue;           // shielded
+        if (sepsets.separates_with(x, y, z)) continue;  // z explains x ⫫ y
+        // x -> z <- y; only orient arms that are still undirected so an
+        // earlier collider (canonical order) is never overwritten.
+        bool oriented = false;
+        if (pdag.has_undirected(x, z)) {
+          pdag.orient(x, z);
+          oriented = true;
+        }
+        if (pdag.has_undirected(y, z)) {
+          pdag.orient(y, z);
+          oriented = true;
+        }
+        if (oriented) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+Pdag orient_skeleton(const UndirectedGraph& skeleton,
+                     const SepsetStore& sepsets, OrientationStats* stats) {
+  Pdag pdag = Pdag::from_skeleton(skeleton);
+  const std::int64_t v_structures = orient_v_structures(pdag, sepsets);
+  const MeekStats meek = apply_meek_rules(pdag);
+  if (stats != nullptr) {
+    stats->v_structures = v_structures;
+    stats->meek = meek;
+  }
+  return pdag;
+}
+
+}  // namespace fastbns

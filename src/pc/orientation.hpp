@@ -1,0 +1,29 @@
+// Phases two and three of PC-stable: v-structure identification from the
+// separating sets, then the Meek-rule closure. Fast (single-digit percent
+// of runtime per the paper), so implemented sequentially.
+#pragma once
+
+#include "graph/meek_rules.hpp"
+#include "graph/pdag.hpp"
+#include "graph/undirected_graph.hpp"
+#include "pc/sepset.hpp"
+
+namespace fastbns {
+
+struct OrientationStats {
+  std::int64_t v_structures = 0;
+  MeekStats meek;
+};
+
+/// Orients every unshielded triple x - z - y (x, y nonadjacent) into the
+/// collider x -> z <- y whenever z is absent from SepSet(x, y); edges
+/// already oriented by an earlier (canonical-order) collider are left
+/// untouched on conflict.
+std::int64_t orient_v_structures(Pdag& pdag, const SepsetStore& sepsets);
+
+/// Full orientation phase: v-structures, then Meek rules to fixpoint.
+[[nodiscard]] Pdag orient_skeleton(const UndirectedGraph& skeleton,
+                                   const SepsetStore& sepsets,
+                                   OrientationStats* stats = nullptr);
+
+}  // namespace fastbns

@@ -1,0 +1,55 @@
+// Configuration of the PC-stable skeleton engines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fastbns {
+
+/// The five skeleton engines of the evaluation.
+enum class EngineKind : std::uint8_t {
+  /// bnlearn-like baseline: ordered edge directions processed separately,
+  /// conditioning sets materialized ahead of time, no endpoint-code reuse.
+  kNaiveSequential,
+  /// Fast-BNS-seq: endpoint grouping + on-the-fly sets + group code reuse.
+  kFastSequential,
+  /// Edge-level parallelism (Section IV-A): static edge partition per depth
+  /// over the optimized kernel.
+  kEdgeParallel,
+  /// Sample-level parallelism (Section IV-A): sequential edge loop, each
+  /// contingency table built by all threads with atomics. Requires a CI
+  /// test configured with sample_parallel = true to actually parallelize.
+  kSampleParallel,
+  /// Fast-BNS-par (Section IV-B): CI-level parallelism with the dynamic
+  /// work pool.
+  kCiParallel,
+};
+
+[[nodiscard]] std::string to_string(EngineKind kind);
+
+struct PcOptions {
+  EngineKind engine = EngineKind::kCiParallel;
+  /// OpenMP threads for parallel engines; 0 keeps the runtime default.
+  int num_threads = 0;
+  /// gs — CI tests a thread runs per work-pool hold (kCiParallel only).
+  std::int32_t group_size = 1;
+  /// Cap on conditioning-set size; -1 runs to the natural PC-stable stop.
+  std::int32_t max_depth = -1;
+  /// Ablation toggle: treat Vi-Vj / Vj-Vi as one work unit (Section IV-C).
+  /// Forced off by kNaiveSequential.
+  bool group_endpoints = true;
+  /// Ablation toggle: unrank conditioning sets on demand instead of
+  /// materializing them per edge. Forced off by kNaiveSequential.
+  bool on_the_fly_sets = true;
+  /// Extension beyond the paper (kCiParallel only): stop a gs-group at its
+  /// first accepting CI test instead of completing the batch. Produces the
+  /// identical skeleton and sepsets (tests run in canonical order either
+  /// way) while eliminating the redundant tests the paper's Figure 4
+  /// measures; defaults to the paper's batch-atomic semantics.
+  bool eager_group_stop = false;
+  /// Significance level used by the learn_structure() convenience wrapper
+  /// when it constructs the G^2 test.
+  double alpha = 0.05;
+};
+
+}  // namespace fastbns

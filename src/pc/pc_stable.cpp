@@ -1,0 +1,29 @@
+#include "pc/pc_stable.hpp"
+
+#include "common/timer.hpp"
+#include "stats/discrete_ci_test.hpp"
+
+namespace fastbns {
+
+PcStableResult pc_stable(VarId num_nodes, const CiTest& prototype,
+                         const PcOptions& options) {
+  const WallTimer timer;
+  PcStableResult result;
+  result.skeleton = learn_skeleton(num_nodes, prototype, options);
+  result.cpdag = orient_skeleton(result.skeleton.graph, result.skeleton.sepsets,
+                                 &result.orientation);
+  result.total_seconds = timer.seconds();
+  return result;
+}
+
+PcStableResult learn_structure(const DiscreteDataset& data,
+                               const PcOptions& options) {
+  CiTestOptions test_options;
+  test_options.alpha = options.alpha;
+  test_options.sample_parallel =
+      options.engine == EngineKind::kSampleParallel;
+  const DiscreteCiTest test(data, test_options);
+  return pc_stable(data.num_vars(), test, options);
+}
+
+}  // namespace fastbns

@@ -1,0 +1,39 @@
+// End-to-end PC-stable: the library's main entry point.
+//
+//   DiscreteDataset data = ...;                 // or any CiTest
+//   PcOptions options;                          // engine, threads, gs, alpha
+//   PcStableResult result = learn_structure(data, options);
+//   result.cpdag;                               // the learned pattern
+//
+// All engines produce the identical CPDAG (PC-stable is order-independent
+// and the engines share one canonical test order); they differ only in
+// speed — which is the entire subject of the paper.
+#pragma once
+
+#include "dataset/discrete_dataset.hpp"
+#include "graph/pdag.hpp"
+#include "pc/orientation.hpp"
+#include "pc/pc_options.hpp"
+#include "pc/skeleton.hpp"
+
+namespace fastbns {
+
+struct PcStableResult {
+  Pdag cpdag{0};
+  SkeletonResult skeleton;
+  OrientationStats orientation;
+  double total_seconds = 0.0;
+};
+
+/// Runs the full pipeline with an arbitrary CI test (statistical or
+/// oracle). `prototype` is cloned per thread by parallel engines.
+[[nodiscard]] PcStableResult pc_stable(VarId num_nodes, const CiTest& prototype,
+                                       const PcOptions& options);
+
+/// Convenience wrapper: G^2 test with options.alpha on a column-major
+/// dataset (sample-parallel contingency builds when the engine is
+/// kSampleParallel).
+[[nodiscard]] PcStableResult learn_structure(const DiscreteDataset& data,
+                                             const PcOptions& options = {});
+
+}  // namespace fastbns

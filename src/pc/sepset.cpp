@@ -1,0 +1,29 @@
+#include "pc/sepset.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fastbns {
+
+std::uint64_t SepsetStore::key(VarId x, VarId y) noexcept {
+  const auto lo = static_cast<std::uint64_t>(std::min(x, y));
+  const auto hi = static_cast<std::uint64_t>(std::max(x, y));
+  return (hi << 32) | lo;
+}
+
+void SepsetStore::set(VarId x, VarId y, std::vector<VarId> sepset) {
+  map_.try_emplace(key(x, y), std::move(sepset));
+}
+
+const std::vector<VarId>* SepsetStore::find(VarId x, VarId y) const {
+  const auto it = map_.find(key(x, y));
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+bool SepsetStore::separates_with(VarId x, VarId y, VarId v) const {
+  const std::vector<VarId>* sepset = find(x, y);
+  if (sepset == nullptr) return false;
+  return std::find(sepset->begin(), sepset->end(), v) != sepset->end();
+}
+
+}  // namespace fastbns

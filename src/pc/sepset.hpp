@@ -1,0 +1,33 @@
+// Separating-set storage: SepSet(Vi, Vj) from Algorithm 1, consumed by the
+// v-structure phase.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastbns {
+
+class SepsetStore {
+ public:
+  /// Records the separating set of the unordered pair {x, y}; keeps the
+  /// first recorded set if called twice (engines commit in canonical order,
+  /// so this pins sepsets to the lexicographically first accepting test).
+  void set(VarId x, VarId y, std::vector<VarId> sepset);
+
+  /// nullptr when the pair was never separated.
+  [[nodiscard]] const std::vector<VarId>* find(VarId x, VarId y) const;
+
+  /// True iff the pair has a sepset and it contains v.
+  [[nodiscard]] bool separates_with(VarId x, VarId y, VarId v) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  [[nodiscard]] static std::uint64_t key(VarId x, VarId y) noexcept;
+  std::unordered_map<std::uint64_t, std::vector<VarId>> map_;
+};
+
+}  // namespace fastbns

@@ -1,0 +1,195 @@
+#include "pc/skeleton.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/omp_utils.hpp"
+#include "common/timer.hpp"
+
+namespace fastbns {
+namespace {
+
+/// Hard cap tied to the fixed-size index buffers in edge_work.cpp; no
+/// realistic dataset supports conditioning sets anywhere near this deep.
+constexpr std::int32_t kDepthLimit = 31;
+
+void commit_depth(std::vector<EdgeWork>& works, UndirectedGraph& graph,
+                  SepsetStore& sepsets, DepthStats& stats) {
+  for (auto& work : works) {
+    if (!work.removed) continue;
+    if (graph.remove_edge(work.x, work.y)) {
+      ++stats.edges_removed;
+    }
+    // try_emplace semantics keep the first commit: for ungrouped works the
+    // (x, y) direction precedes (y, x), pinning the canonical sepset.
+    sepsets.set(work.x, work.y, std::move(work.sepset));
+  }
+}
+
+/// Materialized-set inner loop: conditioning sets are enumerated into a
+/// flat buffer before any test runs (extra memory + an extra enumeration
+/// pass — the strategy the paper's on-the-fly generation replaces). The
+/// naive baseline additionally recomputes the endpoint codes on every test
+/// (use_group_protocol = false).
+std::int64_t process_materialized(EdgeWork& work, std::int32_t depth,
+                                  CiTest& test, bool use_group_protocol) {
+  std::int64_t executed = 0;
+  if (use_group_protocol) test.begin_group(work.x, work.y);
+  if (depth == 0) {
+    const std::vector<VarId> empty_set;
+    const CiResult result = use_group_protocol
+                                ? test.test_in_group(empty_set)
+                                : test.test(work.x, work.y, empty_set);
+    ++executed;
+    if (result.independent) {
+      work.removed = true;
+      work.sepset.clear();
+    }
+    work.progress = 1;
+    return executed;
+  }
+  const std::vector<VarId> flat = materialize_conditioning_sets(work, depth);
+  const std::uint64_t total = work.total_tests();
+  std::vector<VarId> z(static_cast<std::size_t>(depth));
+  for (std::uint64_t r = 0; r < total; ++r) {
+    const VarId* begin = flat.data() + r * static_cast<std::uint64_t>(depth);
+    std::copy(begin, begin + depth, z.begin());
+    const CiResult result = use_group_protocol
+                                ? test.test_in_group(z)
+                                : test.test(work.x, work.y, z);
+    ++executed;
+    if (result.independent) {
+      work.removed = true;
+      work.sepset = z;
+      break;
+    }
+  }
+  work.progress = total;
+  return executed;
+}
+
+std::int64_t run_sequential_depth(std::vector<EdgeWork>& works,
+                                  std::int32_t depth, CiTest& test,
+                                  const PcOptions& options) {
+  const bool naive = options.engine == EngineKind::kNaiveSequential;
+  const bool grouped = options.group_endpoints && !naive;
+  const bool materialized = naive || !options.on_the_fly_sets;
+  std::int64_t tests = 0;
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    EdgeWork& work = works[i];
+    if (work.total_tests() == 0) continue;
+    // Classic sequential PC-stable skips the (y, x) direction when the
+    // (x, y) direction already removed the edge within this depth.
+    if (!grouped && (i % 2 == 1) && works[i - 1].removed) continue;
+    if (materialized) {
+      tests += process_materialized(work, depth, test,
+                                    /*use_group_protocol=*/!naive);
+    } else {
+      tests += process_work_tests_early_stop(
+          work, depth, work.total_tests(), test, /*use_group_protocol=*/true);
+    }
+  }
+  return tests;
+}
+
+std::int64_t run_edge_parallel_depth(std::vector<EdgeWork>& works,
+                                     std::int32_t depth,
+                                     const CiTest& prototype) {
+  const int max_threads = hardware_threads();
+  std::vector<std::unique_ptr<CiTest>> clones;
+  clones.reserve(static_cast<std::size_t>(max_threads));
+  for (int t = 0; t < max_threads; ++t) clones.push_back(prototype.clone());
+
+  std::int64_t tests = 0;
+  // schedule(static) deliberately mirrors the paper's |Ed|/t block
+  // partition — the load imbalance it exhibits is the phenomenon the
+  // CI-level engine fixes.
+#pragma omp parallel for schedule(static) reduction(+ : tests)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(works.size()); ++i) {
+    EdgeWork& work = works[i];
+    if (work.total_tests() == 0) continue;
+    CiTest& test = *clones[current_thread()];
+    tests += process_work_tests_early_stop(work, depth, work.total_tests(),
+                                           test, /*use_group_protocol=*/true);
+  }
+  return tests;
+}
+
+}  // namespace
+
+SkeletonResult learn_skeleton(VarId num_nodes, const CiTest& prototype,
+                              const PcOptions& options) {
+  if (options.group_size < 1) {
+    throw std::invalid_argument("PcOptions::group_size must be >= 1");
+  }
+  const ScopedNumThreads thread_guard(options.num_threads);
+  const WallTimer total_timer;
+
+  SkeletonResult result;
+  result.graph = UndirectedGraph::complete(num_nodes);
+
+  const bool grouped =
+      options.group_endpoints && options.engine != EngineKind::kNaiveSequential;
+
+  std::unique_ptr<CiTest> sequential_test;
+  if (options.engine == EngineKind::kNaiveSequential ||
+      options.engine == EngineKind::kFastSequential ||
+      options.engine == EngineKind::kSampleParallel) {
+    sequential_test = prototype.clone();
+  }
+
+  for (std::int32_t depth = 0; depth <= kDepthLimit; ++depth) {
+    if (options.max_depth >= 0 && depth > options.max_depth) break;
+    if (result.graph.num_edges() == 0) break;
+
+    std::vector<EdgeWork> works =
+        build_depth_works(result.graph, depth, grouped);
+    const bool any_tests =
+        std::any_of(works.begin(), works.end(),
+                    [](const EdgeWork& w) { return w.total_tests() > 0; });
+    if (!any_tests) break;  // Algorithm 1 line 20: every pool is below depth
+
+    DepthStats stats;
+    stats.depth = depth;
+    stats.edges_at_start = result.graph.num_edges();
+    const WallTimer depth_timer;
+
+    switch (options.engine) {
+      case EngineKind::kNaiveSequential:
+      case EngineKind::kFastSequential:
+      case EngineKind::kSampleParallel:
+        stats.ci_tests =
+            run_sequential_depth(works, depth, *sequential_test, options);
+        break;
+      case EngineKind::kEdgeParallel:
+        stats.ci_tests = run_edge_parallel_depth(works, depth, prototype);
+        break;
+      case EngineKind::kCiParallel:
+        stats.ci_tests =
+            detail::run_ci_parallel_depth(works, depth, prototype, options);
+        break;
+    }
+
+    commit_depth(works, result.graph, result.sepsets, stats);
+    stats.seconds = depth_timer.seconds();
+    result.total_ci_tests += stats.ci_tests;
+    result.max_depth_reached = depth;
+    result.depth_stats.push_back(stats);
+  }
+
+  result.seconds = total_timer.seconds();
+  return result;
+}
+
+std::string to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNaiveSequential: return "naive-seq";
+    case EngineKind::kFastSequential: return "fastbns-seq";
+    case EngineKind::kEdgeParallel: return "edge-parallel";
+    case EngineKind::kSampleParallel: return "sample-parallel";
+    case EngineKind::kCiParallel: return "fastbns-par(ci-level)";
+  }
+  return "unknown";
+}
+
+}  // namespace fastbns

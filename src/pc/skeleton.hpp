@@ -1,0 +1,56 @@
+// Skeleton discovery (the first — and by far dominant — step of
+// PC-stable, Algorithm 1), generic over the CI test and the execution
+// engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/undirected_graph.hpp"
+#include "pc/edge_work.hpp"
+#include "pc/pc_options.hpp"
+#include "pc/sepset.hpp"
+#include "stats/ci_test.hpp"
+
+namespace fastbns {
+
+struct DepthStats {
+  std::int32_t depth = 0;
+  std::int64_t edges_at_start = 0;
+  std::int64_t edges_removed = 0;
+  std::int64_t ci_tests = 0;
+  double seconds = 0.0;
+
+  /// rho_d of Section IV-D: fraction of the depth's edges deleted.
+  [[nodiscard]] double deletion_ratio() const noexcept {
+    return edges_at_start == 0
+               ? 0.0
+               : static_cast<double>(edges_removed) /
+                     static_cast<double>(edges_at_start);
+  }
+};
+
+struct SkeletonResult {
+  UndirectedGraph graph{0};
+  SepsetStore sepsets;
+  std::vector<DepthStats> depth_stats;
+  std::int64_t total_ci_tests = 0;
+  std::int32_t max_depth_reached = -1;
+  double seconds = 0.0;
+};
+
+/// Runs Algorithm 1 from the complete graph over `num_nodes` nodes.
+/// `prototype` is cloned once per worker thread; it must answer
+/// I(x, y | z) for any x, y < num_nodes.
+[[nodiscard]] SkeletonResult learn_skeleton(VarId num_nodes,
+                                            const CiTest& prototype,
+                                            const PcOptions& options);
+
+namespace detail {
+/// CI-level engine for one depth (implemented in skeleton_ci_parallel.cpp).
+std::int64_t run_ci_parallel_depth(std::vector<EdgeWork>& works,
+                                   std::int32_t depth, const CiTest& prototype,
+                                   const PcOptions& options);
+}  // namespace detail
+
+}  // namespace fastbns

@@ -1,0 +1,75 @@
+#include "perfmodel/speedup_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "combinatorics/binomial.hpp"
+
+namespace fastbns {
+
+double ci_level_speedup(const CiLevelModelParams& params) {
+  if (params.threads < 1 || params.edges <= 0) {
+    throw std::invalid_argument("ci_level_speedup: bad parameters");
+  }
+  // Per-edge CI tests with homogeneous degree a: C(a,d) + C(a,d).
+  const double per_edge =
+      2.0 * static_cast<double>(
+                binomial(static_cast<std::int64_t>(params.mean_degree),
+                         params.depth));
+  const double edges_per_thread =
+      static_cast<double>(params.edges) / params.threads;
+  // Equation (1): slowest thread processes |Ed|/t full edges.
+  const double t1 = edges_per_thread * per_edge;
+  // Equation (2): all tests spread over t threads; the other (t-1)|Ed|/t
+  // edges stop after their first (accepting) CI test.
+  const double t2 = (edges_per_thread * per_edge +
+                     (params.threads - 1) * edges_per_thread) /
+                    params.threads;
+  return t1 / t2;
+}
+
+double grouping_speedup(double deletion_ratio) {
+  if (deletion_ratio < 0.0 || deletion_ratio > 1.0) {
+    throw std::invalid_argument("grouping_speedup: rho must be in [0, 1]");
+  }
+  return 2.0 / (2.0 - deletion_ratio);
+}
+
+double cache_speedup(const CacheModelParams& params) {
+  if (params.cache_line_bytes <= 0.0 || params.value_bytes <= 0.0 ||
+      params.dram_to_cache_ratio <= 0.0) {
+    throw std::invalid_argument("cache_speedup: bad parameters");
+  }
+  const double vars_touched = params.depth + 2.0;
+  const double samples_per_line =
+      params.cache_line_bytes / params.value_bytes;
+  // In units of T_cache, with T_DRAM = ratio * T_cache:
+  // T3 = T_DRAM * (d+2) * B/4            (every access misses)
+  // T4 = T_DRAM * (d+2) + T_cache * (d+2) * (B/4 - 1)
+  const double t3 =
+      params.dram_to_cache_ratio * vars_touched * samples_per_line;
+  const double t4 = params.dram_to_cache_ratio * vars_touched +
+                    vars_touched * (samples_per_line - 1.0);
+  return t3 / t4;
+}
+
+double overall_speedup(const OverallModelParams& params) {
+  return ci_level_speedup(params.ci) * grouping_speedup(params.deletion_ratio) *
+         cache_speedup(params.cache);
+}
+
+OverallModelParams paper_example_params() {
+  OverallModelParams params;
+  params.ci.edges = 1200;
+  params.ci.mean_degree = 10.0;
+  params.ci.depth = 2;
+  params.ci.threads = 4;
+  params.deletion_ratio = 0.6;  // 1200 -> 480 edges
+  params.cache.depth = 2;
+  params.cache.cache_line_bytes = 64.0;
+  params.cache.value_bytes = 4.0;
+  params.cache.dram_to_cache_ratio = 8.0;
+  return params;
+}
+
+}  // namespace fastbns

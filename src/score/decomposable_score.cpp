@@ -1,0 +1,125 @@
+#include "score/decomposable_score.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "stats/special_functions.hpp"
+
+namespace fastbns {
+namespace {
+
+std::string cache_key(VarId variable, const std::vector<VarId>& parents) {
+  std::string key;
+  key.reserve(4 + parents.size() * 4);
+  auto append = [&key](VarId v) {
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  append(variable);
+  for (const VarId parent : parents) append(parent);
+  return key;
+}
+
+}  // namespace
+
+DecomposableScore::DecomposableScore(const DiscreteDataset& data,
+                                     ScoreOptions options)
+    : data_(&data), options_(options) {}
+
+double DecomposableScore::local_score(VarId variable,
+                                      const std::vector<VarId>& parents) {
+  const std::string key = cache_key(variable, parents);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const double score = compute(variable, parents);
+  cache_.emplace(key, score);
+  return score;
+}
+
+double DecomposableScore::total_score(
+    const std::vector<std::vector<VarId>>& parent_sets) {
+  double total = 0.0;
+  for (VarId v = 0; v < static_cast<VarId>(parent_sets.size()); ++v) {
+    total += local_score(v, parent_sets[v]);
+  }
+  return total;
+}
+
+double DecomposableScore::compute(VarId variable,
+                                  const std::vector<VarId>& parents) const {
+  const Count m = data_->num_samples();
+  const auto card = static_cast<std::size_t>(data_->cardinality(variable));
+
+  // Joint counts N[config][state] over the parent configurations.
+  std::size_t configs = 1;
+  for (const VarId parent : parents) {
+    configs *= static_cast<std::size_t>(data_->cardinality(parent));
+  }
+  std::vector<Count> counts(configs * card, 0);
+  std::vector<Count> config_totals(configs, 0);
+
+  const DataValue* child_column = data_->column(variable).data();
+  std::vector<const DataValue*> parent_columns;
+  parent_columns.reserve(parents.size());
+  for (const VarId parent : parents) {
+    parent_columns.push_back(data_->column(parent).data());
+  }
+  for (Count s = 0; s < m; ++s) {
+    std::size_t config = 0;
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      config = config * static_cast<std::size_t>(
+                            data_->cardinality(parents[i])) +
+               parent_columns[i][s];
+    }
+    ++counts[config * card + child_column[s]];
+    ++config_totals[config];
+  }
+
+  if (options_.kind == ScoreKind::kBdeu) {
+    // BDeu: sum over configs of
+    //   lgamma(a_j) - lgamma(a_j + N_j)
+    //   + sum over states of lgamma(a_jk + N_jk) - lgamma(a_jk)
+    // with a_j = ess / configs and a_jk = ess / (configs * card).
+    const double alpha_config = options_.ess / static_cast<double>(configs);
+    const double alpha_cell =
+        options_.ess / (static_cast<double>(configs) * static_cast<double>(card));
+    double score = 0.0;
+    for (std::size_t config = 0; config < configs; ++config) {
+      if (config_totals[config] == 0) continue;
+      score += log_gamma(alpha_config) -
+               log_gamma(alpha_config + static_cast<double>(config_totals[config]));
+      for (std::size_t state = 0; state < card; ++state) {
+        const Count n = counts[config * card + state];
+        if (n == 0) continue;
+        score += log_gamma(alpha_cell + static_cast<double>(n)) -
+                 log_gamma(alpha_cell);
+      }
+    }
+    return score;
+  }
+
+  // Maximized log-likelihood: sum N_jk log(N_jk / N_j).
+  double log_likelihood = 0.0;
+  for (std::size_t config = 0; config < configs; ++config) {
+    if (config_totals[config] == 0) continue;
+    for (std::size_t state = 0; state < card; ++state) {
+      const Count n = counts[config * card + state];
+      if (n == 0) continue;
+      log_likelihood += static_cast<double>(n) *
+                        std::log(static_cast<double>(n) /
+                                 static_cast<double>(config_totals[config]));
+    }
+  }
+  if (options_.kind == ScoreKind::kLogLikelihood) return log_likelihood;
+
+  // BIC penalty: (log m / 2) * (card - 1) * configs.
+  const double parameters =
+      static_cast<double>(card - 1) * static_cast<double>(configs);
+  return log_likelihood -
+         0.5 * std::log(static_cast<double>(m)) * parameters;
+}
+
+}  // namespace fastbns

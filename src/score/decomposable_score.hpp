@@ -1,0 +1,60 @@
+// Decomposable structure scores for score-based learning.
+//
+// The paper's Related Work contrasts constraint-based learning (its
+// subject) with score-based search over DAGs using BDeu / BIC / MDL. This
+// module implements that other family so the repository can reproduce the
+// comparison qualitatively: local scores are computed from the same
+// column-major dataset, memoized per (variable, parent-set).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/discrete_dataset.hpp"
+
+namespace fastbns {
+
+enum class ScoreKind : std::uint8_t {
+  kLogLikelihood,  ///< maximized log-likelihood (no complexity penalty)
+  kBic,            ///< LL - (log m / 2) * #params  (a.k.a. MDL)
+  kBdeu,           ///< Bayesian Dirichlet equivalent uniform marginal LL
+};
+
+struct ScoreOptions {
+  ScoreKind kind = ScoreKind::kBic;
+  /// BDeu equivalent sample size.
+  double ess = 1.0;
+};
+
+/// Memoizing local-score oracle: score(v | parents) such that the total
+/// network score is the sum of local scores (decomposability).
+class DecomposableScore {
+ public:
+  DecomposableScore(const DiscreteDataset& data, ScoreOptions options);
+
+  /// `parents` must be ascending and exclude `variable`.
+  [[nodiscard]] double local_score(VarId variable,
+                                   const std::vector<VarId>& parents);
+
+  /// Sum of local scores over all families of `parent_sets`, where
+  /// parent_sets[v] lists v's parents.
+  [[nodiscard]] double total_score(
+      const std::vector<std::vector<VarId>>& parent_sets);
+
+  [[nodiscard]] std::int64_t cache_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::int64_t cache_misses() const noexcept { return misses_; }
+
+ private:
+  [[nodiscard]] double compute(VarId variable,
+                               const std::vector<VarId>& parents) const;
+
+  const DiscreteDataset* data_;
+  ScoreOptions options_;
+  std::unordered_map<std::string, double> cache_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace fastbns

@@ -1,0 +1,141 @@
+#include "score/hill_climbing.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+
+namespace fastbns {
+namespace {
+
+enum class OpKind : std::uint8_t { kAdd, kDelete, kReverse };
+
+struct Operation {
+  OpKind kind = OpKind::kAdd;
+  VarId from = kInvalidVar;
+  VarId to = kInvalidVar;
+  double delta = 0.0;
+};
+
+std::vector<VarId> with_parent(const std::vector<VarId>& parents, VarId added) {
+  std::vector<VarId> result = parents;
+  result.insert(std::upper_bound(result.begin(), result.end(), added), added);
+  return result;
+}
+
+std::vector<VarId> without_parent(const std::vector<VarId>& parents,
+                                  VarId removed) {
+  std::vector<VarId> result = parents;
+  result.erase(std::find(result.begin(), result.end(), removed));
+  return result;
+}
+
+}  // namespace
+
+HillClimbingResult hill_climb(const DiscreteDataset& data,
+                              const HillClimbingOptions& options) {
+  const WallTimer timer;
+  const VarId n = data.num_vars();
+  DecomposableScore score(data, options.score);
+
+  HillClimbingResult result;
+  result.dag = Dag(n);
+  std::vector<std::vector<VarId>> parents(static_cast<std::size_t>(n));
+  std::vector<double> family_score(static_cast<std::size_t>(n));
+  for (VarId v = 0; v < n; ++v) {
+    family_score[v] = score.local_score(v, {});
+  }
+
+  for (;;) {
+    if (options.max_iterations > 0 &&
+        result.iterations >= options.max_iterations) {
+      break;
+    }
+    Operation best;
+    best.delta = options.epsilon;
+
+    for (VarId from = 0; from < n; ++from) {
+      for (VarId to = 0; to < n; ++to) {
+        if (from == to) continue;
+        const bool edge_present = result.dag.has_edge(from, to);
+
+        if (!edge_present && !result.dag.has_edge(to, from)) {
+          // Add from -> to.
+          if (static_cast<std::int32_t>(parents[to].size()) >=
+              options.max_parents) {
+            continue;
+          }
+          // Cheap acyclicity test via the DAG's own cycle check: adding
+          // creates a cycle iff `from` is reachable from `to`.
+          if (!result.dag.add_edge(from, to)) continue;  // cycle
+          result.dag.remove_edge(from, to);              // probe only
+          const double delta =
+              score.local_score(to, with_parent(parents[to], from)) -
+              family_score[to];
+          ++result.scored_neighbors;
+          if (delta > best.delta) {
+            best = Operation{OpKind::kAdd, from, to, delta};
+          }
+        } else if (edge_present) {
+          // Delete from -> to.
+          const double delete_delta =
+              score.local_score(to, without_parent(parents[to], from)) -
+              family_score[to];
+          ++result.scored_neighbors;
+          if (delete_delta > best.delta) {
+            best = Operation{OpKind::kDelete, from, to, delete_delta};
+          }
+          // Reverse from -> to (delete + add to->from).
+          if (static_cast<std::int32_t>(parents[from].size()) >=
+              options.max_parents) {
+            continue;
+          }
+          result.dag.remove_edge(from, to);
+          const bool reversible = result.dag.add_edge(to, from);
+          if (reversible) result.dag.remove_edge(to, from);
+          result.dag.add_edge_unchecked(from, to);  // restore
+          if (!reversible) continue;
+          const double reverse_delta =
+              delete_delta +
+              score.local_score(from, with_parent(parents[from], to)) -
+              family_score[from];
+          ++result.scored_neighbors;
+          if (reverse_delta > best.delta) {
+            best = Operation{OpKind::kReverse, from, to, reverse_delta};
+          }
+        }
+      }
+    }
+
+    if (best.from == kInvalidVar) break;  // local optimum
+
+    switch (best.kind) {
+      case OpKind::kAdd:
+        result.dag.add_edge_unchecked(best.from, best.to);
+        parents[best.to] = with_parent(parents[best.to], best.from);
+        family_score[best.to] = score.local_score(best.to, parents[best.to]);
+        break;
+      case OpKind::kDelete:
+        result.dag.remove_edge(best.from, best.to);
+        parents[best.to] = without_parent(parents[best.to], best.from);
+        family_score[best.to] = score.local_score(best.to, parents[best.to]);
+        break;
+      case OpKind::kReverse:
+        result.dag.remove_edge(best.from, best.to);
+        result.dag.add_edge_unchecked(best.to, best.from);
+        parents[best.to] = without_parent(parents[best.to], best.from);
+        parents[best.from] = with_parent(parents[best.from], best.to);
+        family_score[best.to] = score.local_score(best.to, parents[best.to]);
+        family_score[best.from] =
+            score.local_score(best.from, parents[best.from]);
+        break;
+    }
+    ++result.iterations;
+  }
+
+  result.score = 0.0;
+  for (VarId v = 0; v < n; ++v) result.score += family_score[v];
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace fastbns

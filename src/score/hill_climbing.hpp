@@ -1,0 +1,39 @@
+// Greedy hill-climbing structure search — the canonical score-based
+// baseline the paper's Related Work positions Fast-BNS against.
+//
+// Best-improvement search over the add / delete / reverse neighbourhood
+// with decomposability-aware delta scoring (only the affected families are
+// rescored) and an optional tabu window against immediate undo cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/dag.hpp"
+#include "score/decomposable_score.hpp"
+
+namespace fastbns {
+
+struct HillClimbingOptions {
+  ScoreOptions score;
+  /// Parent cap keeps local scores tractable (bnlearn uses a similar cap).
+  std::int32_t max_parents = 5;
+  /// Stop after this many applied operations (0 = unlimited).
+  std::int64_t max_iterations = 0;
+  /// Minimum score gain to accept an operation.
+  double epsilon = 1e-9;
+};
+
+struct HillClimbingResult {
+  Dag dag{0};
+  double score = 0.0;
+  std::int64_t iterations = 0;
+  std::int64_t scored_neighbors = 0;
+  double seconds = 0.0;
+};
+
+/// Learns a DAG maximizing the decomposable score, starting from the
+/// empty graph.
+[[nodiscard]] HillClimbingResult hill_climb(const DiscreteDataset& data,
+                                            const HillClimbingOptions& options = {});
+
+}  // namespace fastbns

@@ -1,0 +1,14 @@
+#include "stats/ci_test.hpp"
+
+namespace fastbns {
+
+void CiTest::begin_group(VarId x, VarId y) {
+  group_x_ = x;
+  group_y_ = y;
+}
+
+CiResult CiTest::test_in_group(std::span<const VarId> z) {
+  return test(group_x_, group_y_, z);
+}
+
+}  // namespace fastbns

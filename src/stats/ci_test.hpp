@@ -1,0 +1,53 @@
+// Conditional-independence test interface.
+//
+// Skeleton engines are generic over the test: statistical tests (G^2,
+// Pearson chi-square, mutual information) run on data, while the
+// d-separation oracle answers from a ground-truth DAG (used to property-
+// test the whole pipeline). Tests are stateful (they own workspaces), so
+// parallel engines give each thread its own clone().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace fastbns {
+
+struct CiResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+  std::int64_t degrees_of_freedom = 0;
+  bool independent = true;
+};
+
+class CiTest {
+ public:
+  virtual ~CiTest() = default;
+
+  /// Tests I(x, y | z). `z` is an ascending list of variable ids.
+  virtual CiResult test(VarId x, VarId y, std::span<const VarId> z) = 0;
+
+  /// Group protocol (the paper's "reuse Vi and Vj across a group of gs CI
+  /// tests"): begin_group fixes the endpoint pair, then test_in_group runs
+  /// one test against it. Default implementation forwards to test().
+  virtual void begin_group(VarId x, VarId y);
+  virtual CiResult test_in_group(std::span<const VarId> z);
+
+  /// Deep copy for per-thread use.
+  [[nodiscard]] virtual std::unique_ptr<CiTest> clone() const = 0;
+
+  /// Number of CI tests this instance executed (Figure 4's y-axis).
+  [[nodiscard]] std::int64_t tests_performed() const noexcept {
+    return tests_performed_;
+  }
+  void reset_counter() noexcept { tests_performed_ = 0; }
+
+ protected:
+  std::int64_t tests_performed_ = 0;
+  VarId group_x_ = kInvalidVar;
+  VarId group_y_ = kInvalidVar;
+};
+
+}  // namespace fastbns

@@ -1,0 +1,92 @@
+// Statistical CI tests on discrete complete data: G^2 (the paper's test),
+// Pearson chi-square, and mutual information.
+//
+// The implementation carries the paper's data-path optimizations:
+//  * column-major streaming of exactly the |S|+2 variables a test touches
+//    (cache-friendly storage, Section IV-C) — with an opt-in row-major
+//    path so benches can ablate the layout choice;
+//  * group protocol reusing the combined (X, Y) value codes across the gs
+//    tests of a work-pool group (Section IV-B, "reuse Vi and Vj");
+//  * workspace reuse: one allocation-free contingency buffer per test
+//    instance (engines clone one instance per thread);
+//  * an optional sample-parallel build (OpenMP + atomics), which exists to
+//    reproduce the paper's *negative* result for sample-level parallelism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dataset/discrete_dataset.hpp"
+#include "stats/ci_test.hpp"
+
+namespace fastbns {
+
+enum class StatisticKind : std::uint8_t {
+  kG2,                 ///< likelihood-ratio G^2 (paper default)
+  kPearsonChiSquare,   ///< Pearson X^2
+  kMutualInformation,  ///< MI; equivalent decision rule via 2*m*MI ~ chi2
+};
+
+enum class DfMode : std::uint8_t {
+  kStandard,  ///< (|X|-1)(|Y|-1) * prod |Z_i|   (pcalg-style)
+  kAdjusted,  ///< per-stratum, dropping empty rows/columns (bnlearn-style)
+};
+
+struct CiTestOptions {
+  double alpha = 0.05;
+  StatisticKind statistic = StatisticKind::kG2;
+  DfMode df_mode = DfMode::kStandard;
+  /// Tests whose contingency table exceeds this many cells are not run;
+  /// the edge is conservatively kept (result: dependent, p = 0).
+  std::size_t max_cells = std::size_t{1} << 24;
+  /// Build the contingency table with a row-major (cache-unfriendly) scan.
+  bool use_row_major = false;
+  /// Parallelize the contingency build over samples (atomics). Emulates
+  /// the sample-level granularity of Section IV-A.
+  bool sample_parallel = false;
+};
+
+class DiscreteCiTest final : public CiTest {
+ public:
+  /// `data` must outlive the test and have the layout(s) the options need.
+  DiscreteCiTest(const DiscreteDataset& data, CiTestOptions options);
+
+  CiResult test(VarId x, VarId y, std::span<const VarId> z) override;
+  void begin_group(VarId x, VarId y) override;
+  CiResult test_in_group(std::span<const VarId> z) override;
+  [[nodiscard]] std::unique_ptr<CiTest> clone() const override;
+
+  [[nodiscard]] const CiTestOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Combined-z cardinality; 0 signals "table too large".
+  [[nodiscard]] std::size_t conditioning_cells(std::span<const VarId> z) const;
+
+  void compute_xy_codes(VarId x, VarId y);
+  void build_table(std::span<const VarId> z, std::size_t cz_total);
+  [[nodiscard]] CiResult evaluate(std::size_t cz_total, Count sample_count) const;
+
+  const DiscreteDataset* data_;
+  CiTestOptions options_;
+  std::int32_t cx_ = 0;  ///< cardinality of current group X
+  std::int32_t cy_ = 0;  ///< cardinality of current group Y
+  /// begin_group memo: with the LIFO work pool a thread frequently pops
+  /// the edge it just pushed back, so consecutive groups of one edge reuse
+  /// the endpoint codes without recomputation. (The plain test() entry
+  /// point deliberately has no memo — it models the unoptimized path.)
+  bool group_codes_valid_ = false;
+
+  std::vector<std::int32_t> xy_codes_;  ///< per sample: x*|Y| + y
+  std::vector<Count> cells_;            ///< N_xyz, laid out [xy][zc]
+  mutable std::vector<Count> margin_xz_;
+  mutable std::vector<Count> margin_yz_;
+  mutable std::vector<Count> margin_z_;
+};
+
+/// Convenience factory matching the paper's default configuration
+/// (G^2, alpha = 0.05, standard df, column-major).
+[[nodiscard]] std::unique_ptr<CiTest> make_g2_test(const DiscreteDataset& data,
+                                                   double alpha = 0.05);
+
+}  // namespace fastbns

@@ -1,0 +1,25 @@
+#include "stats/oracle_test.hpp"
+
+#include <vector>
+
+#include "graph/dseparation.hpp"
+
+namespace fastbns {
+
+CiResult DSeparationOracle::test(VarId x, VarId y, std::span<const VarId> z) {
+  ++tests_performed_;
+  const std::vector<VarId> given(z.begin(), z.end());
+  const bool independent = d_separated(*dag_, x, y, given);
+  CiResult result;
+  result.independent = independent;
+  result.p_value = independent ? 1.0 : 0.0;
+  result.statistic = independent ? 0.0 : 1.0;
+  result.degrees_of_freedom = 0;
+  return result;
+}
+
+std::unique_ptr<CiTest> DSeparationOracle::clone() const {
+  return std::make_unique<DSeparationOracle>(*dag_);
+}
+
+}  // namespace fastbns

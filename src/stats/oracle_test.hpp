@@ -1,0 +1,28 @@
+// Perfect CI test backed by d-separation on a ground-truth DAG.
+//
+// With this oracle, PC-stable must return exactly the CPDAG of the DAG —
+// the strongest end-to-end correctness property the pipeline has. Used
+// throughout the test suite; also handy for studying the algorithmic
+// behaviour (test counts, depth profiles) decoupled from statistics.
+#pragma once
+
+#include <memory>
+
+#include "graph/dag.hpp"
+#include "stats/ci_test.hpp"
+
+namespace fastbns {
+
+class DSeparationOracle final : public CiTest {
+ public:
+  /// `dag` must outlive the oracle.
+  explicit DSeparationOracle(const Dag& dag) : dag_(&dag) {}
+
+  CiResult test(VarId x, VarId y, std::span<const VarId> z) override;
+  [[nodiscard]] std::unique_ptr<CiTest> clone() const override;
+
+ private:
+  const Dag* dag_;
+};
+
+}  // namespace fastbns

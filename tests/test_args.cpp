@@ -1,0 +1,103 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastbns {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("prog", "test parser");
+  parser.add_flag("threads", "thread count", "4");
+  parser.add_flag("alpha", "significance", "0.05");
+  parser.add_flag("names", "comma list", "a,b");
+  parser.add_bool_flag("verbose", "chatty output");
+  return parser;
+}
+
+TEST(ArgParser, DefaultsApplyWithoutArguments) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_EQ(parser.get_int("threads"), 4);
+  EXPECT_DOUBLE_EQ(parser.get_double("alpha"), 0.05);
+  EXPECT_FALSE(parser.get_bool("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--threads=16", "--alpha=0.01"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("threads"), 16);
+  EXPECT_DOUBLE_EQ(parser.get_double("alpha"), 0.01);
+}
+
+TEST(ArgParser, SpaceSyntax) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--threads", "8"};
+  ASSERT_TRUE(parser.parse(3, argv));
+  EXPECT_EQ(parser.get_int("threads"), 8);
+}
+
+TEST(ArgParser, BoolFlagImplicitTrue) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_TRUE(parser.get_bool("verbose"));
+}
+
+TEST(ArgParser, BoolFlagExplicitValue) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_FALSE(parser.get_bool("verbose"));
+}
+
+TEST(ArgParser, UnknownFlagFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, PositionalArgumentFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, MissingValueFails) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--threads"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(parser.parse(2, argv));
+}
+
+TEST(ArgParser, IntListParsing) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--names=1,2,4,8"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_EQ(parser.get_int_list("names"),
+            (std::vector<std::int64_t>{1, 2, 4, 8}));
+}
+
+TEST(ArgParser, StringListParsing) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog", "--names=alarm,hepar2"};
+  ASSERT_TRUE(parser.parse(2, argv));
+  EXPECT_EQ(parser.get_list("names"),
+            (std::vector<std::string>{"alarm", "hepar2"}));
+}
+
+TEST(ArgParser, UndeclaredFlagLookupThrows) {
+  ArgParser parser = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(parser.parse(1, argv));
+  EXPECT_THROW(parser.get("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -1,0 +1,165 @@
+#include "network/bif_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "network/random_network.hpp"
+#include "network/standard_networks.hpp"
+
+namespace fastbns {
+namespace {
+
+constexpr const char* kSprinklerBif = R"(
+// Classic sprinkler network.
+network sprinkler {
+}
+variable Rain {
+  type discrete [ 2 ] { yes, no };
+}
+variable Sprinkler {
+  type discrete [ 2 ] { on, off };
+}
+variable Wet {
+  type discrete [ 2 ] { wet, dry };
+}
+probability ( Rain ) {
+  table 0.2, 0.8;
+}
+probability ( Sprinkler | Rain ) {
+  (yes) 0.01, 0.99;
+  (no) 0.4, 0.6;
+}
+probability ( Wet | Rain, Sprinkler ) {
+  (yes, on) 0.99, 0.01;
+  (yes, off) 0.8, 0.2;
+  (no, on) 0.9, 0.1;
+  (no, off) 0.05, 0.95;
+}
+)";
+
+TEST(BifParser, ParsesSprinkler) {
+  const BayesianNetwork network = parse_bif_string(kSprinklerBif);
+  EXPECT_EQ(network.num_nodes(), 3);
+  EXPECT_EQ(network.num_edges(), 3);
+  const VarId rain = network.index_of("Rain");
+  const VarId sprinkler = network.index_of("Sprinkler");
+  const VarId wet = network.index_of("Wet");
+  EXPECT_TRUE(network.dag().has_edge(rain, sprinkler));
+  EXPECT_TRUE(network.dag().has_edge(rain, wet));
+  EXPECT_TRUE(network.dag().has_edge(sprinkler, wet));
+  EXPECT_TRUE(network.valid());
+}
+
+TEST(BifParser, ProbabilityValuesLandInRightCells) {
+  const BayesianNetwork network = parse_bif_string(kSprinklerBif);
+  const VarId rain = network.index_of("Rain");
+  EXPECT_DOUBLE_EQ(network.cpt(rain).probability(0, 0), 0.2);
+  const VarId wet = network.index_of("Wet");
+  // Wet's parents sorted ascending: {Rain, Sprinkler} (ids 0, 1).
+  // Config (Rain=yes(0), Sprinkler=on(0)) = 0 -> P(wet)=0.99.
+  EXPECT_DOUBLE_EQ(network.cpt(wet).probability(0, 0), 0.99);
+  // Config (Rain=no(1), Sprinkler=off(1)) = 3 -> P(wet)=0.05.
+  EXPECT_DOUBLE_EQ(network.cpt(wet).probability(3, 0), 0.05);
+}
+
+TEST(BifParser, StateNamesPreserved) {
+  const BayesianNetwork network = parse_bif_string(kSprinklerBif);
+  const Variable& rain = network.variable(network.index_of("Rain"));
+  ASSERT_EQ(rain.states.size(), 2u);
+  EXPECT_EQ(rain.states[0], "yes");
+  EXPECT_EQ(rain.state_name(1), "no");
+}
+
+TEST(BifParser, ConditionalTableKeywordSupported) {
+  const char* text = R"(
+network n { }
+variable A { type discrete [ 2 ] { a0, a1 }; }
+variable B { type discrete [ 2 ] { b0, b1 }; }
+probability ( A ) { table 0.5, 0.5; }
+probability ( B | A ) { table 0.1, 0.9, 0.7, 0.3; }
+)";
+  const BayesianNetwork network = parse_bif_string(text);
+  const VarId b = network.index_of("B");
+  EXPECT_DOUBLE_EQ(network.cpt(b).probability(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(network.cpt(b).probability(1, 0), 0.7);
+}
+
+TEST(BifParser, RoundTripSprinkler) {
+  const BayesianNetwork original = parse_bif_string(kSprinklerBif);
+  const BayesianNetwork reparsed = parse_bif_string(to_bif_string(original));
+  EXPECT_TRUE(original.dag() == reparsed.dag());
+  for (VarId v = 0; v < original.num_nodes(); ++v) {
+    const Cpt& a = original.cpt(v);
+    const Cpt& b = reparsed.cpt(v);
+    ASSERT_EQ(a.num_parent_configs(), b.num_parent_configs());
+    for (std::int64_t c = 0; c < a.num_parent_configs(); ++c) {
+      for (std::int32_t s = 0; s < a.cardinality(); ++s) {
+        EXPECT_NEAR(a.probability(c, s), b.probability(c, s), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(BifParser, RoundTripAlarmTopology) {
+  const BayesianNetwork alarm = alarm_network();
+  const BayesianNetwork reparsed = parse_bif_string(to_bif_string(alarm));
+  EXPECT_TRUE(alarm.dag() == reparsed.dag());
+  EXPECT_EQ(reparsed.num_nodes(), 37);
+  EXPECT_EQ(reparsed.num_edges(), 46);
+}
+
+TEST(BifParser, RoundTripRandomNetwork) {
+  RandomNetworkConfig config;
+  config.num_nodes = 15;
+  config.num_edges = 25;
+  config.seed = 3;
+  const BayesianNetwork original = generate_random_network(config);
+  const BayesianNetwork reparsed = parse_bif_string(to_bif_string(original));
+  EXPECT_TRUE(original.dag() == reparsed.dag());
+}
+
+TEST(BifParser, CommentsAreIgnored) {
+  const char* text = R"(
+network n { } // trailing comment
+/* block
+   comment */
+variable A { type discrete [ 2 ] { x, y }; }
+probability ( A ) { table 0.4, 0.6; }
+)";
+  const BayesianNetwork network = parse_bif_string(text);
+  EXPECT_EQ(network.num_nodes(), 1);
+}
+
+TEST(BifParser, UnknownParentFails) {
+  const char* text = R"(
+network n { }
+variable A { type discrete [ 2 ] { x, y }; }
+probability ( A | Ghost ) { (x) 0.5, 0.5; }
+)";
+  EXPECT_THROW(parse_bif_string(text), BifParseError);
+}
+
+TEST(BifParser, StateCountMismatchFails) {
+  const char* text = R"(
+network n { }
+variable A { type discrete [ 3 ] { x, y }; }
+probability ( A ) { table 0.5, 0.5; }
+)";
+  EXPECT_THROW(parse_bif_string(text), BifParseError);
+}
+
+TEST(BifParser, TruncatedInputFails) {
+  EXPECT_THROW(parse_bif_string("variable A { type discrete [ 2 ]"),
+               BifParseError);
+}
+
+TEST(BifParser, TableSizeMismatchFails) {
+  const char* text = R"(
+network n { }
+variable A { type discrete [ 2 ] { x, y }; }
+probability ( A ) { table 0.5, 0.3, 0.2; }
+)";
+  EXPECT_THROW(parse_bif_string(text), BifParseError);
+}
+
+}  // namespace
+}  // namespace fastbns

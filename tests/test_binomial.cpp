@@ -1,0 +1,67 @@
+#include "combinatorics/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastbns {
+namespace {
+
+TEST(Binomial, BaseCases) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 1), 5u);
+  EXPECT_EQ(binomial(5, 6), 0u);
+  EXPECT_EQ(binomial(-1, 0), 0u);
+  EXPECT_EQ(binomial(3, -1), 0u);
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(10, 2), 45u);   // the paper's a=10, d=2 example
+  EXPECT_EQ(binomial(2, 2), 1u);     // the paper's a=2, d=2 example
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+  EXPECT_EQ(binomial(30, 15), 155117520u);
+  EXPECT_EQ(binomial(412, 1), 412u);
+}
+
+TEST(Binomial, Symmetry) {
+  for (std::int64_t n = 0; n <= 40; ++n) {
+    for (std::int64_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n, n - k)) << n << " " << k;
+    }
+  }
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (std::int64_t n = 1; n <= 50; ++n) {
+    for (std::int64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k))
+          << n << " " << k;
+    }
+  }
+}
+
+TEST(Binomial, LargeValuesThatFit) {
+  // C(1100, 7) ~ 3.9e17 < 2^64 - 1: must not saturate.
+  EXPECT_NE(binomial(1100, 7), kBinomialSaturated);
+  EXPECT_EQ(binomial(64, 32), 1832624140942590534ULL);
+}
+
+TEST(Binomial, SaturatesInsteadOfOverflowing) {
+  // C(1100, 8) ~ 5.3e19 exceeds 2^64 - 1 ~ 1.8e19.
+  EXPECT_EQ(binomial(1100, 8), kBinomialSaturated);
+  EXPECT_EQ(binomial(1100, 10), kBinomialSaturated);
+  EXPECT_EQ(binomial(500, 250), kBinomialSaturated);
+  EXPECT_TRUE(binomial_overflows(1100, 10));
+  EXPECT_FALSE(binomial_overflows(1100, 2));
+}
+
+TEST(Binomial, RowSumsMatchPowersOfTwo) {
+  for (std::int64_t n = 0; n <= 30; ++n) {
+    std::uint64_t sum = 0;
+    for (std::int64_t k = 0; k <= n; ++k) sum += binomial(n, k);
+    EXPECT_EQ(sum, std::uint64_t{1} << n) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -1,0 +1,96 @@
+#include "pc/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "network/bif_parser.hpp"
+#include "network/forward_sampler.hpp"
+
+namespace fastbns {
+namespace {
+
+/// A -> B strongly, C independent.
+DiscreteDataset strong_pair_data(Count m, std::uint64_t seed) {
+  const BayesianNetwork network = parse_bif_string(R"(
+network n { }
+variable A { type discrete [ 2 ] { a0, a1 }; }
+variable B { type discrete [ 2 ] { b0, b1 }; }
+variable C { type discrete [ 2 ] { c0, c1 }; }
+probability ( A ) { table 0.5, 0.5; }
+probability ( B | A ) { (a0) 0.95, 0.05; (a1) 0.08, 0.92; }
+probability ( C ) { table 0.4, 0.6; }
+)");
+  Rng rng(seed);
+  return forward_sample(network, m, rng);
+}
+
+TEST(Bootstrap, StrongEdgeHasHighStrength) {
+  const DiscreteDataset data = strong_pair_data(1500, 3);
+  BootstrapOptions options;
+  options.replicates = 20;
+  options.pc.engine = EngineKind::kFastSequential;
+  const EdgeStrengths strengths = bootstrap_edge_strength(data, options);
+  EXPECT_GT(strengths.strength(0, 1), 0.95);
+  EXPECT_LT(strengths.strength(0, 2), 0.3);
+  EXPECT_LT(strengths.strength(1, 2), 0.3);
+}
+
+TEST(Bootstrap, StrengthIsSymmetric) {
+  const DiscreteDataset data = strong_pair_data(800, 5);
+  BootstrapOptions options;
+  options.replicates = 10;
+  options.pc.engine = EngineKind::kFastSequential;
+  const EdgeStrengths strengths = bootstrap_edge_strength(data, options);
+  EXPECT_DOUBLE_EQ(strengths.strength(0, 1), strengths.strength(1, 0));
+}
+
+TEST(Bootstrap, DeterministicPerSeed) {
+  const DiscreteDataset data = strong_pair_data(500, 7);
+  BootstrapOptions options;
+  options.replicates = 8;
+  options.seed = 99;
+  options.pc.engine = EngineKind::kFastSequential;
+  const EdgeStrengths a = bootstrap_edge_strength(data, options);
+  const EdgeStrengths b = bootstrap_edge_strength(data, options);
+  for (VarId u = 0; u < 3; ++u) {
+    for (VarId v = u + 1; v < 3; ++v) {
+      EXPECT_DOUBLE_EQ(a.strength(u, v), b.strength(u, v));
+    }
+  }
+}
+
+TEST(Bootstrap, EdgesAboveFiltersAndSorts) {
+  EdgeStrengths strengths(4, 10);
+  for (int i = 0; i < 10; ++i) strengths.record_edge(0, 1);  // 1.0
+  for (int i = 0; i < 5; ++i) strengths.record_edge(2, 3);   // 0.5
+  strengths.record_edge(1, 2);                               // 0.1
+  const auto ranked = strengths.edges_above(0.4);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(std::get<0>(ranked[0]), 0);
+  EXPECT_EQ(std::get<1>(ranked[0]), 1);
+  EXPECT_DOUBLE_EQ(std::get<2>(ranked[0]), 1.0);
+  EXPECT_DOUBLE_EQ(std::get<2>(ranked[1]), 0.5);
+}
+
+TEST(Bootstrap, ResampleSizeOverride) {
+  const DiscreteDataset data = strong_pair_data(1000, 9);
+  BootstrapOptions options;
+  options.replicates = 5;
+  options.resample_size = 200;
+  options.pc.engine = EngineKind::kFastSequential;
+  const EdgeStrengths strengths = bootstrap_edge_strength(data, options);
+  // The strong edge survives even at a fifth of the data.
+  EXPECT_GT(strengths.strength(0, 1), 0.8);
+}
+
+TEST(Bootstrap, ZeroReplicatesYieldZeroStrengths) {
+  const DiscreteDataset data = strong_pair_data(200, 11);
+  BootstrapOptions options;
+  options.replicates = 0;
+  const EdgeStrengths strengths = bootstrap_edge_strength(data, options);
+  EXPECT_DOUBLE_EQ(strengths.strength(0, 1), 0.0);
+  EXPECT_TRUE(strengths.edges_above(0.0).empty());
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -1,0 +1,96 @@
+// Coverage for the small common utilities: logging levels, file writing,
+// OpenMP wrappers, wall timer.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/csv_writer.hpp"
+#include "common/logging.hpp"
+#include "common/omp_utils.hpp"
+#include "common/timer.hpp"
+
+namespace fastbns {
+namespace {
+
+TEST(Logging, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
+TEST(Logging, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kOff);
+  Log(LogLevel::kError) << "this must be swallowed " << 42;
+  Log(LogLevel::kDebug) << "and this";
+  set_log_level(original);
+}
+
+TEST(CsvWriter, WritesFileAndCreatesDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "fastbns_csv_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "nested" / "out.csv").string();
+  ASSERT_TRUE(write_text_file(path, "a,b\n1,2\n"));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvWriter, ResultDirHonorsEnvironment) {
+  setenv("FASTBNS_RESULT_DIR", "/tmp/fastbns_results_test", 1);
+  EXPECT_EQ(bench_result_dir(), "/tmp/fastbns_results_test");
+  unsetenv("FASTBNS_RESULT_DIR");
+  EXPECT_EQ(bench_result_dir(), "bench_results");
+}
+
+TEST(OmpUtils, HardwareThreadsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(OmpUtils, ScopedNumThreadsSetsAndRestores) {
+  const int before = hardware_threads();
+  {
+    const ScopedNumThreads guard(3);
+    EXPECT_EQ(hardware_threads(), 3);
+  }
+  EXPECT_EQ(hardware_threads(), before);
+}
+
+TEST(OmpUtils, ScopedNumThreadsZeroKeepsDefault) {
+  const int before = hardware_threads();
+  {
+    const ScopedNumThreads guard(0);
+    EXPECT_EQ(hardware_threads(), before);
+  }
+  EXPECT_EQ(hardware_threads(), before);
+}
+
+TEST(OmpUtils, CurrentThreadIsZeroOutsideParallelRegion) {
+  EXPECT_EQ(current_thread(), 0);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_NEAR(timer.milliseconds(), timer.seconds() * 1000.0, 50.0);
+}
+
+TEST(WallTimer, ResetRestartsMeasurement) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace fastbns

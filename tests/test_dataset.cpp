@@ -1,0 +1,117 @@
+#include "dataset/discrete_dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastbns {
+namespace {
+
+DiscreteDataset make_small(DataLayout layout) {
+  DiscreteDataset data(3, 4, {2, 3, 2}, layout);
+  // Sample-major fill: rows (s, v) value = (s + v) % cardinality(v).
+  for (Count s = 0; s < 4; ++s) {
+    for (VarId v = 0; v < 3; ++v) {
+      data.set(s, v, static_cast<DataValue>((s + v) % data.cardinality(v)));
+    }
+  }
+  return data;
+}
+
+TEST(DiscreteDataset, BasicAccessors) {
+  const auto data = make_small(DataLayout::kColumnMajor);
+  EXPECT_EQ(data.num_vars(), 3);
+  EXPECT_EQ(data.num_samples(), 4);
+  EXPECT_EQ(data.cardinality(1), 3);
+  EXPECT_EQ(data.cardinalities(), (std::vector<std::int32_t>{2, 3, 2}));
+  EXPECT_TRUE(data.has_column_major());
+  EXPECT_FALSE(data.has_row_major());
+}
+
+TEST(DiscreteDataset, ValueRoundTripAllLayouts) {
+  for (const DataLayout layout :
+       {DataLayout::kRowMajor, DataLayout::kColumnMajor, DataLayout::kBoth}) {
+    const auto data = make_small(layout);
+    for (Count s = 0; s < 4; ++s) {
+      for (VarId v = 0; v < 3; ++v) {
+        EXPECT_EQ(data.value(s, v),
+                  static_cast<DataValue>((s + v) % data.cardinality(v)));
+      }
+    }
+  }
+}
+
+TEST(DiscreteDataset, ColumnSpanIsContiguousPerVariable) {
+  const auto data = make_small(DataLayout::kColumnMajor);
+  const auto col = data.column(1);
+  ASSERT_EQ(col.size(), 4u);
+  for (Count s = 0; s < 4; ++s) {
+    EXPECT_EQ(col[s], data.value(s, 1));
+  }
+}
+
+TEST(DiscreteDataset, RowSpanIsContiguousPerSample) {
+  const auto data = make_small(DataLayout::kRowMajor);
+  const auto row = data.row(2);
+  ASSERT_EQ(row.size(), 3u);
+  for (VarId v = 0; v < 3; ++v) {
+    EXPECT_EQ(row[v], data.value(2, v));
+  }
+}
+
+TEST(DiscreteDataset, MissingLayoutThrows) {
+  const auto col_only = make_small(DataLayout::kColumnMajor);
+  EXPECT_THROW(col_only.row(0), std::logic_error);
+  const auto row_only = make_small(DataLayout::kRowMajor);
+  EXPECT_THROW(row_only.column(0), std::logic_error);
+}
+
+TEST(DiscreteDataset, EnsureLayoutMaterializesCopy) {
+  auto data = make_small(DataLayout::kColumnMajor);
+  data.ensure_layout(DataLayout::kRowMajor);
+  EXPECT_TRUE(data.has_row_major());
+  EXPECT_TRUE(data.has_column_major());
+  for (Count s = 0; s < 4; ++s) {
+    for (VarId v = 0; v < 3; ++v) {
+      EXPECT_EQ(data.row(s)[v], data.column(v)[s]);
+    }
+  }
+}
+
+TEST(DiscreteDataset, EnsureLayoutIsIdempotent) {
+  auto data = make_small(DataLayout::kBoth);
+  data.ensure_layout(DataLayout::kBoth);
+  EXPECT_TRUE(data.values_in_range());
+}
+
+TEST(DiscreteDataset, SetWritesBothBuffers) {
+  DiscreteDataset data(2, 2, {4, 4}, DataLayout::kBoth);
+  data.set(1, 0, 3);
+  EXPECT_EQ(data.row(1)[0], 3);
+  EXPECT_EQ(data.column(0)[1], 3);
+}
+
+TEST(DiscreteDataset, ValuesInRangeDetectsViolations) {
+  DiscreteDataset data(2, 2, {2, 2}, DataLayout::kColumnMajor);
+  EXPECT_TRUE(data.values_in_range());
+  data.set(0, 0, 2);  // cardinality is 2, so value 2 is out of range
+  EXPECT_FALSE(data.values_in_range());
+}
+
+TEST(DiscreteDataset, HeadTakesPrefix) {
+  const auto data = make_small(DataLayout::kBoth);
+  const auto head = data.head(2);
+  EXPECT_EQ(head.num_samples(), 2);
+  EXPECT_EQ(head.num_vars(), 3);
+  for (Count s = 0; s < 2; ++s) {
+    for (VarId v = 0; v < 3; ++v) {
+      EXPECT_EQ(head.value(s, v), data.value(s, v));
+    }
+  }
+}
+
+TEST(DiscreteDataset, CardinalityMismatchThrows) {
+  EXPECT_THROW(DiscreteDataset(3, 4, {2, 2}, DataLayout::kColumnMajor),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fastbns

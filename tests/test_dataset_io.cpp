@@ -1,0 +1,102 @@
+#include "dataset/dataset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace fastbns {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "fastbns_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DatasetIoTest, RoundTripPreservesValuesAndNames) {
+  DiscreteDataset data(3, 5, {2, 3, 4}, DataLayout::kBoth);
+  for (Count s = 0; s < 5; ++s) {
+    for (VarId v = 0; v < 3; ++v) {
+      data.set(s, v, static_cast<DataValue>((s * 2 + v) % data.cardinality(v)));
+    }
+  }
+  const std::vector<std::string> names = {"A", "B", "C"};
+  ASSERT_TRUE(save_csv(data, names, path("roundtrip.csv")));
+
+  const NamedDataset loaded = load_csv(path("roundtrip.csv"));
+  EXPECT_EQ(loaded.names, names);
+  ASSERT_EQ(loaded.data.num_vars(), 3);
+  ASSERT_EQ(loaded.data.num_samples(), 5);
+  for (Count s = 0; s < 5; ++s) {
+    for (VarId v = 0; v < 3; ++v) {
+      EXPECT_EQ(loaded.data.value(s, v), data.value(s, v));
+    }
+  }
+}
+
+TEST_F(DatasetIoTest, MissingNamesBecomeVPrefixed) {
+  DiscreteDataset data(2, 1, {2, 2}, DataLayout::kColumnMajor);
+  ASSERT_TRUE(save_csv(data, {}, path("unnamed.csv")));
+  const NamedDataset loaded = load_csv(path("unnamed.csv"));
+  EXPECT_EQ(loaded.names, (std::vector<std::string>{"V0", "V1"}));
+}
+
+TEST_F(DatasetIoTest, CardinalityInferredAsMaxPlusOne) {
+  std::ofstream out(path("infer.csv"));
+  out << "x,y\n0,2\n1,0\n0,1\n";
+  out.close();
+  const NamedDataset loaded = load_csv(path("infer.csv"));
+  EXPECT_EQ(loaded.data.cardinality(0), 2);
+  EXPECT_EQ(loaded.data.cardinality(1), 3);
+}
+
+TEST_F(DatasetIoTest, ExplicitCardinalitiesOverrideInference) {
+  std::ofstream out(path("explicit.csv"));
+  out << "x,y\n0,1\n";
+  out.close();
+  const NamedDataset loaded =
+      load_csv(path("explicit.csv"), DataLayout::kColumnMajor, {4, 4});
+  EXPECT_EQ(loaded.data.cardinality(0), 4);
+}
+
+TEST_F(DatasetIoTest, RaggedRowsFail) {
+  std::ofstream out(path("ragged.csv"));
+  out << "x,y\n0,1\n0\n";
+  out.close();
+  EXPECT_THROW(load_csv(path("ragged.csv")), std::runtime_error);
+}
+
+TEST_F(DatasetIoTest, ValueBeyondDeclaredCardinalityFails) {
+  std::ofstream out(path("overflow.csv"));
+  out << "x\n7\n";
+  out.close();
+  EXPECT_THROW(load_csv(path("overflow.csv"), DataLayout::kColumnMajor, {2}),
+               std::runtime_error);
+}
+
+TEST_F(DatasetIoTest, MissingFileFails) {
+  EXPECT_THROW(load_csv(path("does_not_exist.csv")), std::runtime_error);
+}
+
+TEST_F(DatasetIoTest, WindowsLineEndingsHandled) {
+  std::ofstream out(path("crlf.csv"), std::ios::binary);
+  out << "x,y\r\n1,0\r\n";
+  out.close();
+  const NamedDataset loaded = load_csv(path("crlf.csv"));
+  EXPECT_EQ(loaded.data.value(0, 0), 1);
+  EXPECT_EQ(loaded.data.value(0, 1), 0);
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -1,0 +1,212 @@
+#include "stats/discrete_ci_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fastbns {
+namespace {
+
+/// x, y independent coins; z = x XOR y (so x ⫫ y marginally but x and y
+/// are dependent given z).
+DiscreteDataset xor_dataset(Count m, std::uint64_t seed,
+                            DataLayout layout = DataLayout::kBoth) {
+  DiscreteDataset data(3, m, {2, 2, 2}, layout);
+  Rng rng(seed);
+  for (Count s = 0; s < m; ++s) {
+    const auto x = static_cast<DataValue>(rng.next_below(2));
+    const auto y = static_cast<DataValue>(rng.next_below(2));
+    data.set(s, 0, x);
+    data.set(s, 1, y);
+    data.set(s, 2, static_cast<DataValue>(x ^ y));
+  }
+  return data;
+}
+
+/// x -> y strongly correlated pair plus an independent w.
+DiscreteDataset correlated_dataset(Count m, std::uint64_t seed,
+                                   DataLayout layout = DataLayout::kBoth) {
+  DiscreteDataset data(3, m, {2, 2, 2}, layout);
+  Rng rng(seed);
+  for (Count s = 0; s < m; ++s) {
+    const auto x = static_cast<DataValue>(rng.next_below(2));
+    const auto y =
+        rng.next_double() < 0.9 ? x : static_cast<DataValue>(1 - x);
+    data.set(s, 0, x);
+    data.set(s, 1, y);
+    data.set(s, 2, static_cast<DataValue>(rng.next_below(2)));
+  }
+  return data;
+}
+
+TEST(DiscreteCiTest, DetectsMarginalIndependence) {
+  const auto data = xor_dataset(4000, 7);
+  DiscreteCiTest test(data, {});
+  const CiResult result = test.test(0, 1, {});
+  EXPECT_TRUE(result.independent);
+  EXPECT_GT(result.p_value, 0.05);
+  EXPECT_EQ(result.degrees_of_freedom, 1);
+}
+
+TEST(DiscreteCiTest, DetectsConditionalDependenceOfXorParents) {
+  const auto data = xor_dataset(4000, 7);
+  DiscreteCiTest test(data, {});
+  const std::vector<VarId> z{2};
+  const CiResult result = test.test(0, 1, z);
+  EXPECT_FALSE(result.independent);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_EQ(result.degrees_of_freedom, 2);  // (2-1)(2-1)*2
+}
+
+TEST(DiscreteCiTest, DetectsStrongDependence) {
+  const auto data = correlated_dataset(4000, 11);
+  DiscreteCiTest test(data, {});
+  const CiResult result = test.test(0, 1, {});
+  EXPECT_FALSE(result.independent);
+  EXPECT_GT(result.statistic, 100.0);
+}
+
+TEST(DiscreteCiTest, IndependentOfUnrelatedVariable) {
+  const auto data = correlated_dataset(4000, 11);
+  DiscreteCiTest test(data, {});
+  EXPECT_TRUE(test.test(0, 2, {}).independent);
+  const std::vector<VarId> z{1};
+  EXPECT_TRUE(test.test(0, 2, z).independent);
+}
+
+TEST(DiscreteCiTest, GroupProtocolMatchesDirectCalls) {
+  const auto data = xor_dataset(2000, 13);
+  DiscreteCiTest direct(data, {});
+  DiscreteCiTest grouped(data, {});
+  grouped.begin_group(0, 1);
+  for (const std::vector<VarId> z :
+       {std::vector<VarId>{}, std::vector<VarId>{2}}) {
+    const CiResult a = direct.test(0, 1, z);
+    const CiResult b = grouped.test_in_group(z);
+    EXPECT_DOUBLE_EQ(a.statistic, b.statistic);
+    EXPECT_DOUBLE_EQ(a.p_value, b.p_value);
+    EXPECT_EQ(a.independent, b.independent);
+    EXPECT_EQ(a.degrees_of_freedom, b.degrees_of_freedom);
+  }
+}
+
+TEST(DiscreteCiTest, RowMajorPathMatchesColumnMajor) {
+  const auto data = xor_dataset(2000, 17, DataLayout::kBoth);
+  CiTestOptions row_options;
+  row_options.use_row_major = true;
+  DiscreteCiTest row_test(data, row_options);
+  DiscreteCiTest col_test(data, {});
+  for (VarId x = 0; x < 3; ++x) {
+    for (VarId y = 0; y < 3; ++y) {
+      if (x == y) continue;
+      const CiResult a = row_test.test(x, y, {});
+      const CiResult b = col_test.test(x, y, {});
+      EXPECT_DOUBLE_EQ(a.statistic, b.statistic);
+    }
+  }
+}
+
+TEST(DiscreteCiTest, SampleParallelMatchesSerial) {
+  const auto data = xor_dataset(3000, 19);
+  CiTestOptions parallel_options;
+  parallel_options.sample_parallel = true;
+  DiscreteCiTest parallel_test(data, parallel_options);
+  DiscreteCiTest serial_test(data, {});
+  const std::vector<VarId> z{2};
+  const CiResult a = parallel_test.test(0, 1, z);
+  const CiResult b = serial_test.test(0, 1, z);
+  EXPECT_DOUBLE_EQ(a.statistic, b.statistic);
+  EXPECT_EQ(a.independent, b.independent);
+}
+
+TEST(DiscreteCiTest, PearsonChiSquareAgreesOnDecision) {
+  // Same draw as IndependentOfUnrelatedVariable so the w column is known
+  // to fall on the accept side of alpha for both statistics.
+  const auto data = correlated_dataset(4000, 11);
+  CiTestOptions x2_options;
+  x2_options.statistic = StatisticKind::kPearsonChiSquare;
+  DiscreteCiTest x2_test(data, x2_options);
+  EXPECT_FALSE(x2_test.test(0, 1, {}).independent);
+  EXPECT_TRUE(x2_test.test(0, 2, {}).independent);
+}
+
+TEST(DiscreteCiTest, MutualInformationReportsNats) {
+  const auto data = correlated_dataset(4000, 29);
+  CiTestOptions mi_options;
+  mi_options.statistic = StatisticKind::kMutualInformation;
+  DiscreteCiTest mi_test(data, mi_options);
+  DiscreteCiTest g2_test(data, {});
+  const CiResult mi = mi_test.test(0, 1, {});
+  const CiResult g2 = g2_test.test(0, 1, {});
+  EXPECT_NEAR(mi.statistic,
+              g2.statistic / (2.0 * static_cast<double>(data.num_samples())),
+              1e-12);
+  EXPECT_EQ(mi.independent, g2.independent);  // same decision rule
+}
+
+TEST(DiscreteCiTest, AdjustedDfDropsEmptyStrata) {
+  // Constant z column: only one stratum is populated out of two.
+  DiscreteDataset data(3, 100, {2, 2, 2}, DataLayout::kBoth);
+  Rng rng(31);
+  for (Count s = 0; s < 100; ++s) {
+    data.set(s, 0, static_cast<DataValue>(rng.next_below(2)));
+    data.set(s, 1, static_cast<DataValue>(rng.next_below(2)));
+    data.set(s, 2, 0);
+  }
+  const std::vector<VarId> z{2};
+  CiTestOptions standard;
+  DiscreteCiTest standard_test(data, standard);
+  EXPECT_EQ(standard_test.test(0, 1, z).degrees_of_freedom, 2);
+  CiTestOptions adjusted;
+  adjusted.df_mode = DfMode::kAdjusted;
+  DiscreteCiTest adjusted_test(data, adjusted);
+  EXPECT_EQ(adjusted_test.test(0, 1, z).degrees_of_freedom, 1);
+}
+
+TEST(DiscreteCiTest, OversizedTableIsConservativelyDependent) {
+  const auto data = xor_dataset(100, 37);
+  CiTestOptions options;
+  options.max_cells = 1;  // force the guard
+  DiscreteCiTest test(data, options);
+  const std::vector<VarId> z{2};
+  const CiResult result = test.test(0, 1, z);
+  EXPECT_FALSE(result.independent);
+  EXPECT_EQ(result.degrees_of_freedom, -1);
+}
+
+TEST(DiscreteCiTest, CountsTestsPerformed) {
+  const auto data = xor_dataset(500, 41);
+  DiscreteCiTest test(data, {});
+  EXPECT_EQ(test.tests_performed(), 0);
+  test.test(0, 1, {});
+  test.begin_group(0, 2);
+  test.test_in_group({});
+  EXPECT_EQ(test.tests_performed(), 2);
+  test.reset_counter();
+  EXPECT_EQ(test.tests_performed(), 0);
+}
+
+TEST(DiscreteCiTest, CloneIsIndependentInstance) {
+  const auto data = xor_dataset(500, 43);
+  DiscreteCiTest test(data, {});
+  auto copy = test.clone();
+  copy->test(0, 1, {});
+  EXPECT_EQ(copy->tests_performed(), 1);
+  EXPECT_EQ(test.tests_performed(), 0);
+}
+
+TEST(DiscreteCiTest, RequiresColumnMajorBuffer) {
+  const auto data = xor_dataset(50, 47, DataLayout::kRowMajor);
+  EXPECT_THROW(DiscreteCiTest(data, {}), std::invalid_argument);
+}
+
+TEST(DiscreteCiTest, DeterministicAcrossRuns) {
+  const auto data = xor_dataset(1000, 53);
+  DiscreteCiTest a(data, {});
+  DiscreteCiTest b(data, {});
+  const std::vector<VarId> z{2};
+  EXPECT_DOUBLE_EQ(a.test(0, 1, z).statistic, b.test(0, 1, z).statistic);
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -1,0 +1,171 @@
+#include "graph/dseparation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fastbns {
+namespace {
+
+// Canonical three-node structures.
+Dag chain() {  // 0 -> 1 -> 2
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  return dag;
+}
+
+Dag fork() {  // 0 <- 1 -> 2
+  Dag dag(3);
+  dag.add_edge(1, 0);
+  dag.add_edge(1, 2);
+  return dag;
+}
+
+Dag collider() {  // 0 -> 1 <- 2
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(2, 1);
+  return dag;
+}
+
+TEST(DSeparation, ChainBlockedByMiddle) {
+  const Dag dag = chain();
+  EXPECT_FALSE(d_separated(dag, 0, 2, {}));
+  EXPECT_TRUE(d_separated(dag, 0, 2, {1}));
+}
+
+TEST(DSeparation, ForkBlockedByCommonCause) {
+  const Dag dag = fork();
+  EXPECT_FALSE(d_separated(dag, 0, 2, {}));
+  EXPECT_TRUE(d_separated(dag, 0, 2, {1}));
+}
+
+TEST(DSeparation, ColliderMarginallyIndependent) {
+  const Dag dag = collider();
+  EXPECT_TRUE(d_separated(dag, 0, 2, {}));
+  // Conditioning on the collider opens the trail.
+  EXPECT_FALSE(d_separated(dag, 0, 2, {1}));
+}
+
+TEST(DSeparation, ColliderDescendantAlsoOpensTrail) {
+  // 0 -> 1 <- 2, 1 -> 3: conditioning on 3 activates the collider at 1.
+  Dag dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(2, 1);
+  dag.add_edge(1, 3);
+  EXPECT_TRUE(d_separated(dag, 0, 2, {}));
+  EXPECT_FALSE(d_separated(dag, 0, 2, {3}));
+  EXPECT_FALSE(d_separated(dag, 0, 2, {1, 3}));
+}
+
+TEST(DSeparation, AdjacentNodesNeverSeparated) {
+  const Dag dag = chain();
+  EXPECT_FALSE(d_separated(dag, 0, 1, {}));
+  EXPECT_FALSE(d_separated(dag, 0, 1, {2}));
+}
+
+TEST(DSeparation, MarkovBlanketShieldsNode) {
+  // 0 -> 2 <- 1, 2 -> 3, 4 -> 3 (co-parent), 5 disconnected upstream of 0:
+  // given 2's Markov blanket {0, 1, 3, 4}, node 2 is independent of 5.
+  Dag dag(6);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  dag.add_edge(2, 3);
+  dag.add_edge(4, 3);
+  dag.add_edge(5, 0);
+  EXPECT_FALSE(d_separated(dag, 2, 5, {}));
+  EXPECT_TRUE(d_separated(dag, 2, 5, {0, 1, 3, 4}));
+}
+
+TEST(DSeparation, DisconnectedComponentsAlwaysSeparated) {
+  Dag dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(2, 3);
+  EXPECT_TRUE(d_separated(dag, 0, 2, {}));
+  EXPECT_TRUE(d_separated(dag, 1, 3, {0, 2}));
+}
+
+TEST(DSeparation, LongChainBlockedAnywhere) {
+  Dag dag(6);
+  for (VarId v = 0; v + 1 < 6; ++v) dag.add_edge(v, v + 1);
+  EXPECT_FALSE(d_separated(dag, 0, 5, {}));
+  for (VarId mid = 1; mid < 5; ++mid) {
+    EXPECT_TRUE(d_separated(dag, 0, 5, {mid})) << "mid=" << mid;
+  }
+}
+
+TEST(DSeparation, SymmetryProperty) {
+  // d-sep(x, y | z) == d-sep(y, x | z) on random DAGs.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    Dag dag(8);
+    for (VarId u = 0; u < 8; ++u) {
+      for (VarId v = u + 1; v < 8; ++v) {
+        if (rng.next_double() < 0.25) dag.add_edge_unchecked(u, v);
+      }
+    }
+    for (int q = 0; q < 30; ++q) {
+      const VarId x = static_cast<VarId>(rng.next_below(8));
+      VarId y = static_cast<VarId>(rng.next_below(8));
+      if (x == y) continue;
+      std::vector<VarId> given;
+      for (VarId z = 0; z < 8; ++z) {
+        if (z != x && z != y && rng.next_double() < 0.3) given.push_back(z);
+      }
+      EXPECT_EQ(d_separated(dag, x, y, given), d_separated(dag, y, x, given));
+    }
+  }
+}
+
+TEST(DSeparation, ParentsBlockAllNonDescendantPaths) {
+  // Local Markov property: a node is d-separated from its non-descendants
+  // given its parents. Verified on random DAGs.
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    Dag dag(9);
+    for (VarId u = 0; u < 9; ++u) {
+      for (VarId v = u + 1; v < 9; ++v) {
+        if (rng.next_double() < 0.2) dag.add_edge_unchecked(u, v);
+      }
+    }
+    for (VarId x = 0; x < 9; ++x) {
+      const std::vector<VarId>& parents = dag.parents(x);
+      // Collect descendants of x.
+      std::vector<bool> descendant(9, false);
+      std::vector<VarId> stack{x};
+      while (!stack.empty()) {
+        const VarId v = stack.back();
+        stack.pop_back();
+        for (const VarId c : dag.children(v)) {
+          if (!descendant[c]) {
+            descendant[c] = true;
+            stack.push_back(c);
+          }
+        }
+      }
+      for (VarId y = 0; y < 9; ++y) {
+        if (y == x || descendant[y]) continue;
+        if (std::find(parents.begin(), parents.end(), y) != parents.end()) {
+          continue;
+        }
+        EXPECT_TRUE(d_separated(dag, x, y, parents))
+            << "trial " << trial << " x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(DReachable, SourceNotReachableWhenConditioned) {
+  const Dag dag = chain();
+  const auto reach = d_reachable(dag, 0, {});
+  EXPECT_TRUE(reach[0]);  // source reaches itself trivially
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+}
+
+}  // namespace
+}  // namespace fastbns

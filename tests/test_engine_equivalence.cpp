@@ -1,0 +1,238 @@
+// The library's central property: all five skeleton engines — at any
+// thread count and any group size — produce the identical skeleton and
+// separating sets, because PC-stable is order-independent and the engines
+// share one canonical test order. This is what lets the paper claim
+// "the accuracy of Fast-BNS is exactly the same as the other PC-stable
+// implementations" and skip accuracy results entirely.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "network/forward_sampler.hpp"
+#include "network/random_network.hpp"
+#include "network/standard_networks.hpp"
+#include "pc/skeleton.hpp"
+#include "stats/discrete_ci_test.hpp"
+#include "stats/oracle_test.hpp"
+
+namespace fastbns {
+namespace {
+
+struct Fixture {
+  BayesianNetwork network;
+  DiscreteDataset data;
+};
+
+const Fixture& fixture() {
+  static const Fixture instance = [] {
+    RandomNetworkConfig config;
+    config.num_nodes = 24;
+    config.num_edges = 32;
+    config.seed = 77;
+    BayesianNetwork network = generate_random_network(config);
+    Rng rng(78);
+    DiscreteDataset data =
+        forward_sample(network, 1200, rng, DataLayout::kBoth);
+    return Fixture{std::move(network), std::move(data)};
+  }();
+  return instance;
+}
+
+SkeletonResult reference_result() {
+  PcOptions options;
+  options.engine = EngineKind::kFastSequential;
+  const DiscreteCiTest test(fixture().data, {});
+  return learn_skeleton(fixture().data.num_vars(), test, options);
+}
+
+using EngineThreadsGs = std::tuple<EngineKind, int, std::int32_t>;
+
+class EngineEquivalence : public ::testing::TestWithParam<EngineThreadsGs> {};
+
+TEST_P(EngineEquivalence, SkeletonAndSepsetsMatchReference) {
+  const auto [engine, threads, gs] = GetParam();
+  PcOptions options;
+  options.engine = engine;
+  options.num_threads = threads;
+  options.group_size = gs;
+
+  CiTestOptions test_options;
+  test_options.sample_parallel = engine == EngineKind::kSampleParallel;
+  const DiscreteCiTest test(fixture().data, test_options);
+  const SkeletonResult result =
+      learn_skeleton(fixture().data.num_vars(), test, options);
+
+  static const SkeletonResult reference = reference_result();
+  EXPECT_TRUE(result.graph == reference.graph)
+      << "engine=" << to_string(engine) << " t=" << threads << " gs=" << gs;
+
+  // Sepsets must match pair by pair.
+  const VarId n = fixture().data.num_vars();
+  for (VarId u = 0; u < n; ++u) {
+    for (VarId v = u + 1; v < n; ++v) {
+      const auto* expected = reference.sepsets.find(u, v);
+      const auto* actual = result.sepsets.find(u, v);
+      ASSERT_EQ(expected == nullptr, actual == nullptr) << u << "," << v;
+      if (expected != nullptr) {
+        EXPECT_EQ(*expected, *actual) << u << "," << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesThreadsGroups, EngineEquivalence,
+    ::testing::Values(
+        EngineThreadsGs{EngineKind::kNaiveSequential, 1, 1},
+        EngineThreadsGs{EngineKind::kFastSequential, 1, 1},
+        EngineThreadsGs{EngineKind::kSampleParallel, 2, 1},
+        EngineThreadsGs{EngineKind::kEdgeParallel, 1, 1},
+        EngineThreadsGs{EngineKind::kEdgeParallel, 2, 1},
+        EngineThreadsGs{EngineKind::kEdgeParallel, 4, 1},
+        EngineThreadsGs{EngineKind::kCiParallel, 1, 1},
+        EngineThreadsGs{EngineKind::kCiParallel, 2, 1},
+        EngineThreadsGs{EngineKind::kCiParallel, 4, 1},
+        EngineThreadsGs{EngineKind::kCiParallel, 2, 4},
+        EngineThreadsGs{EngineKind::kCiParallel, 4, 6},
+        EngineThreadsGs{EngineKind::kCiParallel, 3, 8},
+        EngineThreadsGs{EngineKind::kCiParallel, 2, 16}),
+    [](const ::testing::TestParamInfo<EngineThreadsGs>& param_info) {
+      std::string name = to_string(std::get<0>(param_info.param));
+      for (char& c : name) {
+        if (c == '-' || c == '(' || c == ')') c = '_';
+      }
+      return name + "_t" + std::to_string(std::get<1>(param_info.param)) + "_gs" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST(EngineEquivalence, CiTestCountDeterministicPerGroupSize) {
+  // For a fixed gs the executed CI-test count must not depend on thread
+  // count (the redundancy is a function of the canonical order only).
+  for (const std::int32_t gs : {1, 4, 8}) {
+    std::int64_t reference_count = -1;
+    for (const int threads : {1, 2, 4}) {
+      PcOptions options;
+      options.engine = EngineKind::kCiParallel;
+      options.num_threads = threads;
+      options.group_size = gs;
+      const DiscreteCiTest test(fixture().data, {});
+      const SkeletonResult result =
+          learn_skeleton(fixture().data.num_vars(), test, options);
+      if (reference_count < 0) {
+        reference_count = result.total_ci_tests;
+      } else {
+        EXPECT_EQ(result.total_ci_tests, reference_count)
+            << "gs=" << gs << " t=" << threads;
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, GroupSizeOneMatchesSequentialTestCount) {
+  PcOptions sequential;
+  sequential.engine = EngineKind::kFastSequential;
+  PcOptions pooled;
+  pooled.engine = EngineKind::kCiParallel;
+  pooled.group_size = 1;
+  pooled.num_threads = 2;
+  const DiscreteCiTest test(fixture().data, {});
+  const SkeletonResult a =
+      learn_skeleton(fixture().data.num_vars(), test, sequential);
+  const SkeletonResult b =
+      learn_skeleton(fixture().data.num_vars(), test, pooled);
+  // gs=1 introduces no redundant tests, so counts match exactly.
+  EXPECT_EQ(a.total_ci_tests, b.total_ci_tests);
+}
+
+TEST(EngineEquivalence, LargerGroupSizeNeverReducesTests) {
+  std::int64_t previous = 0;
+  for (const std::int32_t gs : {1, 2, 4, 8, 16}) {
+    PcOptions options;
+    options.engine = EngineKind::kCiParallel;
+    options.group_size = gs;
+    options.num_threads = 2;
+    const DiscreteCiTest test(fixture().data, {});
+    const SkeletonResult result =
+        learn_skeleton(fixture().data.num_vars(), test, options);
+    if (gs > 1) {
+      EXPECT_GE(result.total_ci_tests, previous) << "gs=" << gs;
+    }
+    previous = result.total_ci_tests;
+  }
+}
+
+TEST(EngineEquivalence, EagerGroupStopIsResultIdentical) {
+  // The eager extension must change only the executed-test count, never
+  // the skeleton or the sepsets, at any gs and thread count.
+  static const SkeletonResult reference = reference_result();
+  for (const std::int32_t gs : {2, 8}) {
+    for (const int threads : {1, 3}) {
+      PcOptions options;
+      options.engine = EngineKind::kCiParallel;
+      options.num_threads = threads;
+      options.group_size = gs;
+      options.eager_group_stop = true;
+      const DiscreteCiTest test(fixture().data, {});
+      const SkeletonResult result =
+          learn_skeleton(fixture().data.num_vars(), test, options);
+      EXPECT_TRUE(result.graph == reference.graph)
+          << "gs=" << gs << " t=" << threads;
+      const VarId n = fixture().data.num_vars();
+      for (VarId u = 0; u < n; ++u) {
+        for (VarId v = u + 1; v < n; ++v) {
+          const auto* expected = reference.sepsets.find(u, v);
+          const auto* actual = result.sepsets.find(u, v);
+          ASSERT_EQ(expected == nullptr, actual == nullptr);
+          if (expected != nullptr) EXPECT_EQ(*expected, *actual);
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, EagerGroupStopNeverExecutesMoreTests) {
+  PcOptions paper_semantics;
+  paper_semantics.engine = EngineKind::kCiParallel;
+  paper_semantics.group_size = 8;
+  paper_semantics.num_threads = 2;
+  PcOptions eager = paper_semantics;
+  eager.eager_group_stop = true;
+  const DiscreteCiTest test(fixture().data, {});
+  const SkeletonResult batched =
+      learn_skeleton(fixture().data.num_vars(), test, paper_semantics);
+  const SkeletonResult stopped =
+      learn_skeleton(fixture().data.num_vars(), test, eager);
+  EXPECT_LE(stopped.total_ci_tests, batched.total_ci_tests);
+  // And eager at any gs equals the gs=1 count (no redundancy at all).
+  PcOptions gs1 = paper_semantics;
+  gs1.group_size = 1;
+  const SkeletonResult baseline =
+      learn_skeleton(fixture().data.num_vars(), test, gs1);
+  EXPECT_EQ(stopped.total_ci_tests, baseline.total_ci_tests);
+}
+
+TEST(EngineEquivalence, OracleRunsAgreeAcrossEngines) {
+  const BayesianNetwork alarm = alarm_network();
+  DSeparationOracle oracle(alarm.dag());
+  PcOptions reference_options;
+  reference_options.engine = EngineKind::kFastSequential;
+  const SkeletonResult reference =
+      learn_skeleton(alarm.num_nodes(), oracle, reference_options);
+  EXPECT_TRUE(reference.graph == alarm.dag().skeleton());
+
+  for (const EngineKind engine :
+       {EngineKind::kNaiveSequential, EngineKind::kEdgeParallel,
+        EngineKind::kCiParallel}) {
+    PcOptions options;
+    options.engine = engine;
+    options.num_threads = 2;
+    options.group_size = 4;
+    const SkeletonResult result =
+        learn_skeleton(alarm.num_nodes(), oracle, options);
+    EXPECT_TRUE(result.graph == reference.graph) << to_string(engine);
+  }
+}
+
+}  // namespace
+}  // namespace fastbns

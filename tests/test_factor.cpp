@@ -1,0 +1,131 @@
+#include "inference/factor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastbns {
+namespace {
+
+Factor binary_factor(VarId v, double p0, double p1) {
+  Factor factor({v}, {2});
+  factor.set_value_at(0, p0);
+  factor.set_value_at(1, p1);
+  return factor;
+}
+
+TEST(Factor, UnitFactorBehavesAsIdentity) {
+  const Factor unit = Factor::unit();
+  EXPECT_EQ(unit.size(), 1u);
+  EXPECT_DOUBLE_EQ(unit.value_at(0), 1.0);
+  const Factor f = binary_factor(0, 0.3, 0.7);
+  const Factor product = unit.product(f);
+  EXPECT_EQ(product.variables(), f.variables());
+  EXPECT_DOUBLE_EQ(product.value_at(0), 0.3);
+  EXPECT_DOUBLE_EQ(product.value_at(1), 0.7);
+}
+
+TEST(Factor, ProductOfDisjointScopesIsOuterProduct) {
+  const Factor a = binary_factor(0, 0.3, 0.7);
+  const Factor b = binary_factor(1, 0.2, 0.8);
+  const Factor product = a.product(b);
+  ASSERT_EQ(product.variables(), (std::vector<VarId>{0, 1}));
+  EXPECT_DOUBLE_EQ(product.value_at(0), 0.3 * 0.2);  // (0,0)
+  EXPECT_DOUBLE_EQ(product.value_at(1), 0.3 * 0.8);  // (0,1)
+  EXPECT_DOUBLE_EQ(product.value_at(2), 0.7 * 0.2);  // (1,0)
+  EXPECT_DOUBLE_EQ(product.value_at(3), 0.7 * 0.8);  // (1,1)
+}
+
+TEST(Factor, ProductMatchesOnSharedVariables) {
+  // f(x) * g(x) pointwise.
+  const Factor a = binary_factor(0, 0.3, 0.7);
+  const Factor b = binary_factor(0, 0.5, 0.25);
+  const Factor product = a.product(b);
+  ASSERT_EQ(product.variables(), (std::vector<VarId>{0}));
+  EXPECT_DOUBLE_EQ(product.value_at(0), 0.15);
+  EXPECT_DOUBLE_EQ(product.value_at(1), 0.175);
+}
+
+TEST(Factor, ProductIsCommutative) {
+  Factor a({0, 2}, {2, 3});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.set_value_at(i, 0.1 * static_cast<double>(i + 1));
+  }
+  const Factor b = binary_factor(1, 0.4, 0.6);
+  const Factor ab = a.product(b);
+  const Factor ba = b.product(a);
+  ASSERT_EQ(ab.variables(), ba.variables());
+  for (std::size_t i = 0; i < ab.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ab.value_at(i), ba.value_at(i));
+  }
+}
+
+TEST(Factor, MarginalizeSumsOut) {
+  Factor joint({0, 1}, {2, 2});
+  joint.set_value_at(0, 0.1);  // (0,0)
+  joint.set_value_at(1, 0.2);  // (0,1)
+  joint.set_value_at(2, 0.3);  // (1,0)
+  joint.set_value_at(3, 0.4);  // (1,1)
+  const Factor over_1 = joint.marginalize(0);
+  ASSERT_EQ(over_1.variables(), (std::vector<VarId>{1}));
+  EXPECT_DOUBLE_EQ(over_1.value_at(0), 0.4);
+  EXPECT_DOUBLE_EQ(over_1.value_at(1), 0.6);
+  const Factor over_0 = joint.marginalize(1);
+  EXPECT_DOUBLE_EQ(over_0.value_at(0), 0.3);
+  EXPECT_DOUBLE_EQ(over_0.value_at(1), 0.7);
+}
+
+TEST(Factor, MarginalizePreservesSum) {
+  Factor joint({1, 3, 5}, {2, 3, 2});
+  for (std::size_t i = 0; i < joint.size(); ++i) {
+    joint.set_value_at(i, static_cast<double>(i % 5) + 0.5);
+  }
+  const double total = joint.sum();
+  EXPECT_NEAR(joint.marginalize(3).sum(), total, 1e-12);
+  EXPECT_NEAR(joint.marginalize(1).marginalize(5).sum(), total, 1e-12);
+}
+
+TEST(Factor, ReduceSelectsSlice) {
+  Factor joint({0, 1}, {2, 3});
+  // values[x * 3 + y] = 10x + y
+  for (std::int32_t x = 0; x < 2; ++x) {
+    for (std::int32_t y = 0; y < 3; ++y) {
+      joint.set_value_at(static_cast<std::size_t>(x * 3 + y), 10.0 * x + y);
+    }
+  }
+  const Factor given_x1 = joint.reduce(0, 1);
+  ASSERT_EQ(given_x1.variables(), (std::vector<VarId>{1}));
+  EXPECT_DOUBLE_EQ(given_x1.value_at(0), 10.0);
+  EXPECT_DOUBLE_EQ(given_x1.value_at(2), 12.0);
+  const Factor given_y2 = joint.reduce(1, 2);
+  ASSERT_EQ(given_y2.variables(), (std::vector<VarId>{0}));
+  EXPECT_DOUBLE_EQ(given_y2.value_at(0), 2.0);
+  EXPECT_DOUBLE_EQ(given_y2.value_at(1), 12.0);
+}
+
+TEST(Factor, NormalizeMakesDistribution) {
+  Factor f = binary_factor(0, 3.0, 1.0);
+  f.normalize();
+  EXPECT_DOUBLE_EQ(f.value_at(0), 0.75);
+  EXPECT_DOUBLE_EQ(f.value_at(1), 0.25);
+  Factor zero = binary_factor(0, 0.0, 0.0);
+  zero.normalize();  // must not divide by zero
+  EXPECT_DOUBLE_EQ(zero.value_at(0), 0.0);
+}
+
+TEST(Factor, IndexOfUsesScopeOnly) {
+  Factor f({1, 4}, {2, 3});
+  std::vector<std::int32_t> assignment(6, 0);
+  assignment[1] = 1;
+  assignment[4] = 2;
+  assignment[0] = 99;  // irrelevant variable must be ignored
+  EXPECT_EQ(f.index_of(assignment), 1u * 3 + 2);
+}
+
+TEST(Factor, HasVariable) {
+  const Factor f({2, 7}, {2, 2});
+  EXPECT_TRUE(f.has_variable(2));
+  EXPECT_TRUE(f.has_variable(7));
+  EXPECT_FALSE(f.has_variable(3));
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -1,0 +1,80 @@
+// Failure injection: the engines must propagate CI-test failures rather
+// than swallow them, and the guards on degenerate inputs must hold.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+#include "pc/skeleton.hpp"
+#include "stats/oracle_test.hpp"
+
+namespace fastbns {
+namespace {
+
+/// Oracle decorator that throws after a fixed number of tests.
+class FailingCiTest final : public CiTest {
+ public:
+  FailingCiTest(const Dag& dag, std::int64_t fail_after)
+      : oracle_(dag), fail_after_(fail_after) {}
+
+  CiResult test(VarId x, VarId y, std::span<const VarId> z) override {
+    if (++calls_ > fail_after_) {
+      throw std::runtime_error("injected CI-test failure");
+    }
+    ++tests_performed_;
+    return oracle_.test(x, y, z);
+  }
+
+  [[nodiscard]] std::unique_ptr<CiTest> clone() const override {
+    // Clones share the failure budget conceptually; each clone fails on
+    // its own counter, which suffices for the sequential engines.
+    return std::make_unique<FailingCiTest>(*this);
+  }
+
+ private:
+  DSeparationOracle oracle_;
+  std::int64_t fail_after_ = 0;
+  std::int64_t calls_ = 0;
+};
+
+Dag chain_dag(VarId n) {
+  Dag dag(n);
+  for (VarId v = 0; v + 1 < n; ++v) dag.add_edge(v, v + 1);
+  return dag;
+}
+
+TEST(FailureInjection, SequentialEnginePropagatesTestException) {
+  const Dag dag = chain_dag(6);
+  const FailingCiTest failing(dag, /*fail_after=*/3);
+  PcOptions options;
+  options.engine = EngineKind::kFastSequential;
+  EXPECT_THROW((void)learn_skeleton(6, failing, options), std::runtime_error);
+}
+
+TEST(FailureInjection, NaiveEnginePropagatesTestException) {
+  const Dag dag = chain_dag(6);
+  const FailingCiTest failing(dag, /*fail_after=*/5);
+  PcOptions options;
+  options.engine = EngineKind::kNaiveSequential;
+  EXPECT_THROW((void)learn_skeleton(6, failing, options), std::runtime_error);
+}
+
+TEST(FailureInjection, ImmediateFailureFailsDepthZero) {
+  const Dag dag = chain_dag(4);
+  const FailingCiTest failing(dag, /*fail_after=*/0);
+  PcOptions options;
+  options.engine = EngineKind::kFastSequential;
+  EXPECT_THROW((void)learn_skeleton(4, failing, options), std::runtime_error);
+}
+
+TEST(FailureInjection, FailureBeyondWorkloadIsHarmless) {
+  const Dag dag = chain_dag(4);
+  const FailingCiTest failing(dag, /*fail_after=*/1 << 20);
+  PcOptions options;
+  options.engine = EngineKind::kFastSequential;
+  const SkeletonResult result = learn_skeleton(4, failing, options);
+  EXPECT_TRUE(result.graph == dag.skeleton());
+}
+
+}  // namespace
+}  // namespace fastbns

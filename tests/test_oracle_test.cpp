@@ -1,0 +1,62 @@
+#include "stats/oracle_test.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastbns {
+namespace {
+
+Dag collider_dag() {  // 0 -> 1 <- 2
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(2, 1);
+  return dag;
+}
+
+TEST(DSeparationOracle, MatchesDSeparation) {
+  const Dag dag = collider_dag();
+  DSeparationOracle oracle(dag);
+  EXPECT_TRUE(oracle.test(0, 2, {}).independent);
+  const std::vector<VarId> z{1};
+  EXPECT_FALSE(oracle.test(0, 2, z).independent);
+  EXPECT_FALSE(oracle.test(0, 1, {}).independent);
+}
+
+TEST(DSeparationOracle, ResultFieldsAreConsistent) {
+  const Dag dag = collider_dag();
+  DSeparationOracle oracle(dag);
+  const CiResult independent = oracle.test(0, 2, {});
+  EXPECT_DOUBLE_EQ(independent.p_value, 1.0);
+  const std::vector<VarId> z{1};
+  const CiResult dependent = oracle.test(0, 2, z);
+  EXPECT_DOUBLE_EQ(dependent.p_value, 0.0);
+}
+
+TEST(DSeparationOracle, CountsTests) {
+  const Dag dag = collider_dag();
+  DSeparationOracle oracle(dag);
+  oracle.test(0, 1, {});
+  oracle.test(0, 2, {});
+  EXPECT_EQ(oracle.tests_performed(), 2);
+}
+
+TEST(DSeparationOracle, GroupProtocolDelegates) {
+  const Dag dag = collider_dag();
+  DSeparationOracle oracle(dag);
+  oracle.begin_group(0, 2);
+  EXPECT_TRUE(oracle.test_in_group({}).independent);
+  const std::vector<VarId> z{1};
+  EXPECT_FALSE(oracle.test_in_group(z).independent);
+}
+
+TEST(DSeparationOracle, CloneSharesDagNotCounters) {
+  const Dag dag = collider_dag();
+  DSeparationOracle oracle(dag);
+  auto copy = oracle.clone();
+  copy->test(0, 2, {});
+  EXPECT_EQ(copy->tests_performed(), 1);
+  EXPECT_EQ(oracle.tests_performed(), 0);
+  EXPECT_TRUE(copy->test(0, 2, {}).independent);
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -1,0 +1,119 @@
+// End-to-end tests of the public learn_structure / pc_stable entry points.
+#include "pc/pc_stable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/graph_metrics.hpp"
+#include "network/forward_sampler.hpp"
+#include "network/standard_networks.hpp"
+#include "stats/oracle_test.hpp"
+
+namespace fastbns {
+namespace {
+
+TEST(PcStable, OracleOnAlarmRecoversExactCpdag) {
+  const BayesianNetwork alarm = alarm_network();
+  DSeparationOracle oracle(alarm.dag());
+  PcOptions options;
+  options.engine = EngineKind::kCiParallel;
+  options.num_threads = 2;
+  options.group_size = 4;
+  const PcStableResult result =
+      pc_stable(alarm.num_nodes(), oracle, options);
+  const Pdag truth = cpdag_of_dag(alarm.dag());
+  EXPECT_EQ(structural_hamming_distance(result.cpdag, truth), 0);
+  EXPECT_EQ(result.skeleton.graph.num_edges(), 46);
+}
+
+TEST(PcStable, LearnsAlarmFromDataWithHighAccuracy) {
+  const BayesianNetwork alarm = alarm_network();
+  Rng rng(2024);
+  const DiscreteDataset data = forward_sample(alarm, 5000, rng);
+  PcOptions options;
+  options.engine = EngineKind::kCiParallel;
+  options.num_threads = 2;
+  const PcStableResult result = learn_structure(data, options);
+
+  const SkeletonMetrics metrics =
+      compare_skeletons(result.skeleton.graph, alarm.dag().skeleton());
+  // Finite-sample learning is imperfect; require strong but not exact
+  // recovery (the paper's accuracy claim is only engine-equivalence).
+  EXPECT_GT(metrics.f1(), 0.80) << "precision=" << metrics.precision()
+                                << " recall=" << metrics.recall();
+}
+
+TEST(PcStable, ResultFieldsAreConsistent) {
+  const BayesianNetwork alarm = alarm_network();
+  Rng rng(7);
+  const DiscreteDataset data = forward_sample(alarm, 1000, rng);
+  const PcStableResult result = learn_structure(data, {});
+  EXPECT_EQ(result.cpdag.num_nodes(), 37);
+  EXPECT_GT(result.skeleton.total_ci_tests, 0);
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_GE(result.skeleton.seconds, 0.0);
+  // The CPDAG's skeleton is the learned skeleton.
+  EXPECT_TRUE(result.cpdag.skeleton() == result.skeleton.graph);
+  EXPECT_FALSE(result.cpdag.has_directed_cycle());
+}
+
+TEST(PcStable, DeterministicAcrossRuns) {
+  const BayesianNetwork alarm = alarm_network();
+  Rng rng(11);
+  const DiscreteDataset data = forward_sample(alarm, 1500, rng);
+  PcOptions options;
+  options.engine = EngineKind::kCiParallel;
+  options.num_threads = 4;
+  const PcStableResult a = learn_structure(data, options);
+  const PcStableResult b = learn_structure(data, options);
+  EXPECT_TRUE(a.cpdag == b.cpdag);
+  EXPECT_EQ(a.skeleton.total_ci_tests, b.skeleton.total_ci_tests);
+}
+
+TEST(PcStable, AllEnginesProduceSameCpdagFromData) {
+  const BayesianNetwork alarm = alarm_network();
+  Rng rng(13);
+  const DiscreteDataset data = forward_sample(alarm, 1000, rng);
+  PcOptions reference_options;
+  reference_options.engine = EngineKind::kFastSequential;
+  const PcStableResult reference = learn_structure(data, reference_options);
+  for (const EngineKind engine :
+       {EngineKind::kNaiveSequential, EngineKind::kEdgeParallel,
+        EngineKind::kSampleParallel, EngineKind::kCiParallel}) {
+    PcOptions options;
+    options.engine = engine;
+    options.num_threads = 2;
+    const PcStableResult result = learn_structure(data, options);
+    EXPECT_TRUE(result.cpdag == reference.cpdag) << to_string(engine);
+  }
+}
+
+TEST(PcStable, AlphaChangesResults) {
+  const BayesianNetwork alarm = alarm_network();
+  Rng rng(17);
+  const DiscreteDataset data = forward_sample(alarm, 2000, rng);
+  PcOptions strict;
+  strict.alpha = 0.001;
+  PcOptions lenient;
+  lenient.alpha = 0.2;
+  const PcStableResult strict_result = learn_structure(data, strict);
+  const PcStableResult lenient_result = learn_structure(data, lenient);
+  // A stricter alpha accepts independence more readily -> fewer edges.
+  EXPECT_LE(strict_result.skeleton.graph.num_edges(),
+            lenient_result.skeleton.graph.num_edges());
+}
+
+TEST(PcStable, MoreSamplesImproveAccuracy) {
+  const BayesianNetwork alarm = alarm_network();
+  Rng rng(19);
+  const DiscreteDataset big = forward_sample(alarm, 8000, rng);
+  const DiscreteDataset small = big.head(300);
+  const PcStableResult from_small = learn_structure(small, {});
+  const PcStableResult from_big = learn_structure(big, {});
+  const Pdag truth = cpdag_of_dag(alarm.dag());
+  EXPECT_LE(structural_hamming_distance(from_big.cpdag, truth),
+            structural_hamming_distance(from_small.cpdag, truth));
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -1,0 +1,150 @@
+#include "graph/pdag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastbns {
+namespace {
+
+TEST(Pdag, UndirectedEdgeBasics) {
+  Pdag pdag(4);
+  pdag.add_undirected(0, 1);
+  EXPECT_TRUE(pdag.has_undirected(0, 1));
+  EXPECT_TRUE(pdag.has_undirected(1, 0));
+  EXPECT_TRUE(pdag.adjacent(0, 1));
+  EXPECT_FALSE(pdag.has_directed(0, 1));
+  EXPECT_EQ(pdag.num_undirected_edges(), 1);
+  EXPECT_EQ(pdag.num_directed_edges(), 0);
+}
+
+TEST(Pdag, DirectedEdgeBasics) {
+  Pdag pdag(4);
+  pdag.add_directed(2, 3);
+  EXPECT_TRUE(pdag.has_directed(2, 3));
+  EXPECT_FALSE(pdag.has_directed(3, 2));
+  EXPECT_TRUE(pdag.adjacent(3, 2));
+  EXPECT_FALSE(pdag.has_undirected(2, 3));
+  EXPECT_EQ(pdag.num_directed_edges(), 1);
+}
+
+TEST(Pdag, OrientConvertsUndirected) {
+  Pdag pdag(3);
+  pdag.add_undirected(0, 1);
+  pdag.orient(1, 0);
+  EXPECT_TRUE(pdag.has_directed(1, 0));
+  EXPECT_FALSE(pdag.has_undirected(0, 1));
+  EXPECT_EQ(pdag.num_undirected_edges(), 0);
+  EXPECT_EQ(pdag.num_directed_edges(), 1);
+}
+
+TEST(Pdag, RemoveEdgeClearsBothSlots) {
+  Pdag pdag(3);
+  pdag.add_directed(0, 1);
+  pdag.remove_edge(0, 1);
+  EXPECT_FALSE(pdag.adjacent(0, 1));
+}
+
+TEST(Pdag, NeighborQueries) {
+  Pdag pdag(5);
+  pdag.add_directed(0, 2);
+  pdag.add_directed(2, 3);
+  pdag.add_undirected(2, 4);
+  EXPECT_EQ(pdag.parents(2), (std::vector<VarId>{0}));
+  EXPECT_EQ(pdag.children(2), (std::vector<VarId>{3}));
+  EXPECT_EQ(pdag.undirected_neighbors(2), (std::vector<VarId>{4}));
+  EXPECT_EQ(pdag.adjacent_nodes(2), (std::vector<VarId>{0, 3, 4}));
+}
+
+TEST(Pdag, FromSkeletonAllUndirected) {
+  UndirectedGraph skeleton(3);
+  skeleton.add_edge(0, 1);
+  skeleton.add_edge(1, 2);
+  const Pdag pdag = Pdag::from_skeleton(skeleton);
+  EXPECT_EQ(pdag.num_undirected_edges(), 2);
+  EXPECT_EQ(pdag.num_directed_edges(), 0);
+}
+
+TEST(Pdag, FromDagAllDirected) {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(1, 2);
+  const Pdag pdag = Pdag::from_dag(dag);
+  EXPECT_EQ(pdag.num_directed_edges(), 2);
+  EXPECT_EQ(pdag.num_undirected_edges(), 0);
+  EXPECT_TRUE(pdag.has_directed(0, 1));
+}
+
+TEST(Pdag, SkeletonRoundTrip) {
+  Pdag pdag(4);
+  pdag.add_directed(0, 1);
+  pdag.add_undirected(1, 2);
+  const UndirectedGraph skeleton = pdag.skeleton();
+  EXPECT_TRUE(skeleton.has_edge(0, 1));
+  EXPECT_TRUE(skeleton.has_edge(1, 2));
+  EXPECT_EQ(skeleton.num_edges(), 2);
+}
+
+TEST(Pdag, DirectedCycleDetection) {
+  Pdag pdag(3);
+  pdag.add_directed(0, 1);
+  pdag.add_directed(1, 2);
+  EXPECT_FALSE(pdag.has_directed_cycle());
+  pdag.add_directed(2, 0);
+  EXPECT_TRUE(pdag.has_directed_cycle());
+}
+
+TEST(Pdag, EdgeListsAreSorted) {
+  Pdag pdag(4);
+  pdag.add_directed(3, 1);
+  pdag.add_directed(0, 2);
+  pdag.add_undirected(1, 2);
+  const auto directed = pdag.directed_edges();
+  ASSERT_EQ(directed.size(), 2u);
+  EXPECT_EQ(directed[0], (std::pair<VarId, VarId>{0, 2}));
+  EXPECT_EQ(directed[1], (std::pair<VarId, VarId>{3, 1}));
+  const auto undirected = pdag.undirected_edges();
+  ASSERT_EQ(undirected.size(), 1u);
+  EXPECT_EQ(undirected[0], (std::pair<VarId, VarId>{1, 2}));
+}
+
+TEST(Pdag, ConsistentExtensionOfUndirectedChain) {
+  // 0 - 1 - 2 can be extended without creating a v-structure.
+  Pdag pdag(3);
+  pdag.add_undirected(0, 1);
+  pdag.add_undirected(1, 2);
+  const auto dag = pdag.consistent_extension();
+  ASSERT_TRUE(dag.has_value());
+  EXPECT_TRUE(dag->is_acyclic());
+  EXPECT_EQ(dag->num_edges(), 2);
+  // No new collider: node 1 must not have two parents.
+  EXPECT_LT(dag->in_degree(1), 2);
+}
+
+TEST(Pdag, ConsistentExtensionKeepsDirectedEdges) {
+  Pdag pdag(3);
+  pdag.add_directed(0, 1);
+  pdag.add_undirected(1, 2);
+  const auto dag = pdag.consistent_extension();
+  ASSERT_TRUE(dag.has_value());
+  EXPECT_TRUE(dag->has_edge(0, 1));
+  // 1 - 2 must be oriented 1 -> 2, else 0 -> 1 <- 2 is a new v-structure.
+  EXPECT_TRUE(dag->has_edge(1, 2));
+}
+
+TEST(Pdag, ConsistentExtensionFailsOnImpossiblePattern) {
+  // Collider 0 -> 1 <- 2 plus undirected 1 - 3 where 3 is nonadjacent to
+  // 0 and 2: orienting 3 -> 1 adds a new collider, orienting 1 -> 3 is
+  // fine. So this one extends. A genuinely impossible case: directed
+  // 2-cycle via marks.
+  Pdag pdag(2);
+  pdag.add_directed(0, 1);
+  // Force an inconsistent second mark through the public API is not
+  // possible; instead check a directed cycle pattern.
+  Pdag cyclic(3);
+  cyclic.add_directed(0, 1);
+  cyclic.add_directed(1, 2);
+  cyclic.add_directed(2, 0);
+  EXPECT_FALSE(cyclic.consistent_extension().has_value());
+}
+
+}  // namespace
+}  // namespace fastbns

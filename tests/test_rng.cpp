@@ -1,0 +1,150 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace fastbns {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound) << "bound=" << bound;
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroOrOneIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRoughlyUniformMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(3, 3), 3);
+  }
+}
+
+TEST(Rng, GammaIsPositive) {
+  Rng rng(13);
+  for (double shape : {0.3, 0.5, 1.0, 2.5, 10.0}) {
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_GT(rng.gamma(shape), 0.0) << "shape=" << shape;
+    }
+  }
+}
+
+TEST(Rng, GammaMeanApproximatesShape) {
+  Rng rng(17);
+  const double shape = 4.0;
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.gamma(shape);
+  EXPECT_NEAR(sum / kN, shape, 0.15);
+}
+
+TEST(Rng, DirichletRowsNormalized) {
+  Rng rng(19);
+  std::vector<double> probs(5);
+  for (int i = 0; i < 100; ++i) {
+    rng.dirichlet(0.5, probs);
+    const double sum = std::accumulate(probs.begin(), probs.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (const double p : probs) EXPECT_GT(p, 0.0);
+  }
+}
+
+TEST(Rng, CategoricalMatchesDistribution) {
+  Rng rng(23);
+  const std::vector<double> probs = {0.1, 0.6, 0.3};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.categorical(probs)];
+  EXPECT_NEAR(counts[0] / double(kN), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / double(kN), 0.6, 0.02);
+  EXPECT_NEAR(counts[2] / double(kN), 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(items.begin(), items.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(items, shuffled);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next() != child.next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(SplitMix64, KnownFirstOutputs) {
+  // Reference values for seed 0 (splitmix64 is a published algorithm).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ULL);
+}
+
+}  // namespace
+}  // namespace fastbns

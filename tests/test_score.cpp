@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/graph_metrics.hpp"
+#include "network/forward_sampler.hpp"
+#include "network/standard_networks.hpp"
+#include "score/decomposable_score.hpp"
+#include "score/hill_climbing.hpp"
+
+namespace fastbns {
+namespace {
+
+/// Strongly coupled pair (x ~ y) plus an independent coin w.
+DiscreteDataset coupled_dataset(Count m, std::uint64_t seed) {
+  DiscreteDataset data(3, m, {2, 2, 2}, DataLayout::kColumnMajor);
+  Rng rng(seed);
+  for (Count s = 0; s < m; ++s) {
+    const auto x = static_cast<DataValue>(rng.next_below(2));
+    const auto y = rng.next_double() < 0.95 ? x : static_cast<DataValue>(1 - x);
+    data.set(s, 0, x);
+    data.set(s, 1, y);
+    data.set(s, 2, static_cast<DataValue>(rng.next_below(2)));
+  }
+  return data;
+}
+
+TEST(DecomposableScore, LogLikelihoodImprovesWithInformativeParent) {
+  const auto data = coupled_dataset(2000, 1);
+  ScoreOptions options;
+  options.kind = ScoreKind::kLogLikelihood;
+  DecomposableScore score(data, options);
+  const double without = score.local_score(1, {});
+  const double with_x = score.local_score(1, {0});
+  EXPECT_GT(with_x, without);
+  // An uninformative parent cannot *decrease* maximized log-likelihood.
+  const double with_w = score.local_score(1, {2});
+  EXPECT_GE(with_w + 1e-9, without);
+}
+
+TEST(DecomposableScore, BicPenalizesUselessParents) {
+  const auto data = coupled_dataset(2000, 2);
+  DecomposableScore bic(data, {});
+  EXPECT_GT(bic.local_score(1, {0}), bic.local_score(1, {}));   // real edge
+  EXPECT_LT(bic.local_score(1, {2}), bic.local_score(1, {}));   // noise edge
+}
+
+TEST(DecomposableScore, BdeuPrefersTrueParentToo) {
+  const auto data = coupled_dataset(2000, 3);
+  ScoreOptions options;
+  options.kind = ScoreKind::kBdeu;
+  options.ess = 1.0;
+  DecomposableScore bdeu(data, options);
+  EXPECT_GT(bdeu.local_score(1, {0}), bdeu.local_score(1, {}));
+  EXPECT_LT(bdeu.local_score(1, {2}), bdeu.local_score(1, {}));
+}
+
+TEST(DecomposableScore, CacheHitsOnRepeatedQueries) {
+  const auto data = coupled_dataset(500, 4);
+  DecomposableScore score(data, {});
+  (void)score.local_score(0, {1});
+  (void)score.local_score(0, {1});
+  (void)score.local_score(0, {1, 2});
+  EXPECT_EQ(score.cache_misses(), 2);
+  EXPECT_EQ(score.cache_hits(), 1);
+}
+
+TEST(DecomposableScore, TotalScoreSumsFamilies) {
+  const auto data = coupled_dataset(500, 5);
+  DecomposableScore score(data, {});
+  const double total = score.total_score({{}, {0}, {}});
+  const double expected = score.local_score(0, {}) +
+                          score.local_score(1, {0}) +
+                          score.local_score(2, {});
+  EXPECT_NEAR(total, expected, 1e-12);
+}
+
+TEST(DecomposableScore, ScoreEquivalenceOfMarkovEquivalentDags) {
+  // BIC is score-equivalent: x -> y and y -> x score identically on the
+  // same data (both are I-maps of the same distribution class).
+  const auto data = coupled_dataset(1500, 6);
+  DecomposableScore score(data, {});
+  const double forward = score.local_score(0, {}) + score.local_score(1, {0});
+  const double backward = score.local_score(1, {}) + score.local_score(0, {1});
+  EXPECT_NEAR(forward, backward, 1e-9);
+}
+
+TEST(HillClimbing, RecoversSkeletonOfCoupledPair) {
+  const auto data = coupled_dataset(2000, 7);
+  const HillClimbingResult result = hill_climb(data);
+  // Exactly one edge between 0 and 1 (either direction), none touching 2.
+  EXPECT_EQ(result.dag.num_edges(), 1);
+  EXPECT_TRUE(result.dag.has_edge(0, 1) || result.dag.has_edge(1, 0));
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(HillClimbing, EmptyDataStructureStaysEmpty) {
+  // Independent coins: BIC should keep the empty graph.
+  DiscreteDataset data(3, 3000, {2, 2, 2}, DataLayout::kColumnMajor);
+  Rng rng(8);
+  for (Count s = 0; s < 3000; ++s) {
+    for (VarId v = 0; v < 3; ++v) {
+      data.set(s, v, static_cast<DataValue>(rng.next_below(2)));
+    }
+  }
+  const HillClimbingResult result = hill_climb(data);
+  EXPECT_EQ(result.dag.num_edges(), 0);
+}
+
+TEST(HillClimbing, RespectsMaxParents) {
+  const BayesianNetwork alarm = alarm_network();
+  Rng rng(9);
+  const DiscreteDataset data = forward_sample(alarm, 1500, rng);
+  HillClimbingOptions options;
+  options.max_parents = 2;
+  const HillClimbingResult result = hill_climb(data, options);
+  for (VarId v = 0; v < result.dag.num_nodes(); ++v) {
+    EXPECT_LE(result.dag.in_degree(v), 2);
+  }
+  EXPECT_TRUE(result.dag.is_acyclic());
+}
+
+TEST(HillClimbing, MaxIterationsCapsWork) {
+  const BayesianNetwork alarm = alarm_network();
+  Rng rng(10);
+  const DiscreteDataset data = forward_sample(alarm, 1000, rng);
+  HillClimbingOptions options;
+  options.max_iterations = 5;
+  const HillClimbingResult result = hill_climb(data, options);
+  EXPECT_LE(result.iterations, 5);
+  EXPECT_LE(result.dag.num_edges(), 5);
+}
+
+TEST(HillClimbing, ReasonableAlarmRecovery) {
+  const BayesianNetwork alarm = alarm_network();
+  Rng rng(11);
+  const DiscreteDataset data = forward_sample(alarm, 4000, rng);
+  const HillClimbingResult result = hill_climb(data);
+  const SkeletonMetrics metrics =
+      compare_skeletons(result.dag.skeleton(), alarm.dag().skeleton());
+  EXPECT_GT(metrics.f1(), 0.7) << "precision=" << metrics.precision()
+                               << " recall=" << metrics.recall();
+  EXPECT_TRUE(result.dag.is_acyclic());
+}
+
+TEST(HillClimbing, ScoreNeverDecreasesAcrossRestarts) {
+  // The returned score must equal the total score of the returned DAG.
+  const auto data = coupled_dataset(1000, 12);
+  const HillClimbingResult result = hill_climb(data);
+  DecomposableScore score(data, {});
+  std::vector<std::vector<VarId>> parents(3);
+  for (VarId v = 0; v < 3; ++v) parents[v] = result.dag.parents(v);
+  EXPECT_NEAR(result.score, score.total_score(parents), 1e-9);
+}
+
+}  // namespace
+}  // namespace fastbns

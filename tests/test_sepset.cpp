@@ -1,0 +1,66 @@
+#include "pc/sepset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastbns {
+namespace {
+
+TEST(SepsetStore, SetAndFind) {
+  SepsetStore store;
+  EXPECT_EQ(store.find(0, 1), nullptr);
+  store.set(0, 1, {2, 3});
+  const auto* sepset = store.find(0, 1);
+  ASSERT_NE(sepset, nullptr);
+  EXPECT_EQ(*sepset, (std::vector<VarId>{2, 3}));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SepsetStore, UnorderedPairKey) {
+  SepsetStore store;
+  store.set(5, 2, {7});
+  EXPECT_NE(store.find(2, 5), nullptr);
+  EXPECT_NE(store.find(5, 2), nullptr);
+  EXPECT_EQ(*store.find(2, 5), (std::vector<VarId>{7}));
+}
+
+TEST(SepsetStore, FirstWriteWins) {
+  SepsetStore store;
+  store.set(0, 1, {2});
+  store.set(1, 0, {3});  // same pair, different order: ignored
+  EXPECT_EQ(*store.find(0, 1), (std::vector<VarId>{2}));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SepsetStore, EmptySepsetIsValid) {
+  SepsetStore store;
+  store.set(0, 1, {});
+  ASSERT_NE(store.find(0, 1), nullptr);
+  EXPECT_TRUE(store.find(0, 1)->empty());
+}
+
+TEST(SepsetStore, SeparatesWith) {
+  SepsetStore store;
+  store.set(0, 1, {4, 9});
+  EXPECT_TRUE(store.separates_with(0, 1, 4));
+  EXPECT_TRUE(store.separates_with(1, 0, 9));
+  EXPECT_FALSE(store.separates_with(0, 1, 5));
+  EXPECT_FALSE(store.separates_with(2, 3, 4));  // unknown pair
+}
+
+TEST(SepsetStore, DistinctPairsDoNotCollide) {
+  SepsetStore store;
+  store.set(0, 1, {2});
+  store.set(0, 2, {3});
+  store.set(1, 2, {0});
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(*store.find(0, 2), (std::vector<VarId>{3}));
+}
+
+TEST(SepsetStore, LargeIdsHashCorrectly) {
+  SepsetStore store;
+  store.set(1040, 1039, {0});
+  EXPECT_TRUE(store.separates_with(1039, 1040, 0));
+}
+
+}  // namespace
+}  // namespace fastbns

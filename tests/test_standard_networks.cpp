@@ -1,0 +1,87 @@
+#include "network/standard_networks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastbns {
+namespace {
+
+TEST(TableII, SpecsMatchThePaper) {
+  const auto& specs = table_ii_specs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "alarm");
+  EXPECT_EQ(specs[0].num_nodes, 37);
+  EXPECT_EQ(specs[0].num_edges, 46);
+  EXPECT_EQ(specs[0].max_samples, 15000);
+  EXPECT_EQ(specs[5].name, "link");
+  EXPECT_EQ(specs[5].num_nodes, 724);
+  EXPECT_EQ(specs[5].num_edges, 1125);
+  EXPECT_EQ(specs[5].max_samples, 5000);
+  EXPECT_TRUE(specs[5].large_scale);
+  EXPECT_FALSE(specs[0].large_scale);
+}
+
+TEST(Alarm, PublishedTopology) {
+  const BayesianNetwork alarm = alarm_network();
+  EXPECT_EQ(alarm.num_nodes(), 37);
+  EXPECT_EQ(alarm.num_edges(), 46);
+  EXPECT_TRUE(alarm.dag().is_acyclic());
+  EXPECT_TRUE(alarm.valid());
+}
+
+TEST(Alarm, KnownEdgesPresent) {
+  const BayesianNetwork alarm = alarm_network();
+  auto edge = [&](const char* from, const char* to) {
+    return alarm.dag().has_edge(alarm.index_of(from), alarm.index_of(to));
+  };
+  EXPECT_TRUE(edge("LVFAILURE", "HISTORY"));
+  EXPECT_TRUE(edge("CATECHOL", "HR"));
+  EXPECT_TRUE(edge("HR", "CO"));
+  EXPECT_TRUE(edge("CO", "BP"));
+  EXPECT_TRUE(edge("VENTALV", "PVSAT"));
+  EXPECT_TRUE(edge("MINVOLSET", "VENTMACH"));
+  EXPECT_FALSE(edge("HR", "CATECHOL"));  // direction matters
+  EXPECT_FALSE(edge("BP", "CVP"));       // nonexistent pair
+}
+
+TEST(Alarm, StandardCardinalities) {
+  const BayesianNetwork alarm = alarm_network();
+  EXPECT_EQ(alarm.variable(alarm.index_of("HYPOVOLEMIA")).cardinality, 2);
+  EXPECT_EQ(alarm.variable(alarm.index_of("CVP")).cardinality, 3);
+  EXPECT_EQ(alarm.variable(alarm.index_of("VENTLUNG")).cardinality, 4);
+  EXPECT_EQ(alarm.variable(alarm.index_of("INTUBATION")).cardinality, 3);
+}
+
+TEST(Alarm, DeterministicCpts) {
+  const BayesianNetwork a = alarm_network();
+  const BayesianNetwork b = alarm_network();
+  for (VarId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(a.cpt(v).probability(0, 0), b.cpt(v).probability(0, 0));
+  }
+}
+
+TEST(BenchmarkNetworks, AnalogsMatchTableIISizes) {
+  for (const NetworkSpec& spec : table_ii_specs()) {
+    // Skip the largest two in routine unit testing to keep the suite fast;
+    // they use the same generator exercised by the others.
+    if (spec.num_nodes > 800) continue;
+    const auto network = benchmark_network(spec.name);
+    ASSERT_TRUE(network.has_value()) << spec.name;
+    EXPECT_EQ(network->num_nodes(), spec.num_nodes) << spec.name;
+    EXPECT_EQ(network->num_edges(), spec.num_edges) << spec.name;
+    EXPECT_TRUE(network->dag().is_acyclic()) << spec.name;
+  }
+}
+
+TEST(BenchmarkNetworks, UnknownNameIsEmpty) {
+  EXPECT_FALSE(benchmark_network("nope").has_value());
+}
+
+TEST(BenchmarkNetworks, AnalogsAreDeterministic) {
+  const auto a = benchmark_network("hepar2");
+  const auto b = benchmark_network("hepar2");
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_TRUE(a->dag() == b->dag());
+}
+
+}  // namespace
+}  // namespace fastbns

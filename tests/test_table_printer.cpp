@@ -1,0 +1,61 @@
+#include "common/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fastbns {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "t"});
+  table.add_row({"alarm", "0.1"});
+  table.add_row({"a-very-long-network-name", "12.25"});
+  const std::string rendered = table.to_string();
+  // Every line has the same length when columns are padded.
+  std::size_t expected = rendered.find('\n');
+  std::size_t position = 0;
+  for (std::size_t line_start = 0; line_start < rendered.size();) {
+    const std::size_t line_end = rendered.find('\n', line_start);
+    EXPECT_EQ(line_end - line_start, expected);
+    line_start = line_end + 1;
+    ++position;
+  }
+  EXPECT_EQ(position, 4u);  // header + separator + 2 rows
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"x"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("x"), std::string::npos);
+  // No crash and the row renders with empty trailing cells.
+  EXPECT_EQ(rendered.find("(null)"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alarm", "1.5"});
+  table.add_row({"link", "2.5"});
+  EXPECT_EQ(table.to_csv(), "name,value\nalarm,1.5\nlink,2.5\n");
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::num(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::num(0.000123, 4), "0.0001");
+}
+
+TEST(TablePrinter, SciFormatsScientific) {
+  EXPECT_EQ(TablePrinter::sci(4.5e9), "4.5e+09");
+  EXPECT_EQ(TablePrinter::sci(8.1e4), "8.1e+04");
+  EXPECT_EQ(TablePrinter::sci(0.0), "0.0e+00");
+}
+
+TEST(TablePrinter, HeaderOnlyTable) {
+  TablePrinter table({"only", "headers"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("only"), std::string::npos);
+  EXPECT_EQ(table.to_csv(), "only,headers\n");
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -1,0 +1,80 @@
+#include "cachesim/trace_ci_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/dag.hpp"
+#include "pc/skeleton.hpp"
+#include "stats/oracle_test.hpp"
+
+namespace fastbns {
+namespace {
+
+Dag collider_dag() {
+  Dag dag(3);
+  dag.add_edge(0, 1);
+  dag.add_edge(2, 1);
+  return dag;
+}
+
+TEST(TracingCiTest, RecordsDirectCalls) {
+  const Dag dag = collider_dag();
+  auto trace = std::make_shared<CiTrace>();
+  TracingCiTest test(std::make_unique<DSeparationOracle>(dag), trace);
+  const std::vector<VarId> z{1};
+  test.test(0, 2, z);
+  test.test(0, 1, {});
+  const auto calls = trace->snapshot();
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0].x, 0);
+  EXPECT_EQ(calls[0].y, 2);
+  EXPECT_EQ(calls[0].z, (std::vector<VarId>{1}));
+  EXPECT_TRUE(calls[1].z.empty());
+}
+
+TEST(TracingCiTest, ForwardsResultsUnchanged) {
+  const Dag dag = collider_dag();
+  auto trace = std::make_shared<CiTrace>();
+  TracingCiTest test(std::make_unique<DSeparationOracle>(dag), trace);
+  EXPECT_TRUE(test.test(0, 2, {}).independent);
+  const std::vector<VarId> z{1};
+  EXPECT_FALSE(test.test(0, 2, z).independent);
+}
+
+TEST(TracingCiTest, RecordsGroupProtocolCalls) {
+  const Dag dag = collider_dag();
+  auto trace = std::make_shared<CiTrace>();
+  TracingCiTest test(std::make_unique<DSeparationOracle>(dag), trace);
+  test.begin_group(0, 2);
+  test.test_in_group({});
+  const auto calls = trace->snapshot();
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].x, 0);
+  EXPECT_EQ(calls[0].y, 2);
+}
+
+TEST(TracingCiTest, ClonesShareOneSink) {
+  const Dag dag = collider_dag();
+  auto trace = std::make_shared<CiTrace>();
+  TracingCiTest test(std::make_unique<DSeparationOracle>(dag), trace);
+  auto copy = test.clone();
+  test.test(0, 1, {});
+  copy->test(0, 2, {});
+  EXPECT_EQ(trace->size(), 2u);
+}
+
+TEST(TracingCiTest, CapturesWholeSkeletonRun) {
+  const Dag dag = collider_dag();
+  auto trace = std::make_shared<CiTrace>();
+  const TracingCiTest prototype(std::make_unique<DSeparationOracle>(dag),
+                                trace);
+  PcOptions options;
+  options.engine = EngineKind::kCiParallel;
+  options.num_threads = 2;
+  const SkeletonResult result = learn_skeleton(3, prototype, options);
+  EXPECT_EQ(static_cast<std::int64_t>(trace->size()),
+            result.total_ci_tests);
+  EXPECT_TRUE(result.graph == dag.skeleton());
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -1,0 +1,168 @@
+#include "inference/variable_elimination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "network/bif_parser.hpp"
+#include "network/random_network.hpp"
+#include "network/standard_networks.hpp"
+
+namespace fastbns {
+namespace {
+
+/// The classic sprinkler network with hand-checkable posteriors.
+BayesianNetwork sprinkler() {
+  return parse_bif_string(R"(
+network sprinkler { }
+variable Rain { type discrete [ 2 ] { yes, no }; }
+variable Sprinkler { type discrete [ 2 ] { on, off }; }
+variable Wet { type discrete [ 2 ] { wet, dry }; }
+probability ( Rain ) { table 0.2, 0.8; }
+probability ( Sprinkler | Rain ) {
+  (yes) 0.01, 0.99;
+  (no) 0.4, 0.6;
+}
+probability ( Wet | Rain, Sprinkler ) {
+  (yes, on) 0.99, 0.01;
+  (yes, off) 0.8, 0.2;
+  (no, on) 0.9, 0.1;
+  (no, off) 0.05, 0.95;
+}
+)");
+}
+
+TEST(VariableElimination, PriorOfRootIsItsCpt) {
+  const BayesianNetwork network = sprinkler();
+  const auto prior = posterior_marginal(network, network.index_of("Rain"));
+  ASSERT_EQ(prior.size(), 2u);
+  EXPECT_NEAR(prior[0], 0.2, 1e-12);
+  EXPECT_NEAR(prior[1], 0.8, 1e-12);
+}
+
+TEST(VariableElimination, MarginalOfChildMatchesHandComputation) {
+  const BayesianNetwork network = sprinkler();
+  // P(Sprinkler=on) = 0.2*0.01 + 0.8*0.4 = 0.322.
+  const auto marginal =
+      posterior_marginal(network, network.index_of("Sprinkler"));
+  EXPECT_NEAR(marginal[0], 0.322, 1e-12);
+}
+
+TEST(VariableElimination, PosteriorGivenEvidence) {
+  const BayesianNetwork network = sprinkler();
+  // P(Rain=yes | Wet=wet) by enumeration:
+  //   P(R,S,W=wet): R=y,S=on: .2*.01*.99 = .00198
+  //                 R=y,S=off: .2*.99*.8 = .1584
+  //                 R=n,S=on: .8*.4*.9  = .288
+  //                 R=n,S=off: .8*.6*.05 = .024
+  //   P(W=wet) = .47238; P(R=y|W=wet) = .16038/.47238 = .33951...
+  const Evidence evidence{{network.index_of("Wet"), 0}};
+  const auto posterior =
+      posterior_marginal(network, network.index_of("Rain"), evidence);
+  EXPECT_NEAR(posterior[0], 0.16038 / 0.47238, 1e-9);
+}
+
+TEST(VariableElimination, ExplainingAway) {
+  const BayesianNetwork network = sprinkler();
+  const VarId rain = network.index_of("Rain");
+  const VarId sprinkler_var = network.index_of("Sprinkler");
+  const VarId wet = network.index_of("Wet");
+  const double p_rain_given_wet =
+      posterior_marginal(network, rain, {{wet, 0}})[0];
+  const double p_rain_given_wet_and_sprinkler =
+      posterior_marginal(network, rain, {{wet, 0}, {sprinkler_var, 0}})[0];
+  // Observing the sprinkler on explains the wet grass away from rain.
+  EXPECT_LT(p_rain_given_wet_and_sprinkler, p_rain_given_wet);
+}
+
+TEST(VariableElimination, EvidenceProbabilityMatchesEnumeration) {
+  const BayesianNetwork network = sprinkler();
+  const Evidence evidence{{network.index_of("Wet"), 0}};
+  EXPECT_NEAR(evidence_probability(network, evidence), 0.47238, 1e-9);
+  EXPECT_NEAR(evidence_probability(network, {}), 1.0, 1e-9);
+}
+
+TEST(VariableElimination, PosteriorsSumToOne) {
+  const BayesianNetwork alarm = alarm_network();
+  const Evidence evidence{{alarm.index_of("HRBP"), 2},
+                          {alarm.index_of("CVP"), 0}};
+  for (const char* target : {"LVFAILURE", "HYPOVOLEMIA", "CATECHOL"}) {
+    const auto posterior =
+        posterior_marginal(alarm, alarm.index_of(target), evidence);
+    double total = 0.0;
+    for (const double p : posterior) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << target;
+  }
+}
+
+TEST(VariableElimination, AgreesWithJointEnumerationOnRandomNetworks) {
+  // Property: VE equals brute-force joint enumeration on small networks.
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    RandomNetworkConfig config;
+    config.num_nodes = 7;
+    config.num_edges = 9;
+    config.seed = seed;
+    const BayesianNetwork network = generate_random_network(config);
+    const Evidence evidence{{3, 0}};
+
+    // Brute force P(V0 | V3 = 0).
+    std::vector<double> brute(network.variable(0).cardinality, 0.0);
+    std::vector<DataValue> assignment(7, 0);
+    const auto enumerate = [&](auto&& self, VarId v) -> void {
+      if (v == 7) {
+        if (assignment[3] != 0) return;
+        brute[assignment[0]] += std::exp(network.log_probability(assignment));
+        return;
+      }
+      for (std::int32_t state = 0; state < network.variable(v).cardinality;
+           ++state) {
+        assignment[v] = static_cast<DataValue>(state);
+        self(self, v + 1);
+      }
+    };
+    enumerate(enumerate, 0);
+    double total = 0.0;
+    for (const double p : brute) total += p;
+    for (auto& p : brute) p /= total;
+
+    const auto posterior = posterior_marginal(network, 0, evidence);
+    ASSERT_EQ(posterior.size(), brute.size());
+    for (std::size_t state = 0; state < brute.size(); ++state) {
+      EXPECT_NEAR(posterior[state], brute[state], 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+TEST(VariableElimination, InvalidQueriesThrow) {
+  const BayesianNetwork network = sprinkler();
+  const VarId rain = network.index_of("Rain");
+  EXPECT_THROW(posterior_marginal(network, -1), std::invalid_argument);
+  EXPECT_THROW(posterior_marginal(network, rain, {{rain, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(posterior_marginal(network, rain, {{99, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      posterior_marginal(network, rain, {{network.index_of("Wet"), 7}}),
+      std::invalid_argument);
+}
+
+TEST(CptFactor, MatchesCptEntries) {
+  const BayesianNetwork network = sprinkler();
+  const VarId sprinkler_var = network.index_of("Sprinkler");
+  const Factor factor = cpt_factor(network, sprinkler_var);
+  // Scope {Rain, Sprinkler} sorted by id; Rain is id 0.
+  ASSERT_EQ(factor.variables().size(), 2u);
+  std::vector<std::int32_t> assignment(3, 0);
+  assignment[network.index_of("Rain")] = 0;   // yes
+  assignment[sprinkler_var] = 0;              // on
+  EXPECT_NEAR(factor.value_at(factor.index_of(assignment)), 0.01, 1e-12);
+  assignment[network.index_of("Rain")] = 1;   // no
+  EXPECT_NEAR(factor.value_at(factor.index_of(assignment)), 0.4, 1e-12);
+}
+
+}  // namespace
+}  // namespace fastbns

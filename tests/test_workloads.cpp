@@ -1,0 +1,69 @@
+#include "bench_util/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fastbns {
+namespace {
+
+TEST(Workloads, MakeWorkloadShapes) {
+  const Workload workload = make_workload("alarm", 500);
+  EXPECT_EQ(workload.name, "alarm");
+  EXPECT_EQ(workload.network.num_nodes(), 37);
+  EXPECT_EQ(workload.data.num_vars(), 37);
+  EXPECT_EQ(workload.data.num_samples(), 500);
+  EXPECT_TRUE(workload.data.has_row_major());
+  EXPECT_TRUE(workload.data.has_column_major());
+  EXPECT_TRUE(workload.data.values_in_range());
+}
+
+TEST(Workloads, DeterministicPerNameAndSize) {
+  const Workload a = make_workload("insurance", 300);
+  const Workload b = make_workload("insurance", 300);
+  for (Count s = 0; s < 300; ++s) {
+    for (VarId v = 0; v < a.data.num_vars(); ++v) {
+      ASSERT_EQ(a.data.value(s, v), b.data.value(s, v));
+    }
+  }
+}
+
+TEST(Workloads, DifferentSampleCountsDiffer) {
+  const Workload a = make_workload("alarm", 100);
+  const Workload b = make_workload("alarm", 200);
+  EXPECT_EQ(a.data.num_samples(), 100);
+  EXPECT_EQ(b.data.num_samples(), 200);
+}
+
+TEST(Workloads, UnknownNetworkThrows) {
+  EXPECT_THROW(make_workload("nope", 100), std::invalid_argument);
+}
+
+TEST(Workloads, ScaleDefaultsToSmall) {
+  unsetenv("FASTBNS_BENCH_SCALE");
+  EXPECT_EQ(bench_scale(), BenchScale::kSmall);
+}
+
+TEST(Workloads, ScaleEnvSelectsPaper) {
+  setenv("FASTBNS_BENCH_SCALE", "paper", 1);
+  EXPECT_EQ(bench_scale(), BenchScale::kPaper);
+  unsetenv("FASTBNS_BENCH_SCALE");
+}
+
+TEST(Workloads, PaperScaleUsesFullGrid) {
+  EXPECT_EQ(comparison_networks(BenchScale::kPaper).size(), 8u);
+  EXPECT_EQ(comparison_samples(BenchScale::kPaper, 5000), 5000);
+  EXPECT_EQ(thread_grid(BenchScale::kPaper),
+            (std::vector<int>{1, 2, 4, 8, 16, 32}));
+}
+
+TEST(Workloads, SmallScaleReducesGrid) {
+  const auto networks = comparison_networks(BenchScale::kSmall);
+  EXPECT_GE(networks.size(), 4u);
+  EXPECT_LT(networks.size(), 8u);
+  EXPECT_EQ(comparison_samples(BenchScale::kSmall, 5000), 2000);
+  EXPECT_LE(thread_grid(BenchScale::kSmall).back(), 8);
+}
+
+}  // namespace
+}  // namespace fastbns
