@@ -17,21 +17,17 @@ namespace {
 using namespace fastbns;
 
 EngineRunConfig scheme_config(const std::string& scheme, int threads) {
-  EngineRunConfig config;
-  config.threads = threads;
+  // "ci", "edge" and "sample" are registry aliases of the three
+  // granularities; engine_config_from_name also sets the sample-parallel
+  // test knob for the sample-level scheme.
+  EngineRunConfig config = engine_config_from_name(scheme, threads);
   if (scheme == "ci") {
-    config.engine = EngineKind::kCiParallel;
     // The practical group size (Figure 4): one endpoint-code pass per 8
     // CI tests, amortizing the pool's per-group work the way the paper's
     // tuned configuration does; first-accept early stop keeps the larger
     // group from paying redundant tests (see EXPERIMENTS.md).
     config.group_size = 8;
     config.eager_group_stop = true;
-  } else if (scheme == "edge") {
-    config.engine = EngineKind::kEdgeParallel;
-  } else {  // sample
-    config.engine = EngineKind::kSampleParallel;
-    config.sample_parallel = true;
   }
   return config;
 }

@@ -13,6 +13,7 @@
 #include "cachesim/access_replay.hpp"
 #include "cachesim/trace_ci_test.hpp"
 #include "common/args.hpp"
+#include "engine/engine_registry.hpp"
 #include "pc/skeleton.hpp"
 #include "stats/discrete_ci_test.hpp"
 
@@ -21,12 +22,13 @@ namespace {
 using namespace fastbns;
 
 std::vector<TracedCiCall> record_trace(const Workload& workload,
-                                       EngineKind engine) {
+                                       const std::string& engine_name) {
   auto trace = std::make_shared<CiTrace>();
   const TracingCiTest prototype(
       std::make_unique<DiscreteCiTest>(workload.data, CiTestOptions{}), trace);
   PcOptions options;
-  options.engine = engine;
+  options.engine = engine_from_string(engine_name);
+  options.engine_name = engine_name;
   (void)learn_skeleton(workload.data.num_vars(), prototype, options);
   return trace->snapshot();
 }
@@ -59,9 +61,9 @@ int main(int argc, char** argv) {
     // the naive baseline, which is where the paper's "fewer L1/LL
     // accesses" rows come from, on top of the per-test miss-rate gap.
     const std::vector<TracedCiCall> fast_trace =
-        record_trace(workload, EngineKind::kFastSequential);
+        record_trace(workload, "fastbns-seq");
     const std::vector<TracedCiCall> naive_trace =
-        record_trace(workload, EngineKind::kNaiveSequential);
+        record_trace(workload, "naive-seq");
     std::printf("[run] traced %zu CI tests (Fast-BNS) / %zu (baseline)\n",
                 fast_trace.size(), naive_trace.size());
     std::fflush(stdout);

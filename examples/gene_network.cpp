@@ -13,6 +13,7 @@
 #include "common/args.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "engine/engine_registry.hpp"
 #include "graph/graph_metrics.hpp"
 #include "network/forward_sampler.hpp"
 #include "network/random_network.hpp"
@@ -26,6 +27,8 @@ int main(int argc, char** argv) {
   args.add_flag("interactions", "number of regulatory edges", "420");
   args.add_flag("samples", "number of expression profiles", "2000");
   args.add_flag("threads", "worker threads (0 = all)", "0");
+  args.add_flag("engine", "parallel engine for the discovery run",
+                "fastbns-par(ci-level)");
   if (!args.parse(argc, argv)) return 1;
 
   // 1. Synthesize the regulatory network: sparse, locally connected,
@@ -47,15 +50,21 @@ int main(int argc, char** argv) {
   const DiscreteDataset profiles =
       forward_sample(truth, args.get_int("samples"), rng);
 
-  // 3. Structure discovery with the parallel engine.
+  // 3. Structure discovery with the selected parallel engine.
   PcOptions options;
-  options.engine = EngineKind::kCiParallel;
+  try {
+    options.engine = engine_from_string(args.get("engine"));
+    options.engine_name = args.get("engine");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "gene_network: %s\n", error.what());
+    return 1;
+  }
   options.num_threads = static_cast<int>(args.get_int("threads"));
   options.group_size = 8;
   const WallTimer timer;
   const PcStableResult result = learn_structure(profiles, options);
-  std::printf("Fast-BNS-par: %.3f s, %lld CI tests, max depth %d\n",
-              timer.seconds(),
+  std::printf("%s: %.3f s, %lld CI tests, max depth %d\n",
+              to_string(options.engine).c_str(), timer.seconds(),
               static_cast<long long>(result.skeleton.total_ci_tests),
               result.skeleton.max_depth_reached);
 
@@ -73,7 +82,8 @@ int main(int argc, char** argv) {
   // 5. Contrast with the sequential engine on the same problem, to show
   //    why the parallel work pool matters at this dimensionality.
   PcOptions sequential = options;
-  sequential.engine = EngineKind::kFastSequential;
+  sequential.engine = engine_from_string("fastbns-seq");
+  sequential.engine_name = "fastbns-seq";
   const WallTimer seq_timer;
   (void)learn_structure(profiles, sequential);
   const double seq_seconds = seq_timer.seconds();

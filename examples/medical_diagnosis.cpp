@@ -8,6 +8,7 @@
 
 #include "common/args.hpp"
 #include "common/rng.hpp"
+#include "engine/engine_registry.hpp"
 #include "graph/graph_metrics.hpp"
 #include "inference/variable_elimination.hpp"
 #include "network/forward_sampler.hpp"
@@ -59,6 +60,8 @@ int main(int argc, char** argv) {
                  "interpret the structure learned from patient-monitor data");
   args.add_flag("samples", "number of patient records", "8000");
   args.add_flag("threads", "worker threads (0 = all)", "0");
+  args.add_flag("engine", "skeleton engine name or alias",
+                "fastbns-par(ci-level)");
   if (!args.parse(argc, argv)) return 1;
 
   const BayesianNetwork alarm = alarm_network();
@@ -67,7 +70,13 @@ int main(int argc, char** argv) {
       forward_sample(alarm, args.get_int("samples"), rng);
 
   PcOptions options;
-  options.engine = EngineKind::kCiParallel;
+  try {
+    options.engine = engine_from_string(args.get("engine"));
+    options.engine_name = args.get("engine");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "medical_diagnosis: %s\n", error.what());
+    return 1;
+  }
   options.num_threads = static_cast<int>(args.get_int("threads"));
   options.group_size = 6;
   const PcStableResult result = learn_structure(records, options);

@@ -7,6 +7,7 @@
 #include "common/args.hpp"
 #include "common/csv_writer.hpp"
 #include "common/rng.hpp"
+#include "engine/engine_registry.hpp"
 #include "graph/graph_metrics.hpp"
 #include "graph/graphviz.hpp"
 #include "network/forward_sampler.hpp"
@@ -18,6 +19,8 @@ int main(int argc, char** argv) {
   ArgParser args("quickstart", "learn the ALARM network from sampled data");
   args.add_flag("samples", "number of samples to draw", "5000");
   args.add_flag("threads", "worker threads (0 = all)", "0");
+  args.add_flag("engine", "skeleton engine (see list_engines)",
+                "fastbns-par(ci-level)");
   args.add_flag("alpha", "significance level of the G2 test", "0.05");
   args.add_flag("dot", "write the learned CPDAG to this DOT file", "");
   if (!args.parse(argc, argv)) return 1;
@@ -34,9 +37,16 @@ int main(int argc, char** argv) {
   std::printf("sampled %lld rows\n",
               static_cast<long long>(data.num_samples()));
 
-  // 3. Learn the structure with the parallel Fast-BNS engine.
+  // 3. Learn the structure with the selected engine (default: the
+  //    parallel Fast-BNS engine).
   PcOptions options;
-  options.engine = EngineKind::kCiParallel;
+  try {
+    options.engine = engine_from_string(args.get("engine"));
+    options.engine_name = args.get("engine");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "quickstart: %s\n", error.what());
+    return 1;
+  }
   options.num_threads = static_cast<int>(args.get_int("threads"));
   options.group_size = 6;  // a good practical gs per the paper
   options.alpha = args.get_double("alpha");

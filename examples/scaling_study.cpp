@@ -31,9 +31,7 @@ int main(int argc, char** argv) {
   for (const auto threads : args.get_int_list("threads")) {
     const int t = static_cast<int>(threads);
     const double ci = run_skeleton_best(workload, fastbns_par_config(t)).seconds;
-    EngineRunConfig edge;
-    edge.engine = EngineKind::kEdgeParallel;
-    edge.threads = t;
+    const EngineRunConfig edge = engine_config_from_name("edge-parallel", t);
     const double edge_time = run_skeleton_best(workload, edge).seconds;
     table.add_row({std::to_string(t), TablePrinter::num(ci, 4),
                    TablePrinter::num(seq.seconds / ci, 2),

@@ -10,18 +10,19 @@
 #include "common/args.hpp"
 #include "common/csv_writer.hpp"
 #include "dataset/dataset_io.hpp"
+#include "engine/engine_registry.hpp"
 #include "graph/graphviz.hpp"
 #include "pc/pc_stable.hpp"
 
 namespace {
 
-fastbns::EngineKind parse_engine(const std::string& name) {
-  using fastbns::EngineKind;
-  if (name == "naive") return EngineKind::kNaiveSequential;
-  if (name == "seq") return EngineKind::kFastSequential;
-  if (name == "edge") return EngineKind::kEdgeParallel;
-  if (name == "sample") return EngineKind::kSampleParallel;
-  return EngineKind::kCiParallel;  // "ci" and default
+std::string engine_help() {
+  std::string help = "skeleton engine (or an alias like ci/edge/seq):";
+  for (const std::string& name : fastbns::list_engines()) {
+    help += ' ';
+    help += name;
+  }
+  return help;
 }
 
 }  // namespace
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
   ArgParser args("structure_tool",
                  "learn a Bayesian-network structure from a CSV dataset");
   args.add_flag("data", "input CSV (header row; integer-coded values)", "");
-  args.add_flag("engine", "naive|seq|edge|sample|ci", "ci");
+  args.add_flag("engine", engine_help(), "ci");
   args.add_flag("threads", "worker threads (0 = all)", "0");
   args.add_flag("gs", "work-pool group size", "6");
   args.add_flag("alpha", "G2 significance level", "0.05");
@@ -60,7 +61,13 @@ int main(int argc, char** argv) {
               static_cast<long long>(input.data.num_samples()));
 
   PcOptions options;
-  options.engine = parse_engine(args.get("engine"));
+  try {
+    options.engine = engine_from_string(args.get("engine"));
+    options.engine_name = args.get("engine");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "structure_tool: %s\n", error.what());
+    return 1;
+  }
   options.num_threads = static_cast<int>(args.get_int("threads"));
   options.group_size = static_cast<std::int32_t>(args.get_int("gs"));
   options.alpha = args.get_double("alpha");

@@ -1,39 +1,49 @@
 #include "bench_util/runner.hpp"
 
 #include "common/timer.hpp"
+#include "engine/engine_registry.hpp"
 #include "stats/discrete_ci_test.hpp"
 
 namespace fastbns {
 
-EngineRunConfig fastbns_seq_config() {
+EngineRunConfig engine_config_from_name(const std::string& engine_name,
+                                        int threads) {
   EngineRunConfig config;
-  config.engine = EngineKind::kFastSequential;
-  config.threads = 1;
+  // Throws the known-names message for unknown engines; find() is then
+  // guaranteed to succeed.
+  config.engine = engine_from_string(engine_name);
+  const EngineInfo& info = *EngineRegistry::instance().find(engine_name);
+  config.engine_name = info.name;
+  config.threads = threads;
+  config.sample_parallel = info.sample_parallel_test;
+  if (info.name == "naive-seq") {
+    // The bnlearn-like data path belongs to the naive baseline
+    // specifically — not to every engine that happens to forgo endpoint
+    // grouping.
+    config.row_major = true;
+    config.materialize_sets = true;
+    config.group_endpoints = false;
+  }
   return config;
 }
 
+EngineRunConfig fastbns_seq_config() {
+  return engine_config_from_name("fastbns-seq", /*threads=*/1);
+}
+
 EngineRunConfig fastbns_par_config(int threads) {
-  EngineRunConfig config;
-  config.engine = EngineKind::kCiParallel;
-  config.threads = threads;
+  EngineRunConfig config =
+      engine_config_from_name("fastbns-par(ci-level)", threads);
   config.group_size = 1;  // Table III setting
   return config;
 }
 
 EngineRunConfig baseline_seq_config() {
-  EngineRunConfig config;
-  config.engine = EngineKind::kNaiveSequential;
-  config.threads = 1;
-  config.row_major = true;
-  config.materialize_sets = true;
-  config.group_endpoints = false;
-  return config;
+  return engine_config_from_name("naive-seq", /*threads=*/1);
 }
 
 EngineRunConfig baseline_par_config(int threads) {
-  EngineRunConfig config;
-  config.engine = EngineKind::kEdgeParallel;
-  config.threads = threads;
+  EngineRunConfig config = engine_config_from_name("edge-parallel", threads);
   config.row_major = true;
   config.group_endpoints = false;  // both directions are separate tasks
   return config;
@@ -64,6 +74,7 @@ EngineRunResult run_skeleton(const Workload& workload,
 
   PcOptions options;
   options.engine = config.engine;
+  options.engine_name = config.engine_name;
   options.num_threads = config.threads;
   options.group_size = config.group_size;
   options.group_endpoints = config.group_endpoints;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "bench_util/workloads.hpp"
 #include "pc/skeleton.hpp"
@@ -11,6 +12,9 @@ namespace fastbns {
 
 struct EngineRunConfig {
   EngineKind engine = EngineKind::kCiParallel;
+  /// Registry name driving engine construction when non-empty (see
+  /// PcOptions::engine_name); set by engine_config_from_name.
+  std::string engine_name;
   int threads = 0;
   std::int32_t group_size = 1;
   double alpha = 0.05;
@@ -32,6 +36,15 @@ struct EngineRunResult {
   std::int32_t max_depth = 0;
   SkeletonResult skeleton{};
 };
+
+/// Resolves `engine_name` through the EngineRegistry (canonical names or
+/// CLI aliases — see list_engines()) and returns a config with the
+/// engine-appropriate companion knobs: the naive baseline gets the
+/// bnlearn-like strided/materialized/ungrouped data path, sample-parallel
+/// gets sample-level contingency-table builds. Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] EngineRunConfig engine_config_from_name(
+    const std::string& engine_name, int threads = 0);
 
 /// The Fast-BNS-seq configuration (optimized sequential).
 [[nodiscard]] EngineRunConfig fastbns_seq_config();

@@ -1,0 +1,48 @@
+// Edge-level parallelism (Section IV-A): a static partition of the
+// depth's edges across threads over the optimized kernel. The load
+// imbalance this exhibits is the phenomenon the CI-level engine fixes.
+#include "common/omp_utils.hpp"
+#include "engine/engine_common.hpp"
+#include "engine/engines.hpp"
+#include "engine/skeleton_engine.hpp"
+
+namespace fastbns {
+namespace {
+
+class EdgeParallelEngine final : public ClonePoolEngine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "edge-parallel";
+  }
+
+  std::int64_t run_depth(std::vector<EdgeWork>& works, std::int32_t depth,
+                         const CiTest& prototype,
+                         const PcOptions& /*options*/) override {
+    const int max_threads = hardware_threads();
+    std::vector<std::unique_ptr<CiTest>>& clones =
+        tests_.acquire(prototype, static_cast<std::size_t>(max_threads));
+
+    std::int64_t tests = 0;
+    // schedule(static) deliberately mirrors the paper's |Ed|/t block
+    // partition — the load imbalance it exhibits is the phenomenon the
+    // CI-level engine fixes.
+#pragma omp parallel for schedule(static) reduction(+ : tests)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(works.size());
+         ++i) {
+      EdgeWork& work = works[i];
+      if (work.total_tests() == 0) continue;
+      CiTest& test = *clones[current_thread()];
+      tests += process_work_tests_early_stop(work, depth, work.total_tests(),
+                                             test, /*use_group_protocol=*/true);
+    }
+    return tests;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SkeletonEngine> make_edge_parallel_engine() {
+  return std::make_unique<EdgeParallelEngine>();
+}
+
+}  // namespace fastbns

@@ -1,0 +1,81 @@
+#include "engine/engine_common.hpp"
+
+#include <algorithm>
+
+namespace fastbns {
+
+std::vector<std::unique_ptr<CiTest>>& ThreadLocalTests::acquire(
+    const CiTest& prototype, std::size_t count) {
+  if (cloned_from_ != &prototype || clones_.size() != count) {
+    clones_.clear();
+    clones_.reserve(count);
+    for (std::size_t t = 0; t < count; ++t) clones_.push_back(prototype.clone());
+    cloned_from_ = &prototype;
+  }
+  return clones_;
+}
+
+void ThreadLocalTests::reset() noexcept {
+  clones_.clear();
+  cloned_from_ = nullptr;
+}
+
+std::int64_t process_materialized(EdgeWork& work, std::int32_t depth,
+                                  CiTest& test, bool use_group_protocol) {
+  std::int64_t executed = 0;
+  if (use_group_protocol) test.begin_group(work.x, work.y);
+  if (depth == 0) {
+    const std::vector<VarId> empty_set;
+    const CiResult result = use_group_protocol
+                                ? test.test_in_group(empty_set)
+                                : test.test(work.x, work.y, empty_set);
+    ++executed;
+    if (result.independent) {
+      work.removed = true;
+      work.sepset.clear();
+    }
+    work.progress = 1;
+    return executed;
+  }
+  const std::vector<VarId> flat = materialize_conditioning_sets(work, depth);
+  const std::uint64_t total = work.total_tests();
+  std::vector<VarId> z(static_cast<std::size_t>(depth));
+  for (std::uint64_t r = 0; r < total; ++r) {
+    const VarId* begin = flat.data() + r * static_cast<std::uint64_t>(depth);
+    std::copy(begin, begin + depth, z.begin());
+    const CiResult result = use_group_protocol
+                                ? test.test_in_group(z)
+                                : test.test(work.x, work.y, z);
+    ++executed;
+    if (result.independent) {
+      work.removed = true;
+      work.sepset = z;
+      break;
+    }
+  }
+  work.progress = total;
+  return executed;
+}
+
+std::int64_t run_sequential_depth(std::vector<EdgeWork>& works,
+                                  std::int32_t depth, CiTest& test,
+                                  bool grouped, bool materialized,
+                                  bool use_group_protocol) {
+  std::int64_t tests = 0;
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    EdgeWork& work = works[i];
+    if (work.total_tests() == 0) continue;
+    // Classic sequential PC-stable skips the (y, x) direction when the
+    // (x, y) direction already removed the edge within this depth.
+    if (!grouped && (i % 2 == 1) && works[i - 1].removed) continue;
+    if (materialized) {
+      tests += process_materialized(work, depth, test, use_group_protocol);
+    } else {
+      tests += process_work_tests_early_stop(work, depth, work.total_tests(),
+                                             test, use_group_protocol);
+    }
+  }
+  return tests;
+}
+
+}  // namespace fastbns

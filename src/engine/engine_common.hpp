@@ -1,0 +1,65 @@
+// Helpers shared by the concrete skeleton engines: per-thread CiTest
+// clone caching, the materialized-set inner loop of the naive/ablation
+// paths, and the sequential depth runner the three sequential-kernel
+// engines delegate to.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/skeleton_engine.hpp"
+#include "pc/edge_work.hpp"
+#include "stats/ci_test.hpp"
+
+namespace fastbns {
+
+/// Lazily-built CiTest clones, one per worker, reused across the depths
+/// of a run. The cache must be reset() between runs: a prototype's
+/// address alone cannot distinguish a new test object at a recycled
+/// address from the previous run's.
+class ThreadLocalTests {
+ public:
+  /// Ensures `count` clones of `prototype` and returns them. The returned
+  /// reference is invalidated by the next acquire() call.
+  std::vector<std::unique_ptr<CiTest>>& acquire(const CiTest& prototype,
+                                                std::size_t count);
+
+  /// Drops all cached clones (called at run start).
+  void reset() noexcept;
+
+ private:
+  const CiTest* cloned_from_ = nullptr;
+  std::vector<std::unique_ptr<CiTest>> clones_;
+};
+
+/// Base of the engines that keep per-thread CiTest clones: wires the
+/// driver's prepare_run() to the cache reset so no engine can forget it.
+class ClonePoolEngine : public SkeletonEngine {
+ public:
+  void prepare_run() final { tests_.reset(); }
+
+ protected:
+  ThreadLocalTests tests_;
+};
+
+/// Materialized-set inner loop: conditioning sets are enumerated into a
+/// flat buffer before any test runs (extra memory + an extra enumeration
+/// pass — the strategy the paper's on-the-fly generation replaces). The
+/// naive baseline additionally recomputes the endpoint codes on every
+/// test (use_group_protocol = false).
+std::int64_t process_materialized(EdgeWork& work, std::int32_t depth,
+                                  CiTest& test, bool use_group_protocol);
+
+/// One depth of the sequential kernel, shared by the naive-seq,
+/// fastbns-seq and sample-parallel engines. `grouped` says whether works
+/// fuse both edge directions; when false the classic PC-stable skip
+/// applies (the (y, x) direction is skipped once (x, y) removed the edge
+/// within this depth). `materialized` selects the flat-buffer strategy
+/// over on-the-fly unranking.
+std::int64_t run_sequential_depth(std::vector<EdgeWork>& works,
+                                  std::int32_t depth, CiTest& test,
+                                  bool grouped, bool materialized,
+                                  bool use_group_protocol);
+
+}  // namespace fastbns

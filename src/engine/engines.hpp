@@ -1,0 +1,32 @@
+// Factories for the five paper engines. Each is defined in its own
+// translation unit under src/engine/; the EngineRegistry constructor is
+// their only in-tree caller — everything else selects engines by name or
+// EngineKind through the registry.
+#pragma once
+
+#include <memory>
+
+#include "engine/skeleton_engine.hpp"
+
+namespace fastbns {
+
+/// bnlearn-like baseline: ordered edge directions processed separately,
+/// conditioning sets materialized ahead of time, no endpoint-code reuse.
+[[nodiscard]] std::unique_ptr<SkeletonEngine> make_naive_sequential_engine();
+
+/// Fast-BNS-seq: endpoint grouping + on-the-fly sets + group code reuse.
+[[nodiscard]] std::unique_ptr<SkeletonEngine> make_fast_sequential_engine();
+
+/// Edge-level parallelism (Section IV-A): static edge partition per depth
+/// over the optimized kernel.
+[[nodiscard]] std::unique_ptr<SkeletonEngine> make_edge_parallel_engine();
+
+/// Sample-level parallelism (Section IV-A): sequential edge loop; the
+/// parallelism lives inside the CI test's contingency-table build.
+[[nodiscard]] std::unique_ptr<SkeletonEngine> make_sample_parallel_engine();
+
+/// Fast-BNS-par (Section IV-B): CI-level parallelism with the dynamic
+/// work pool.
+[[nodiscard]] std::unique_ptr<SkeletonEngine> make_ci_parallel_engine();
+
+}  // namespace fastbns

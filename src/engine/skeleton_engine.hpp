@@ -1,0 +1,65 @@
+// The execution-strategy seam of skeleton discovery.
+//
+// All engines share one semantics — PC-stable over the canonical CI-test
+// order — and differ only in *how* the pending tests of a depth are
+// executed (sequentially, edge-parallel, sample-parallel, or through the
+// dynamic CI-level work pool of Section IV-B). The depth loop, graph and
+// sepset bookkeeping live in the driver (learn_skeleton); an engine sees
+// exactly one depth's work list at a time.
+//
+// Engines are stateful (they cache per-thread CiTest clones across
+// depths), so one instance serves one learn_skeleton run at a time.
+// Concrete engines live in their own translation units under src/engine/
+// and are constructed through the EngineRegistry (engine_registry.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "pc/edge_work.hpp"
+#include "pc/pc_options.hpp"
+#include "stats/ci_test.hpp"
+
+namespace fastbns {
+
+class SkeletonEngine {
+ public:
+  virtual ~SkeletonEngine() = default;
+
+  /// Called by the driver once per run, before the first depth. Engines
+  /// drop state cached from a previous run here (e.g. per-thread CiTest
+  /// clones), so reusing an engine instance across runs is safe even
+  /// when a new prototype lands at a recycled address.
+  virtual void prepare_run() {}
+
+  /// Runs the pending CI tests of one depth over `works` (built by
+  /// build_depth_works from the driver's graph snapshot). The engine owns
+  /// only test execution: it marks works removed and fills their sepsets;
+  /// the driver commits those outcomes to the graph afterwards.
+  /// `prototype` is cloned per worker thread on first use. Returns the
+  /// number of CI tests executed.
+  virtual std::int64_t run_depth(std::vector<EdgeWork>& works,
+                                 std::int32_t depth, const CiTest& prototype,
+                                 const PcOptions& options) = 0;
+
+  /// Canonical engine name; equals to_string(kind) for registry engines.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Whether build_depth_works may fuse both directions of an edge into
+  /// one work unit (Section IV-C endpoint grouping). The naive baseline
+  /// returns false: it models the classic ordered-pair traversal.
+  [[nodiscard]] virtual bool supports_endpoint_grouping() const noexcept {
+    return true;
+  }
+
+  /// Whether CI tests should be constructed with sample-level parallel
+  /// contingency-table builds (the sample-parallel scheme of Section
+  /// IV-A). Consulted by learn_structure and the bench runner when they
+  /// configure the test for this engine.
+  [[nodiscard]] virtual bool wants_sample_parallel_test() const noexcept {
+    return false;
+  }
+};
+
+}  // namespace fastbns

@@ -1,0 +1,22 @@
+#include "pc/pc_options.hpp"
+
+#include <stdexcept>
+
+namespace fastbns {
+
+void PcOptions::validate() const {
+  if (group_size < 1) {
+    throw std::invalid_argument("PcOptions::group_size must be >= 1");
+  }
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument("PcOptions::alpha must be in (0, 1)");
+  }
+  if (max_depth < -1) {
+    throw std::invalid_argument("PcOptions::max_depth must be >= -1");
+  }
+  if (num_threads < 0) {
+    throw std::invalid_argument("PcOptions::num_threads must be >= 0");
+  }
+}
+
+}  // namespace fastbns

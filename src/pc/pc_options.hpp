@@ -25,10 +25,18 @@ enum class EngineKind : std::uint8_t {
   kCiParallel,
 };
 
+/// Canonical engine name as registered in the EngineRegistry (defined in
+/// engine/engine_registry.cpp — the single source of the names the CLI
+/// parsers accept; see also engine_from_string / list_engines there).
 [[nodiscard]] std::string to_string(EngineKind kind);
 
 struct PcOptions {
   EngineKind engine = EngineKind::kCiParallel;
+  /// When non-empty, the engine is constructed from this registry name
+  /// (canonical or alias) instead of `engine` — the path that keeps
+  /// registered out-of-tree backends selectable even when they share an
+  /// EngineKind with a builtin. CLI parsers set both.
+  std::string engine_name;
   /// OpenMP threads for parallel engines; 0 keeps the runtime default.
   int num_threads = 0;
   /// gs — CI tests a thread runs per work-pool hold (kCiParallel only).
@@ -50,6 +58,11 @@ struct PcOptions {
   /// Significance level used by the learn_structure() convenience wrapper
   /// when it constructs the G^2 test.
   double alpha = 0.05;
+
+  /// Throws std::invalid_argument when any field is out of range
+  /// (group_size >= 1, alpha in (0, 1), max_depth >= -1, num_threads
+  /// >= 0). Called once by the skeleton driver before a run.
+  void validate() const;
 };
 
 }  // namespace fastbns

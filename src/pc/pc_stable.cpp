@@ -1,29 +1,41 @@
 #include "pc/pc_stable.hpp"
 
+#include <memory>
+
 #include "common/timer.hpp"
+#include "engine/engine_registry.hpp"
+#include "engine/skeleton_engine.hpp"
 #include "stats/discrete_ci_test.hpp"
 
 namespace fastbns {
 
 PcStableResult pc_stable(VarId num_nodes, const CiTest& prototype,
-                         const PcOptions& options) {
+                         const PcOptions& options, SkeletonEngine& engine) {
   const WallTimer timer;
   PcStableResult result;
-  result.skeleton = learn_skeleton(num_nodes, prototype, options);
+  result.skeleton = learn_skeleton(num_nodes, prototype, options, engine);
   result.cpdag = orient_skeleton(result.skeleton.graph, result.skeleton.sepsets,
                                  &result.orientation);
   result.total_seconds = timer.seconds();
   return result;
 }
 
+PcStableResult pc_stable(VarId num_nodes, const CiTest& prototype,
+                         const PcOptions& options) {
+  const std::unique_ptr<SkeletonEngine> engine =
+      EngineRegistry::instance().create(options);
+  return pc_stable(num_nodes, prototype, options, *engine);
+}
+
 PcStableResult learn_structure(const DiscreteDataset& data,
                                const PcOptions& options) {
+  const std::unique_ptr<SkeletonEngine> engine =
+      EngineRegistry::instance().create(options);
   CiTestOptions test_options;
   test_options.alpha = options.alpha;
-  test_options.sample_parallel =
-      options.engine == EngineKind::kSampleParallel;
+  test_options.sample_parallel = engine->wants_sample_parallel_test();
   const DiscreteCiTest test(data, test_options);
-  return pc_stable(data.num_vars(), test, options);
+  return pc_stable(data.num_vars(), test, options, *engine);
 }
 
 }  // namespace fastbns

@@ -30,9 +30,15 @@ struct PcStableResult {
 [[nodiscard]] PcStableResult pc_stable(VarId num_nodes, const CiTest& prototype,
                                        const PcOptions& options);
 
+/// Same pipeline with a caller-supplied skeleton engine (see
+/// learn_skeleton's engine overload); `options.engine` is ignored.
+[[nodiscard]] PcStableResult pc_stable(VarId num_nodes, const CiTest& prototype,
+                                       const PcOptions& options,
+                                       SkeletonEngine& engine);
+
 /// Convenience wrapper: G^2 test with options.alpha on a column-major
-/// dataset (sample-parallel contingency builds when the engine is
-/// kSampleParallel).
+/// dataset (sample-parallel contingency builds when the selected engine
+/// asks for them).
 [[nodiscard]] PcStableResult learn_structure(const DiscreteDataset& data,
                                              const PcOptions& options = {});
 

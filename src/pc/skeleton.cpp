@@ -1,10 +1,17 @@
+// The depth-loop driver of Algorithm 1. Execution strategy lives behind
+// the SkeletonEngine interface (src/engine/): the driver owns the graph,
+// sepset and statistics bookkeeping, builds each depth's work list from
+// the current graph snapshot, and delegates the CI tests of that depth to
+// the engine selected through the EngineRegistry.
 #include "pc/skeleton.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include <memory>
 
 #include "common/omp_utils.hpp"
 #include "common/timer.hpp"
+#include "engine/engine_registry.hpp"
+#include "engine/skeleton_engine.hpp"
 
 namespace fastbns {
 namespace {
@@ -26,102 +33,13 @@ void commit_depth(std::vector<EdgeWork>& works, UndirectedGraph& graph,
   }
 }
 
-/// Materialized-set inner loop: conditioning sets are enumerated into a
-/// flat buffer before any test runs (extra memory + an extra enumeration
-/// pass — the strategy the paper's on-the-fly generation replaces). The
-/// naive baseline additionally recomputes the endpoint codes on every test
-/// (use_group_protocol = false).
-std::int64_t process_materialized(EdgeWork& work, std::int32_t depth,
-                                  CiTest& test, bool use_group_protocol) {
-  std::int64_t executed = 0;
-  if (use_group_protocol) test.begin_group(work.x, work.y);
-  if (depth == 0) {
-    const std::vector<VarId> empty_set;
-    const CiResult result = use_group_protocol
-                                ? test.test_in_group(empty_set)
-                                : test.test(work.x, work.y, empty_set);
-    ++executed;
-    if (result.independent) {
-      work.removed = true;
-      work.sepset.clear();
-    }
-    work.progress = 1;
-    return executed;
-  }
-  const std::vector<VarId> flat = materialize_conditioning_sets(work, depth);
-  const std::uint64_t total = work.total_tests();
-  std::vector<VarId> z(static_cast<std::size_t>(depth));
-  for (std::uint64_t r = 0; r < total; ++r) {
-    const VarId* begin = flat.data() + r * static_cast<std::uint64_t>(depth);
-    std::copy(begin, begin + depth, z.begin());
-    const CiResult result = use_group_protocol
-                                ? test.test_in_group(z)
-                                : test.test(work.x, work.y, z);
-    ++executed;
-    if (result.independent) {
-      work.removed = true;
-      work.sepset = z;
-      break;
-    }
-  }
-  work.progress = total;
-  return executed;
-}
-
-std::int64_t run_sequential_depth(std::vector<EdgeWork>& works,
-                                  std::int32_t depth, CiTest& test,
-                                  const PcOptions& options) {
-  const bool naive = options.engine == EngineKind::kNaiveSequential;
-  const bool grouped = options.group_endpoints && !naive;
-  const bool materialized = naive || !options.on_the_fly_sets;
-  std::int64_t tests = 0;
-  for (std::size_t i = 0; i < works.size(); ++i) {
-    EdgeWork& work = works[i];
-    if (work.total_tests() == 0) continue;
-    // Classic sequential PC-stable skips the (y, x) direction when the
-    // (x, y) direction already removed the edge within this depth.
-    if (!grouped && (i % 2 == 1) && works[i - 1].removed) continue;
-    if (materialized) {
-      tests += process_materialized(work, depth, test,
-                                    /*use_group_protocol=*/!naive);
-    } else {
-      tests += process_work_tests_early_stop(
-          work, depth, work.total_tests(), test, /*use_group_protocol=*/true);
-    }
-  }
-  return tests;
-}
-
-std::int64_t run_edge_parallel_depth(std::vector<EdgeWork>& works,
-                                     std::int32_t depth,
-                                     const CiTest& prototype) {
-  const int max_threads = hardware_threads();
-  std::vector<std::unique_ptr<CiTest>> clones;
-  clones.reserve(static_cast<std::size_t>(max_threads));
-  for (int t = 0; t < max_threads; ++t) clones.push_back(prototype.clone());
-
-  std::int64_t tests = 0;
-  // schedule(static) deliberately mirrors the paper's |Ed|/t block
-  // partition — the load imbalance it exhibits is the phenomenon the
-  // CI-level engine fixes.
-#pragma omp parallel for schedule(static) reduction(+ : tests)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(works.size()); ++i) {
-    EdgeWork& work = works[i];
-    if (work.total_tests() == 0) continue;
-    CiTest& test = *clones[current_thread()];
-    tests += process_work_tests_early_stop(work, depth, work.total_tests(),
-                                           test, /*use_group_protocol=*/true);
-  }
-  return tests;
-}
-
 }  // namespace
 
 SkeletonResult learn_skeleton(VarId num_nodes, const CiTest& prototype,
-                              const PcOptions& options) {
-  if (options.group_size < 1) {
-    throw std::invalid_argument("PcOptions::group_size must be >= 1");
-  }
+                              const PcOptions& options,
+                              SkeletonEngine& engine) {
+  options.validate();
+  engine.prepare_run();
   const ScopedNumThreads thread_guard(options.num_threads);
   const WallTimer total_timer;
 
@@ -129,14 +47,7 @@ SkeletonResult learn_skeleton(VarId num_nodes, const CiTest& prototype,
   result.graph = UndirectedGraph::complete(num_nodes);
 
   const bool grouped =
-      options.group_endpoints && options.engine != EngineKind::kNaiveSequential;
-
-  std::unique_ptr<CiTest> sequential_test;
-  if (options.engine == EngineKind::kNaiveSequential ||
-      options.engine == EngineKind::kFastSequential ||
-      options.engine == EngineKind::kSampleParallel) {
-    sequential_test = prototype.clone();
-  }
+      options.group_endpoints && engine.supports_endpoint_grouping();
 
   for (std::int32_t depth = 0; depth <= kDepthLimit; ++depth) {
     if (options.max_depth >= 0 && depth > options.max_depth) break;
@@ -154,21 +65,7 @@ SkeletonResult learn_skeleton(VarId num_nodes, const CiTest& prototype,
     stats.edges_at_start = result.graph.num_edges();
     const WallTimer depth_timer;
 
-    switch (options.engine) {
-      case EngineKind::kNaiveSequential:
-      case EngineKind::kFastSequential:
-      case EngineKind::kSampleParallel:
-        stats.ci_tests =
-            run_sequential_depth(works, depth, *sequential_test, options);
-        break;
-      case EngineKind::kEdgeParallel:
-        stats.ci_tests = run_edge_parallel_depth(works, depth, prototype);
-        break;
-      case EngineKind::kCiParallel:
-        stats.ci_tests =
-            detail::run_ci_parallel_depth(works, depth, prototype, options);
-        break;
-    }
+    stats.ci_tests = engine.run_depth(works, depth, prototype, options);
 
     commit_depth(works, result.graph, result.sepsets, stats);
     stats.seconds = depth_timer.seconds();
@@ -181,15 +78,11 @@ SkeletonResult learn_skeleton(VarId num_nodes, const CiTest& prototype,
   return result;
 }
 
-std::string to_string(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kNaiveSequential: return "naive-seq";
-    case EngineKind::kFastSequential: return "fastbns-seq";
-    case EngineKind::kEdgeParallel: return "edge-parallel";
-    case EngineKind::kSampleParallel: return "sample-parallel";
-    case EngineKind::kCiParallel: return "fastbns-par(ci-level)";
-  }
-  return "unknown";
+SkeletonResult learn_skeleton(VarId num_nodes, const CiTest& prototype,
+                              const PcOptions& options) {
+  const std::unique_ptr<SkeletonEngine> engine =
+      EngineRegistry::instance().create(options);
+  return learn_skeleton(num_nodes, prototype, options, *engine);
 }
 
 }  // namespace fastbns

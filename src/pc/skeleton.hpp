@@ -39,18 +39,22 @@ struct SkeletonResult {
   double seconds = 0.0;
 };
 
+class SkeletonEngine;  // engine/skeleton_engine.hpp
+
 /// Runs Algorithm 1 from the complete graph over `num_nodes` nodes.
 /// `prototype` is cloned once per worker thread; it must answer
-/// I(x, y | z) for any x, y < num_nodes.
+/// I(x, y | z) for any x, y < num_nodes. The engine is constructed from
+/// `options.engine` through the EngineRegistry.
 [[nodiscard]] SkeletonResult learn_skeleton(VarId num_nodes,
                                             const CiTest& prototype,
                                             const PcOptions& options);
 
-namespace detail {
-/// CI-level engine for one depth (implemented in skeleton_ci_parallel.cpp).
-std::int64_t run_ci_parallel_depth(std::vector<EdgeWork>& works,
-                                   std::int32_t depth, const CiTest& prototype,
-                                   const PcOptions& options);
-}  // namespace detail
+/// Same driver with a caller-supplied engine — the seam out-of-tree
+/// backends plug into without touching EngineKind. `options.engine` is
+/// ignored; `engine` executes every depth.
+[[nodiscard]] SkeletonResult learn_skeleton(VarId num_nodes,
+                                            const CiTest& prototype,
+                                            const PcOptions& options,
+                                            SkeletonEngine& engine);
 
 }  // namespace fastbns

@@ -6,12 +6,19 @@
 // implementations" and skip accuracy results entirely.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <memory>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "engine/engine_registry.hpp"
+#include "engine/skeleton_engine.hpp"
 #include "network/forward_sampler.hpp"
 #include "network/random_network.hpp"
 #include "network/standard_networks.hpp"
+#include "pc/pc_stable.hpp"
 #include "pc/skeleton.hpp"
 #include "stats/discrete_ci_test.hpp"
 #include "stats/oracle_test.hpp"
@@ -46,26 +53,50 @@ SkeletonResult reference_result() {
   return learn_skeleton(fixture().data.num_vars(), test, options);
 }
 
-using EngineThreadsGs = std::tuple<EngineKind, int, std::int32_t>;
+/// (canonical engine name, threads, group size). Naming engines by their
+/// registry string (resolved back through engine_from_string inside the
+/// test) keeps the suite honest about the round-trip and automatically
+/// enrolls every future registered backend.
+using EngineThreadsGs = std::tuple<std::string, int, std::int32_t>;
+
+/// Registry-driven parameter grid: every registered engine runs at a
+/// small thread/gs grid; the CI-level engine additionally sweeps the
+/// group sizes the paper's Figure 4 studies.
+std::vector<EngineThreadsGs> registry_param_grid() {
+  std::vector<EngineThreadsGs> params;
+  for (const std::string& name : list_engines()) {
+    params.emplace_back(name, 1, 1);
+    params.emplace_back(name, 2, 1);
+    params.emplace_back(name, 4, 4);
+  }
+  for (const auto& [threads, gs] :
+       {std::pair<int, std::int32_t>{2, 4}, {4, 6}, {3, 8}, {2, 16}}) {
+    params.emplace_back("fastbns-par(ci-level)", threads, gs);
+  }
+  return params;
+}
 
 class EngineEquivalence : public ::testing::TestWithParam<EngineThreadsGs> {};
 
 TEST_P(EngineEquivalence, SkeletonAndSepsetsMatchReference) {
-  const auto [engine, threads, gs] = GetParam();
+  const auto [engine_name, threads, gs] = GetParam();
   PcOptions options;
-  options.engine = engine;
+  options.engine = engine_from_string(engine_name);
+  options.engine_name = engine_name;  // by-name path: kind-sharing
+                                      // backends run themselves
   options.num_threads = threads;
   options.group_size = gs;
 
   CiTestOptions test_options;
-  test_options.sample_parallel = engine == EngineKind::kSampleParallel;
+  test_options.sample_parallel =
+      EngineRegistry::instance().find(engine_name)->sample_parallel_test;
   const DiscreteCiTest test(fixture().data, test_options);
   const SkeletonResult result =
       learn_skeleton(fixture().data.num_vars(), test, options);
 
   static const SkeletonResult reference = reference_result();
   EXPECT_TRUE(result.graph == reference.graph)
-      << "engine=" << to_string(engine) << " t=" << threads << " gs=" << gs;
+      << "engine=" << engine_name << " t=" << threads << " gs=" << gs;
 
   // Sepsets must match pair by pair.
   const VarId n = fixture().data.num_vars();
@@ -83,28 +114,40 @@ TEST_P(EngineEquivalence, SkeletonAndSepsetsMatchReference) {
 
 INSTANTIATE_TEST_SUITE_P(
     EnginesThreadsGroups, EngineEquivalence,
-    ::testing::Values(
-        EngineThreadsGs{EngineKind::kNaiveSequential, 1, 1},
-        EngineThreadsGs{EngineKind::kFastSequential, 1, 1},
-        EngineThreadsGs{EngineKind::kSampleParallel, 2, 1},
-        EngineThreadsGs{EngineKind::kEdgeParallel, 1, 1},
-        EngineThreadsGs{EngineKind::kEdgeParallel, 2, 1},
-        EngineThreadsGs{EngineKind::kEdgeParallel, 4, 1},
-        EngineThreadsGs{EngineKind::kCiParallel, 1, 1},
-        EngineThreadsGs{EngineKind::kCiParallel, 2, 1},
-        EngineThreadsGs{EngineKind::kCiParallel, 4, 1},
-        EngineThreadsGs{EngineKind::kCiParallel, 2, 4},
-        EngineThreadsGs{EngineKind::kCiParallel, 4, 6},
-        EngineThreadsGs{EngineKind::kCiParallel, 3, 8},
-        EngineThreadsGs{EngineKind::kCiParallel, 2, 16}),
+    ::testing::ValuesIn(registry_param_grid()),
     [](const ::testing::TestParamInfo<EngineThreadsGs>& param_info) {
-      std::string name = to_string(std::get<0>(param_info.param));
+      std::string name = std::get<0>(param_info.param);
       for (char& c : name) {
-        if (c == '-' || c == '(' || c == ')') c = '_';
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
       return name + "_t" + std::to_string(std::get<1>(param_info.param)) + "_gs" +
              std::to_string(std::get<2>(param_info.param));
     });
+
+TEST(EngineEquivalence, CpdagIdenticalAcrossRegisteredEnginesOnSampledData) {
+  // End-to-end: every registered engine yields the byte-identical CPDAG
+  // (skeleton + orientations) on the sampled fixture.
+  PcOptions reference_options;
+  reference_options.engine = engine_from_string("fastbns-seq");
+  const DiscreteCiTest reference_test(fixture().data, {});
+  const PcStableResult reference =
+      pc_stable(fixture().data.num_vars(), reference_test, reference_options);
+
+  for (const std::string& name : list_engines()) {
+    PcOptions options;
+    options.engine = engine_from_string(name);
+    options.engine_name = name;
+    options.num_threads = 2;
+    options.group_size = 4;
+    CiTestOptions test_options;
+    test_options.sample_parallel =
+        EngineRegistry::instance().find(name)->sample_parallel_test;
+    const DiscreteCiTest test(fixture().data, test_options);
+    const PcStableResult result =
+        pc_stable(fixture().data.num_vars(), test, options);
+    EXPECT_TRUE(result.cpdag == reference.cpdag) << name;
+  }
+}
 
 TEST(EngineEquivalence, CiTestCountDeterministicPerGroupSize) {
   // For a fixed gs the executed CI-test count must not depend on thread
@@ -212,25 +255,36 @@ TEST(EngineEquivalence, EagerGroupStopNeverExecutesMoreTests) {
   EXPECT_EQ(stopped.total_ci_tests, baseline.total_ci_tests);
 }
 
-TEST(EngineEquivalence, OracleRunsAgreeAcrossEngines) {
+TEST(EngineEquivalence, OracleRunsAgreeAcrossRegisteredEngines) {
   const BayesianNetwork alarm = alarm_network();
   DSeparationOracle oracle(alarm.dag());
   PcOptions reference_options;
-  reference_options.engine = EngineKind::kFastSequential;
-  const SkeletonResult reference =
-      learn_skeleton(alarm.num_nodes(), oracle, reference_options);
-  EXPECT_TRUE(reference.graph == alarm.dag().skeleton());
+  reference_options.engine = engine_from_string("fastbns-seq");
+  const PcStableResult reference =
+      pc_stable(alarm.num_nodes(), oracle, reference_options);
+  EXPECT_TRUE(reference.skeleton.graph == alarm.dag().skeleton());
 
-  for (const EngineKind engine :
-       {EngineKind::kNaiveSequential, EngineKind::kEdgeParallel,
-        EngineKind::kCiParallel}) {
+  for (const std::string& name : list_engines()) {
     PcOptions options;
-    options.engine = engine;
+    options.engine = engine_from_string(name);
+    options.engine_name = name;
     options.num_threads = 2;
     options.group_size = 4;
-    const SkeletonResult result =
-        learn_skeleton(alarm.num_nodes(), oracle, options);
-    EXPECT_TRUE(result.graph == reference.graph) << to_string(engine);
+    const PcStableResult result = pc_stable(alarm.num_nodes(), oracle, options);
+    EXPECT_TRUE(result.skeleton.graph == reference.skeleton.graph) << name;
+    EXPECT_TRUE(result.cpdag == reference.cpdag) << name;
+    const VarId n = alarm.num_nodes();
+    for (VarId u = 0; u < n; ++u) {
+      for (VarId v = u + 1; v < n; ++v) {
+        const auto* expected = reference.skeleton.sepsets.find(u, v);
+        const auto* actual = result.skeleton.sepsets.find(u, v);
+        ASSERT_EQ(expected == nullptr, actual == nullptr)
+            << name << ": " << u << "," << v;
+        if (expected != nullptr) {
+          EXPECT_EQ(*expected, *actual) << name << ": " << u << "," << v;
+        }
+      }
+    }
   }
 }
 
