@@ -1,10 +1,14 @@
 // Figure 2: execution time of the three parallelism granularities
 // (CI-level, edge-level, sample-level) across thread counts, all built on
-// the optimized sequential kernel (Section V-C).
+// the optimized sequential kernel (Section V-C), plus the hybrid
+// edge+sample extension that switches granularity per edge by predicted
+// workload.
 //
 // Shapes to reproduce: CI-level is the fastest at every thread count;
 // sample-level is the slowest (atomics + overhead); edge-level sits in
-// between, trailing CI-level by its load imbalance.
+// between, trailing CI-level by its load imbalance. The hybrid column
+// should close most of edge-level's gap to CI-level by taking the
+// straggler edges off the static partition.
 #include <cstdio>
 
 #include "bench_util/reporting.hpp"
@@ -17,7 +21,7 @@ namespace {
 using namespace fastbns;
 
 EngineRunConfig scheme_config(const std::string& scheme, int threads) {
-  // "ci", "edge" and "sample" are registry aliases of the three
+  // "ci", "edge", "sample" and "hybrid" are registry aliases of the
   // granularities; engine_config_from_name also sets the sample-parallel
   // test knob for the sample-level scheme.
   EngineRunConfig config = engine_config_from_name(scheme, threads);
@@ -65,7 +69,7 @@ int main(int argc, char** argv) {
       "sample-level needs atomics and has tiny per-thread workloads.\n");
 
   TablePrinter table({"Data set", "threads", "CI-level(s)", "edge-level(s)",
-                      "sample-level(s)"});
+                      "sample-level(s)", "hybrid(s)"});
 
   for (const std::string& name : networks) {
     Count samples = args.get_int("samples");
@@ -81,9 +85,12 @@ int main(int argc, char** argv) {
           run_skeleton_best(workload, scheme_config("edge", t)).seconds;
       const double sample_time =
           run_skeleton_best(workload, scheme_config("sample", t)).seconds;
+      const double hybrid_time =
+          run_skeleton_best(workload, scheme_config("hybrid", t)).seconds;
       table.add_row({name, std::to_string(t), TablePrinter::num(ci_time, 4),
                      TablePrinter::num(edge_time, 4),
-                     TablePrinter::num(sample_time, 4)});
+                     TablePrinter::num(sample_time, 4),
+                     TablePrinter::num(hybrid_time, 4)});
     }
   }
 

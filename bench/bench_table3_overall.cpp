@@ -13,6 +13,7 @@
 // As in the paper, parallel engines report their best time over the thread
 // grid. gs = 1 throughout.
 #include <cstdio>
+#include <functional>
 
 #include "bench_util/reporting.hpp"
 #include "bench_util/runner.hpp"
@@ -24,13 +25,14 @@ namespace {
 
 using namespace fastbns;
 
-double best_parallel_time(const Workload& workload, bool baseline,
-                          const std::vector<int>& threads, int* best_t) {
+double best_time_over_threads(const Workload& workload,
+                              const std::vector<int>& threads,
+                              const std::function<EngineRunConfig(int)>& config_for,
+                              int* best_t) {
   double best = -1.0;
   for (const int t : threads) {
-    const EngineRunConfig config =
-        baseline ? baseline_par_config(t) : fastbns_par_config(t);
-    const EngineRunResult result = run_skeleton_best(workload, config);
+    const EngineRunResult result =
+        run_skeleton_best(workload, config_for(t));
     if (best < 0.0 || result.seconds < best) {
       best = result.seconds;
       *best_t = t;
@@ -64,7 +66,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"Data set", "n", "baseline-seq(s)", "FastBNS-seq(s)",
                       "seq speedup", "baseline-par(s)", "FastBNS-par(s)",
-                      "par speedup", "best t"});
+                      "par speedup", "hybrid(s)", "best t", "hyb t"});
 
   for (const std::string& name : networks) {
     Count samples = args.get_int("samples");
@@ -86,10 +88,15 @@ int main(int argc, char** argv) {
 
     int best_t_fast = 1;
     int best_t_base = 1;
-    const double baseline_par =
-        best_parallel_time(workload, /*baseline=*/true, threads, &best_t_base);
-    const double fast_par =
-        best_parallel_time(workload, /*baseline=*/false, threads, &best_t_fast);
+    int best_t_hybrid = 1;
+    const double baseline_par = best_time_over_threads(
+        workload, threads, baseline_par_config, &best_t_base);
+    const double fast_par = best_time_over_threads(
+        workload, threads, fastbns_par_config, &best_t_fast);
+    const double hybrid_par = best_time_over_threads(
+        workload, threads,
+        [](int t) { return engine_config_from_name("hybrid", t); },
+        &best_t_hybrid);
 
     table.add_row({name, std::to_string(workload.data.num_vars()),
                    TablePrinter::num(baseline_seq.seconds, 4),
@@ -98,7 +105,9 @@ int main(int argc, char** argv) {
                    TablePrinter::num(baseline_par, 4),
                    TablePrinter::num(fast_par, 4),
                    TablePrinter::num(baseline_par / fast_par, 2),
-                   std::to_string(best_t_fast)});
+                   TablePrinter::num(hybrid_par, 4),
+                   std::to_string(best_t_fast),
+                   std::to_string(best_t_hybrid)});
   }
 
   emit_table("Table III: overall comparison", "table3_overall", table);

@@ -68,6 +68,7 @@ EngineRunResult run_skeleton(const Workload& workload,
                              const EngineRunConfig& config) {
   CiTestOptions test_options;
   test_options.alpha = config.alpha;
+  test_options.max_cells = config.max_table_cells;
   test_options.use_row_major = config.row_major;
   test_options.sample_parallel = config.sample_parallel;
   const DiscreteCiTest test(workload.data, test_options);
@@ -81,6 +82,7 @@ EngineRunResult run_skeleton(const Workload& workload,
   options.on_the_fly_sets = !config.materialize_sets;
   options.eager_group_stop = config.eager_group_stop;
   options.alpha = config.alpha;
+  options.max_table_cells = config.max_table_cells;
 
   const WallTimer timer;
   SkeletonResult skeleton =

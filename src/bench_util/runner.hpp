@@ -18,6 +18,9 @@ struct EngineRunConfig {
   int threads = 0;
   std::int32_t group_size = 1;
   double alpha = 0.05;
+  /// Contingency-table cell cap; defaults to the library default so
+  /// bench runs can never silently diverge from PcOptions.
+  std::size_t max_table_cells = PcOptions{}.max_table_cells;
   /// Baseline knobs (bnlearn-style): strided data access, materialized
   /// conditioning sets, ungrouped edge directions.
   bool row_major = false;

@@ -1,5 +1,6 @@
 #include "engine/engine_registry.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -9,8 +10,10 @@ namespace fastbns {
 namespace {
 
 std::string known_names_message(const EngineRegistry& registry) {
+  std::vector<std::string> names = registry.names();
+  std::sort(names.begin(), names.end());
   std::string message = "known engines:";
-  for (const std::string& name : registry.names()) {
+  for (const std::string& name : names) {
     message += ' ';
     message += name;
   }
@@ -50,6 +53,13 @@ EngineRegistry::EngineRegistry() {
                    "CI-level parallelism over the dynamic work pool "
                    "(Section IV-B)"},
                   make_ci_parallel_engine);
+  register_engine({EngineKind::kHybrid,
+                   "hybrid(edge+sample)",
+                   {"hybrid", "auto"},
+                   "per-edge granularity by predicted workload: straggler "
+                   "edges get sample-parallel builds, light edges run "
+                   "edge-parallel over the batched table kernel"},
+                  make_hybrid_engine);
 }
 
 EngineRegistry& EngineRegistry::instance() {
@@ -151,7 +161,12 @@ EngineKind engine_from_string(std::string_view name) {
 }
 
 std::vector<std::string> list_engines() {
-  return EngineRegistry::instance().names();
+  // Sorted so CLI help, logs and registry-driven tests see one stable
+  // order regardless of registration sequence (extensions register at
+  // startup in arbitrary order).
+  std::vector<std::string> names = EngineRegistry::instance().names();
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 // Declared in pc/pc_options.hpp; lives here so the registry's canonical

@@ -37,9 +37,10 @@ struct EngineInfo {
 
 class EngineRegistry {
  public:
-  /// A standalone registry pre-populated with the five paper engines.
-  /// Most callers want the process-wide instance() instead; standalone
-  /// registries exist for tests and sandboxed extension experiments.
+  /// A standalone registry pre-populated with the builtin engines (the
+  /// five paper engines plus the hybrid extension). Most callers want the
+  /// process-wide instance() instead; standalone registries exist for
+  /// tests and sandboxed extension experiments.
   EngineRegistry();
 
   /// The process-wide registry. Registration is not thread-safe;
@@ -90,8 +91,9 @@ class EngineRegistry {
 /// registered kind.
 [[nodiscard]] EngineKind engine_from_string(std::string_view name);
 
-/// Canonical names of every registered engine — what CLI help text and
-/// registry-driven tests enumerate.
+/// Canonical names of every registered engine, sorted — the stable order
+/// CLI help text and registry-driven tests enumerate, independent of
+/// registration sequence.
 [[nodiscard]] std::vector<std::string> list_engines();
 
 }  // namespace fastbns

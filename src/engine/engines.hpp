@@ -1,7 +1,8 @@
-// Factories for the five paper engines. Each is defined in its own
-// translation unit under src/engine/; the EngineRegistry constructor is
-// their only in-tree caller — everything else selects engines by name or
-// EngineKind through the registry.
+// Factories for the builtin engines: the five paper engines plus the
+// hybrid extension. Each is defined in its own translation unit under
+// src/engine/; the EngineRegistry constructor is their only in-tree
+// caller — everything else selects engines by name or EngineKind through
+// the registry.
 #pragma once
 
 #include <memory>
@@ -28,5 +29,10 @@ namespace fastbns {
 /// Fast-BNS-par (Section IV-B): CI-level parallelism with the dynamic
 /// work pool.
 [[nodiscard]] std::unique_ptr<SkeletonEngine> make_ci_parallel_engine();
+
+/// Hybrid edge+sample extension: per-edge granularity by predicted
+/// workload — straggler edges get sample-parallel table builds, light
+/// edges run edge-parallel over the batched TableBuilder kernel.
+[[nodiscard]] std::unique_ptr<SkeletonEngine> make_hybrid_engine();
 
 }  // namespace fastbns

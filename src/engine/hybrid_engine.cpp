@@ -1,0 +1,141 @@
+// The hybrid edge+sample engine: granularity chosen per edge by
+// predicted workload.
+//
+// Section IV-A shows both fixed granularities failing in opposite ways:
+// edge-level parallelism stalls behind straggler edges (the T1 term of
+// the CI-level model), sample-level parallelism drowns light edges in
+// atomics. This engine predicts each edge's cost from EdgeWork metadata
+// and the test's workload metadata (perfmodel/workload_model), then
+//  * routes the straggler edges — cost above a balanced per-thread share
+//    of the depth — through sample-parallel table builds so every thread
+//    cooperates on them, and
+//  * runs the remaining light edges edge-parallel with dynamic
+//    scheduling, batching each edge's conditioning sets through
+//    CiTest::test_batch_in_group so same-shape tables share one pass
+//    (the batched TableBuilder kernel).
+// Results are identical to every other engine: each work still executes
+// its tests in canonical rank order with lowest-rank-accepting sepsets.
+#include <algorithm>
+
+#include "common/omp_utils.hpp"
+#include "engine/engine_common.hpp"
+#include "engine/engines.hpp"
+#include "engine/skeleton_engine.hpp"
+#include "perfmodel/workload_model.hpp"
+
+namespace fastbns {
+namespace {
+
+/// Conditioning sets per test_batch_in_group call on the light path:
+/// large enough to amortize the shared pass, small enough that the batch
+/// redundancy past an accepting test stays negligible.
+constexpr std::size_t kLightBatchSize = 4;
+
+/// Single early-stop tests run per edge before batching kicks in.
+/// Accepting sets cluster at the low ranks (the first candidate subsets
+/// usually separate an edge that can be separated), so probing them one
+/// at a time avoids most of the batch redundancy; the tests past the
+/// probe mostly reject, and rejecting tests are where the shared batch
+/// pass is pure win.
+constexpr std::uint64_t kLightProbeTests = 2;
+
+double mean_candidate_states(const EdgeWork& work, const CiTest& prototype) {
+  std::int64_t states = 0;
+  std::size_t count = 0;
+  for (const std::vector<VarId>* pool : {&work.candidates1, &work.candidates2}) {
+    for (const VarId v : *pool) {
+      states += std::max<std::int64_t>(prototype.workload_states(v), 1);
+      ++count;
+    }
+  }
+  return count == 0 ? 1.0
+                    : static_cast<double>(states) / static_cast<double>(count);
+}
+
+class HybridEngine final : public ClonePoolEngine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "hybrid(edge+sample)";
+  }
+
+  [[nodiscard]] bool uses_sample_parallel_builds() const noexcept override {
+    return true;  // the heavy route retargets the test per edge
+  }
+
+  std::int64_t run_depth(std::vector<EdgeWork>& works, std::int32_t depth,
+                         const CiTest& prototype,
+                         const PcOptions& options) override {
+    const int threads = hardware_threads();
+    std::vector<std::unique_ptr<CiTest>>& clones =
+        tests_.acquire(prototype, static_cast<std::size_t>(threads));
+
+    // Predict every edge's cost in the cache model's streamed-value units.
+    const Count samples = prototype.workload_samples();
+    CacheModelParams cache;
+    cache.depth = depth;
+    double depth_total_cost = 0.0;
+    for (EdgeWork& work : works) {
+      EdgeWorkload workload;
+      workload.tests = work.total_tests();
+      workload.samples = samples;
+      workload.depth = depth;
+      workload.xy_states =
+          std::max<std::int64_t>(prototype.workload_states(work.x), 1) *
+          std::max<std::int64_t>(prototype.workload_states(work.y), 1);
+      workload.mean_z_states = mean_candidate_states(work, prototype);
+      work.predicted_cost = predict_edge_cost(workload, cache);
+      work.sample_parallel_route = false;
+      depth_total_cost += work.predicted_cost;
+    }
+    for (EdgeWork& work : works) {
+      work.sample_parallel_route = route_edge_to_sample_parallel(
+          work.predicted_cost, depth_total_cost, threads, samples);
+    }
+
+    std::int64_t tests = 0;
+
+    // Heavy phase: straggler edges run one at a time, the parallelism
+    // moved inside the table build so no thread idles behind them. Falls
+    // back to the serial scan when the test cannot retarget its builder.
+    // The clone's configured build mode is restored afterwards (the
+    // prototype may itself be sample-parallel).
+    CiTest& heavy_test = *clones.front();
+    const bool prior_mode = heavy_test.sample_parallel_build();
+    const bool can_retarget = heavy_test.set_sample_parallel(true);
+    for (EdgeWork& work : works) {
+      if (!work.sample_parallel_route || work.total_tests() == 0) continue;
+      tests += process_work_tests_early_stop(work, depth, work.total_tests(),
+                                             heavy_test,
+                                             /*use_group_protocol=*/true);
+    }
+    if (can_retarget) heavy_test.set_sample_parallel(prior_mode);
+
+    // Light phase: dynamic edge-parallel over the batched kernel. Dynamic
+    // scheduling (not the static partition of Section IV-A) keeps the
+    // remaining imbalance bounded by one light edge.
+#pragma omp parallel for schedule(dynamic) reduction(+ : tests)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(works.size());
+         ++i) {
+      EdgeWork& work = works[i];
+      if (work.sample_parallel_route || work.total_tests() == 0) continue;
+      CiTest& test = *clones[current_thread()];
+      tests += process_work_tests_early_stop(work, depth, kLightProbeTests,
+                                             test,
+                                             /*use_group_protocol=*/true);
+      if (!work.finished()) {
+        tests += process_work_tests_batched(work, depth, work.total_tests(),
+                                            kLightBatchSize, test);
+      }
+    }
+    (void)options;
+    return tests;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SkeletonEngine> make_hybrid_engine() {
+  return std::make_unique<HybridEngine>();
+}
+
+}  // namespace fastbns

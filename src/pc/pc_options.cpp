@@ -1,6 +1,7 @@
 #include "pc/pc_options.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace fastbns {
 
@@ -17,6 +18,21 @@ void PcOptions::validate() const {
   if (num_threads < 0) {
     throw std::invalid_argument("PcOptions::num_threads must be >= 0");
   }
+  if (num_threads > kMaxThreads) {
+    throw std::invalid_argument(
+        "PcOptions::num_threads exceeds kMaxThreads (" +
+        std::to_string(kMaxThreads) + "); this is almost certainly a typo");
+  }
+  if (max_table_cells < 4) {
+    throw std::invalid_argument(
+        "PcOptions::max_table_cells must be >= 4: a smaller cap cannot hold "
+        "even the 2x2 marginal table of two binary variables, so every CI "
+        "test would be skipped and no edge ever removed");
+  }
+  // The engine-dependent combination rule (max_table_cells vs the
+  // effective thread count, for engines that build tables
+  // sample-parallel) lives in the skeleton driver, where the engine is
+  // definitively resolved — see learn_skeleton.
 }
 
 }  // namespace fastbns

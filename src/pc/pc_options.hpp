@@ -1,12 +1,14 @@
 // Configuration of the PC-stable skeleton engines.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace fastbns {
 
-/// The five skeleton engines of the evaluation.
+/// The builtin skeleton engines: the five of the paper's evaluation plus
+/// the hybrid extension.
 enum class EngineKind : std::uint8_t {
   /// bnlearn-like baseline: ordered edge directions processed separately,
   /// conditioning sets materialized ahead of time, no endpoint-code reuse.
@@ -23,6 +25,10 @@ enum class EngineKind : std::uint8_t {
   /// Fast-BNS-par (Section IV-B): CI-level parallelism with the dynamic
   /// work pool.
   kCiParallel,
+  /// Hybrid edge+sample extension: per-edge granularity by predicted
+  /// workload (heavy edges sample-parallel, light edges batched
+  /// edge-parallel).
+  kHybrid,
 };
 
 /// Canonical engine name as registered in the EngineRegistry (defined in
@@ -58,10 +64,25 @@ struct PcOptions {
   /// Significance level used by the learn_structure() convenience wrapper
   /// when it constructs the G^2 test.
   double alpha = 0.05;
+  /// Cap on the contingency-table cells a single CI test may allocate;
+  /// oversized tests are skipped conservatively (the edge is kept).
+  /// Forwarded to CiTestOptions::max_cells by learn_structure and the
+  /// bench runner.
+  std::size_t max_table_cells = std::size_t{1} << 24;
 
-  /// Throws std::invalid_argument when any field is out of range
-  /// (group_size >= 1, alpha in (0, 1), max_depth >= -1, num_threads
-  /// >= 0). Called once by the skeleton driver before a run.
+  /// Largest accepted num_threads; far beyond any machine this targets,
+  /// so a mistyped thread count fails here instead of oversubscribing.
+  static constexpr int kMaxThreads = 4096;
+
+  /// Throws std::invalid_argument when any field is out of range:
+  /// group_size >= 1, alpha in (0, 1), max_depth >= -1, 0 <= num_threads
+  /// <= kMaxThreads, and max_table_cells >= 4 (a smaller cap cannot hold
+  /// even the 2x2 marginal table of two binary variables, so every test
+  /// would be skipped and no edge ever removed). Self-contained field
+  /// checks only; the engine-dependent max_table_cells/threads
+  /// combination rule is enforced by the skeleton driver once the engine
+  /// is resolved (see learn_skeleton) — both fail up front instead of
+  /// mid-run inside an engine.
   void validate() const;
 };
 

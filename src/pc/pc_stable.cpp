@@ -33,6 +33,7 @@ PcStableResult learn_structure(const DiscreteDataset& data,
       EngineRegistry::instance().create(options);
   CiTestOptions test_options;
   test_options.alpha = options.alpha;
+  test_options.max_cells = options.max_table_cells;
   test_options.sample_parallel = engine->wants_sample_parallel_test();
   const DiscreteCiTest test(data, test_options);
   return pc_stable(data.num_vars(), test, options, *engine);

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "common/omp_utils.hpp"
 #include "common/timer.hpp"
@@ -41,6 +42,25 @@ SkeletonResult learn_skeleton(VarId num_nodes, const CiTest& prototype,
   options.validate();
   engine.prepare_run();
   const ScopedNumThreads thread_guard(options.num_threads);
+  // Engine-dependent option sanity check, here because only the resolved
+  // engine knows its build strategy and num_threads == 0 means the
+  // OpenMP default (now in effect through the guard above): capping
+  // every permitted table below the thread count would make
+  // sample-parallel builds pure atomic contention. The cap consulted is
+  // the one the prototype actually enforces (a caller-built test may
+  // carry its own), falling back to the PcOptions mirror.
+  const std::size_t cell_cap = prototype.table_cell_cap() != 0
+                                   ? prototype.table_cell_cap()
+                                   : options.max_table_cells;
+  if (engine.uses_sample_parallel_builds() &&
+      cell_cap < static_cast<std::size_t>(hardware_threads())) {
+    throw std::invalid_argument(
+        "learn_skeleton: the table cell cap is below the effective thread "
+        "count, so every permitted contingency table would be smaller than "
+        "the thread team and this engine's sample-parallel builds could "
+        "only contend on atomics; raise max_table_cells / the test's "
+        "max_cells or lower num_threads");
+  }
   const WallTimer total_timer;
 
   SkeletonResult result;

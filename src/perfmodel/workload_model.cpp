@@ -1,0 +1,32 @@
+#include "perfmodel/workload_model.hpp"
+
+#include <cmath>
+
+namespace fastbns {
+
+double predict_table_cells(const EdgeWorkload& workload) {
+  return static_cast<double>(workload.xy_states) *
+         std::pow(workload.mean_z_states,
+                  static_cast<double>(workload.depth));
+}
+
+double predict_edge_cost(const EdgeWorkload& workload,
+                         const CacheModelParams& cache) {
+  if (workload.tests == 0) return 0.0;
+  const double streamed = static_cast<double>(workload.samples) *
+                          (static_cast<double>(workload.depth) + 2.0);
+  const double per_test =
+      streamed / cache_speedup(cache) + predict_table_cells(workload);
+  return static_cast<double>(workload.tests) * per_test;
+}
+
+bool route_edge_to_sample_parallel(double edge_cost, double depth_total_cost,
+                                   int threads, Count samples) {
+  if (threads <= 1) return false;  // serial run: granularity is irrelevant
+  if (samples < kMinSampleParallelSamples) return false;
+  // Straggler condition: the edge alone exceeds the balanced per-thread
+  // share, so a static partition would leave t-1 threads idle behind it.
+  return edge_cost * static_cast<double>(threads) > depth_total_cost;
+}
+
+}  // namespace fastbns

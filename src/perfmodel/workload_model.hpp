@@ -1,0 +1,56 @@
+// Per-edge workload prediction for granularity-switching engines.
+//
+// The hybrid edge+sample engine (src/engine/hybrid_engine.cpp) must
+// decide, before a depth runs, which edges are heavy enough that leaving
+// them to a single thread would recreate the edge-level straggler of
+// Section IV-A (the T1 term of the CI-level model, equations (1)/(2) in
+// speedup_model.hpp) — those run with sample-parallel table builds so
+// every thread cooperates — and which edges are light enough that the
+// batched edge-parallel path wins. The cost unit is the analytic one the
+// paper's Section IV-D cache model already uses: values streamed from
+// memory, deflated by S_cache for the column-major layout.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "perfmodel/speedup_model.hpp"
+
+namespace fastbns {
+
+/// Everything known about one edge's pending tests before they run —
+/// derived from EdgeWork metadata (candidate-set sizes enter through
+/// `tests`) plus the CiTest's workload metadata.
+struct EdgeWorkload {
+  std::uint64_t tests = 0;       ///< C(a1, d) + C(a2, d) remaining tests
+  Count samples = 0;             ///< m, values one test streams per variable
+  std::int32_t depth = 0;        ///< d; a test touches d + 2 variables
+  std::int64_t xy_states = 0;    ///< |X| * |Y| combined endpoint cardinality
+  double mean_z_states = 1.0;    ///< mean state count over the candidates
+};
+
+/// Predicted cost of the edge's remaining tests, in effective streamed
+/// values: tests * (m * (d + 2) / S_cache + expected table cells), with
+/// S_cache the Section IV-D cache speedup of the column-major layout and
+/// the cell term covering zeroing + marginalization of the table.
+[[nodiscard]] double predict_edge_cost(const EdgeWorkload& workload,
+                                       const CacheModelParams& cache);
+
+/// Expected contingency-table cells of one test of this edge:
+/// |X| * |Y| * mean_z_states^d.
+[[nodiscard]] double predict_table_cells(const EdgeWorkload& workload);
+
+/// Routing rule of the hybrid engine: an edge goes to the sample-parallel
+/// heavy route when its predicted cost alone exceeds a balanced
+/// per-thread share of the depth (the straggler condition behind T1 of
+/// the CI-level model) *and* the scan is long enough to amortize the
+/// atomics the paper's negative result charges to sample-level
+/// parallelism. Always false for t <= 1 or unknown (0) sample counts.
+[[nodiscard]] bool route_edge_to_sample_parallel(double edge_cost,
+                                                 double depth_total_cost,
+                                                 int threads, Count samples);
+
+/// Scans below this many samples never pay for sample-parallel atomics.
+inline constexpr Count kMinSampleParallelSamples = 8192;
+
+}  // namespace fastbns

@@ -11,4 +11,13 @@ CiResult CiTest::test_in_group(std::span<const VarId> z) {
   return test(group_x_, group_y_, z);
 }
 
+void CiTest::test_batch_in_group(std::span<const VarId> flat_sets,
+                                 std::int32_t depth,
+                                 std::span<CiResult> results) {
+  const auto d = static_cast<std::size_t>(depth);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i] = test_in_group(flat_sets.subspan(i * d, d));
+  }
+}
+
 }  // namespace fastbns

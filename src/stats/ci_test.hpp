@@ -7,6 +7,7 @@
 // parallel engines give each thread its own clone().
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -34,6 +35,47 @@ class CiTest {
   /// one test against it. Default implementation forwards to test().
   virtual void begin_group(VarId x, VarId y);
   virtual CiResult test_in_group(std::span<const VarId> z);
+
+  /// Batch entry of the group protocol: runs the current group's test for
+  /// each of the `results.size()` conditioning sets packed into
+  /// `flat_sets` (each `depth` ascending ids), writing one CiResult per
+  /// set. Semantically identical to calling test_in_group once per set in
+  /// packing order; implementations may build the counts of the whole
+  /// batch together (the batched TableBuilder kernel). Default loops
+  /// test_in_group.
+  virtual void test_batch_in_group(std::span<const VarId> flat_sets,
+                                   std::int32_t depth,
+                                   std::span<CiResult> results);
+
+  /// Hint from engines that pick table-build granularity per edge (the
+  /// hybrid engine): when supported, subsequent tables are counted
+  /// sample-parallel (true) or serially (false). Returns false when the
+  /// test has no such distinction (the d-separation oracle). The getter
+  /// reports the mode currently in force, so engines can save and
+  /// restore it around a retargeted phase.
+  virtual bool set_sample_parallel(bool enabled) {
+    (void)enabled;
+    return false;
+  }
+  [[nodiscard]] virtual bool sample_parallel_build() const noexcept {
+    return false;
+  }
+
+  /// Workload metadata for cost-predicting engines: the number of samples
+  /// one test streams and the state count of a variable. Data-free tests
+  /// return 0, which routes every edge to the light path.
+  [[nodiscard]] virtual Count workload_samples() const noexcept { return 0; }
+  [[nodiscard]] virtual std::int64_t workload_states(VarId v) const noexcept {
+    (void)v;
+    return 0;
+  }
+
+  /// The per-table cell cap this test enforces, 0 when it enforces none
+  /// (the oracle). Lets driver sanity checks reason about the cap
+  /// actually in force rather than the PcOptions mirror of it.
+  [[nodiscard]] virtual std::size_t table_cell_cap() const noexcept {
+    return 0;
+  }
 
   /// Deep copy for per-thread use.
   [[nodiscard]] virtual std::unique_ptr<CiTest> clone() const = 0;

@@ -1,7 +1,6 @@
 #include "stats/discrete_ci_test.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -9,9 +8,23 @@
 #include "stats/special_functions.hpp"
 
 namespace fastbns {
+namespace {
+
+/// The conservative outcome of a test whose table exceeds max_cells: the
+/// edge is kept (dependent, p = 0, df = -1 flags the skip).
+constexpr CiResult oversized_result() {
+  return CiResult{0.0, 0.0, -1, /*independent=*/false};
+}
+
+}  // namespace
 
 DiscreteCiTest::DiscreteCiTest(const DiscreteDataset& data, CiTestOptions options)
-    : data_(&data), options_(options) {
+    : data_(&data),
+      options_(options),
+      sample_parallel_build_(options.sample_parallel),
+      scalar_builder_(make_scalar_table_builder()),
+      sample_builder_(make_sample_parallel_table_builder()),
+      batch_builder_(make_batched_table_builder()) {
   if (options_.use_row_major || options_.sample_parallel) {
     if (!data.has_row_major() && options_.use_row_major) {
       throw std::invalid_argument(
@@ -26,11 +39,17 @@ DiscreteCiTest::DiscreteCiTest(const DiscreteDataset& data, CiTestOptions option
   xy_codes_.resize(static_cast<std::size_t>(data.num_samples()));
 }
 
-std::size_t DiscreteCiTest::conditioning_cells(std::span<const VarId> z) const {
+std::size_t DiscreteCiTest::conditioning_cells(VarId x, VarId y,
+                                               std::span<const VarId> z) const {
+  // The cap governs the cells the test allocates: the full cx * cy * cz
+  // table, not just the conditioning product.
+  const auto xy_cells = static_cast<std::size_t>(data_->cardinality(x)) *
+                        static_cast<std::size_t>(data_->cardinality(y));
+  if (xy_cells > options_.max_cells) return 0;
   std::size_t cz_total = 1;
   for (const VarId zi : z) {
     cz_total *= static_cast<std::size_t>(data_->cardinality(zi));
-    if (cz_total > options_.max_cells) return 0;
+    if (xy_cells * cz_total > options_.max_cells) return 0;
   }
   return cz_total;
 }
@@ -56,74 +75,36 @@ void DiscreteCiTest::compute_xy_codes(VarId x, VarId y) {
   }
 }
 
-void DiscreteCiTest::build_table(std::span<const VarId> z, std::size_t cz_total) {
-  const auto m = static_cast<std::size_t>(data_->num_samples());
-  const std::size_t table_size =
-      static_cast<std::size_t>(cx_) * static_cast<std::size_t>(cy_) * cz_total;
-  cells_.assign(table_size, 0);
-
-  const auto d = z.size();
-  if (d == 0) {
-    // Marginal test: the xy code is the cell index.
-    if (options_.sample_parallel) {
-      Count* cells = cells_.data();
-      const std::int32_t* codes = xy_codes_.data();
-#pragma omp parallel for schedule(static)
-      for (std::int64_t s = 0; s < static_cast<std::int64_t>(m); ++s) {
-#pragma omp atomic
-        ++cells[codes[s]];
-      }
-    } else {
-      for (std::size_t s = 0; s < m; ++s) {
-        ++cells_[xy_codes_[s]];
-      }
-    }
-    return;
-  }
-
-  // Gather column pointers (or strides) for the conditioning variables.
-  std::array<const DataValue*, 32> zcols{};
-  std::array<std::int32_t, 32> zcards{};
-  assert(d <= zcols.size());
-  const bool row_major = options_.use_row_major;
-  const VarId n = data_->num_vars();
-  const DataValue* row_base = row_major ? data_->row(0).data() : nullptr;
-  for (std::size_t i = 0; i < d; ++i) {
-    zcards[i] = data_->cardinality(z[i]);
-    if (!row_major) zcols[i] = data_->column(z[i]).data();
-  }
-
-  const auto body = [&](std::size_t s) -> std::size_t {
-    std::size_t zc = 0;
-    if (row_major) {
-      const DataValue* row = row_base + s * static_cast<std::size_t>(n);
-      for (std::size_t i = 0; i < d; ++i) {
-        zc = zc * static_cast<std::size_t>(zcards[i]) + row[z[i]];
-      }
-    } else {
-      for (std::size_t i = 0; i < d; ++i) {
-        zc = zc * static_cast<std::size_t>(zcards[i]) + zcols[i][s];
-      }
-    }
-    return static_cast<std::size_t>(xy_codes_[s]) * cz_total + zc;
-  };
-
-  if (options_.sample_parallel) {
-    Count* cells = cells_.data();
-#pragma omp parallel for schedule(static)
-    for (std::int64_t s = 0; s < static_cast<std::int64_t>(m); ++s) {
-      const std::size_t idx = body(static_cast<std::size_t>(s));
-#pragma omp atomic
-      ++cells[idx];
-    }
-  } else {
-    for (std::size_t s = 0; s < m; ++s) {
-      ++cells_[body(s)];
-    }
-  }
+TableBuildContext DiscreteCiTest::build_context() const noexcept {
+  TableBuildContext context;
+  context.data = data_;
+  context.xy_codes = xy_codes_;
+  context.cx = cx_;
+  context.cy = cy_;
+  context.row_major = options_.use_row_major;
+  return context;
 }
 
-CiResult DiscreteCiTest::evaluate(std::size_t cz_total, Count sample_count) const {
+TableBuilder& DiscreteCiTest::active_builder() const noexcept {
+  return sample_parallel_build_ ? *sample_builder_ : *scalar_builder_;
+}
+
+bool DiscreteCiTest::set_sample_parallel(bool enabled) {
+  sample_parallel_build_ = enabled;
+  return true;
+}
+
+Count DiscreteCiTest::workload_samples() const noexcept {
+  return data_->num_samples();
+}
+
+std::int64_t DiscreteCiTest::workload_states(VarId v) const noexcept {
+  return data_->cardinality(v);
+}
+
+CiResult DiscreteCiTest::evaluate(std::span<const Count> cells,
+                                  std::size_t cz_total,
+                                  Count sample_count) const {
   const auto cx = static_cast<std::size_t>(cx_);
   const auto cy = static_cast<std::size_t>(cy_);
 
@@ -132,7 +113,7 @@ CiResult DiscreteCiTest::evaluate(std::size_t cz_total, Count sample_count) cons
   margin_z_.assign(cz_total, 0);
   for (std::size_t x = 0; x < cx; ++x) {
     for (std::size_t y = 0; y < cy; ++y) {
-      const Count* row = cells_.data() + (x * cy + y) * cz_total;
+      const Count* row = cells.data() + (x * cy + y) * cz_total;
       for (std::size_t zc = 0; zc < cz_total; ++zc) {
         const Count nxyz = row[zc];
         margin_xz_[x * cz_total + zc] += nxyz;
@@ -147,7 +128,7 @@ CiResult DiscreteCiTest::evaluate(std::size_t cz_total, Count sample_count) cons
   if (options_.statistic == StatisticKind::kPearsonChiSquare) {
     for (std::size_t x = 0; x < cx; ++x) {
       for (std::size_t y = 0; y < cy; ++y) {
-        const Count* row = cells_.data() + (x * cy + y) * cz_total;
+        const Count* row = cells.data() + (x * cy + y) * cz_total;
         for (std::size_t zc = 0; zc < cz_total; ++zc) {
           const Count nz = margin_z_[zc];
           if (nz == 0) continue;
@@ -165,7 +146,7 @@ CiResult DiscreteCiTest::evaluate(std::size_t cz_total, Count sample_count) cons
     // G^2 = 2 sum N log(N * Nz / (Nxz * Nyz)); MI uses the same sum.
     for (std::size_t x = 0; x < cx; ++x) {
       for (std::size_t y = 0; y < cy; ++y) {
-        const Count* row = cells_.data() + (x * cy + y) * cz_total;
+        const Count* row = cells.data() + (x * cy + y) * cz_total;
         for (std::size_t zc = 0; zc < cz_total; ++zc) {
           const Count nxyz = row[zc];
           if (nxyz == 0) continue;
@@ -227,16 +208,18 @@ CiResult DiscreteCiTest::evaluate(std::size_t cz_total, Count sample_count) cons
 }
 
 CiResult DiscreteCiTest::test(VarId x, VarId y, std::span<const VarId> z) {
-  const std::size_t cz_total = conditioning_cells(z);
+  const std::size_t cz_total = conditioning_cells(x, y, z);
   if (cz_total == 0) {
     ++tests_performed_;
-    return CiResult{0.0, 0.0, -1, /*independent=*/false};
+    return oversized_result();
   }
   compute_xy_codes(x, y);
   group_codes_valid_ = false;  // the scratch codes no longer match the group
-  build_table(z, cz_total);
+  cells_.resize(static_cast<std::size_t>(cx_) * static_cast<std::size_t>(cy_) *
+                cz_total);
+  active_builder().build(build_context(), TableJob{z, cz_total, cells_});
   ++tests_performed_;
-  return evaluate(cz_total, data_->num_samples());
+  return evaluate(cells_, cz_total, data_->num_samples());
 }
 
 void DiscreteCiTest::begin_group(VarId x, VarId y) {
@@ -250,20 +233,83 @@ void DiscreteCiTest::begin_group(VarId x, VarId y) {
 
 CiResult DiscreteCiTest::test_in_group(std::span<const VarId> z) {
   assert(group_x_ != kInvalidVar && group_y_ != kInvalidVar);
-  const std::size_t cz_total = conditioning_cells(z);
+  const std::size_t cz_total = conditioning_cells(group_x_, group_y_, z);
   if (cz_total == 0) {
     ++tests_performed_;
-    return CiResult{0.0, 0.0, -1, /*independent=*/false};
+    return oversized_result();
   }
   // xy codes were computed by begin_group and are shared by the whole
   // group — the paper's "reuse Vi and Vj" memory-access saving.
-  build_table(z, cz_total);
+  cells_.resize(static_cast<std::size_t>(cx_) * static_cast<std::size_t>(cy_) *
+                cz_total);
+  active_builder().build(build_context(), TableJob{z, cz_total, cells_});
   ++tests_performed_;
-  return evaluate(cz_total, data_->num_samples());
+  return evaluate(cells_, cz_total, data_->num_samples());
+}
+
+void DiscreteCiTest::test_batch_in_group(std::span<const VarId> flat_sets,
+                                         std::int32_t depth,
+                                         std::span<CiResult> results) {
+  assert(group_x_ != kInvalidVar && group_y_ != kInvalidVar);
+  const auto d = static_cast<std::size_t>(depth);
+  const std::size_t count = results.size();
+  assert(flat_sets.size() == count * d);
+
+  // Pass 1: admit every table within the cell cap; oversized sets get
+  // the conservative result and no build job.
+  batch_jobs_.clear();
+  batch_slots_.clear();
+  const auto xy_cells =
+      static_cast<std::size_t>(cx_) * static_cast<std::size_t>(cy_);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::span<const VarId> z = flat_sets.subspan(i * d, d);
+    const std::size_t cz_total = conditioning_cells(group_x_, group_y_, z);
+    if (cz_total == 0) {
+      results[i] = oversized_result();
+      continue;
+    }
+    batch_jobs_.push_back(TableJob{z, cz_total, {}});
+    batch_slots_.push_back(i);
+  }
+  tests_performed_ += static_cast<std::int64_t>(count);
+
+  // Pass 2: build in arena chunks no larger than the per-test cell cap,
+  // so batching never multiplies the memory bound max_cells documents (a
+  // single admissible table is within the cap by construction).
+  std::size_t j0 = 0;
+  while (j0 < batch_jobs_.size()) {
+    std::size_t j1 = j0;
+    std::size_t arena = 0;
+    while (j1 < batch_jobs_.size()) {
+      const std::size_t size = xy_cells * batch_jobs_[j1].cz_total;
+      if (j1 > j0 && arena + size > options_.max_cells) break;
+      arena += size;
+      ++j1;
+    }
+    batch_cells_.resize(arena);
+    std::size_t offset = 0;
+    for (std::size_t j = j0; j < j1; ++j) {
+      const std::size_t size = xy_cells * batch_jobs_[j].cz_total;
+      batch_jobs_[j].cells = std::span<Count>(batch_cells_.data() + offset, size);
+      offset += size;
+    }
+    const std::span<TableJob> chunk(batch_jobs_.data() + j0, j1 - j0);
+    batch_builder_->build_batch(build_context(), chunk);
+    for (std::size_t j = j0; j < j1; ++j) {
+      results[batch_slots_[j]] = evaluate(
+          batch_jobs_[j].cells, batch_jobs_[j].cz_total, data_->num_samples());
+    }
+    j0 = j1;
+  }
 }
 
 std::unique_ptr<CiTest> DiscreteCiTest::clone() const {
-  return std::make_unique<DiscreteCiTest>(*data_, options_);
+  auto copy = std::make_unique<DiscreteCiTest>(*data_, options_);
+  // Preserve a runtime set_sample_parallel() retarget: clones must build
+  // tables the way the source currently does, not the way it was
+  // constructed.
+  copy->sample_parallel_build_ = sample_parallel_build_;
+  return copy;
 }
 
 std::unique_ptr<CiTest> make_g2_test(const DiscreteDataset& data, double alpha) {

@@ -1,16 +1,24 @@
 // Statistical CI tests on discrete complete data: G^2 (the paper's test),
 // Pearson chi-square, and mutual information.
 //
-// The implementation carries the paper's data-path optimizations:
+// The class is a thin statistic layer: it owns the endpoint codes, the
+// marginals and the G^2 / X^2 / MI evaluation, while the counting pass
+// that fills N_xyz lives behind the pluggable TableBuilder kernel
+// (stats/table_builder.hpp). The paper's data-path optimizations map onto
+// that split:
 //  * column-major streaming of exactly the |S|+2 variables a test touches
 //    (cache-friendly storage, Section IV-C) — with an opt-in row-major
 //    path so benches can ablate the layout choice;
 //  * group protocol reusing the combined (X, Y) value codes across the gs
-//    tests of a work-pool group (Section IV-B, "reuse Vi and Vj");
+//    tests of a work-pool group (Section IV-B, "reuse Vi and Vj"), plus a
+//    batch entry that counts several of a group's tables in one shared
+//    pass (the batched kernel);
 //  * workspace reuse: one allocation-free contingency buffer per test
 //    instance (engines clone one instance per thread);
 //  * an optional sample-parallel build (OpenMP + atomics), which exists to
-//    reproduce the paper's *negative* result for sample-level parallelism.
+//    reproduce the paper's *negative* result for sample-level parallelism
+//    — and which cost-predicting engines re-enable per edge through
+//    set_sample_parallel() when one edge's tests dominate a depth.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,7 @@
 
 #include "dataset/discrete_dataset.hpp"
 #include "stats/ci_test.hpp"
+#include "stats/table_builder.hpp"
 
 namespace fastbns {
 
@@ -43,7 +52,8 @@ struct CiTestOptions {
   /// Build the contingency table with a row-major (cache-unfriendly) scan.
   bool use_row_major = false;
   /// Parallelize the contingency build over samples (atomics). Emulates
-  /// the sample-level granularity of Section IV-A.
+  /// the sample-level granularity of Section IV-A. Engines can retarget
+  /// this at runtime through set_sample_parallel().
   bool sample_parallel = false;
 };
 
@@ -55,17 +65,42 @@ class DiscreteCiTest final : public CiTest {
   CiResult test(VarId x, VarId y, std::span<const VarId> z) override;
   void begin_group(VarId x, VarId y) override;
   CiResult test_in_group(std::span<const VarId> z) override;
+  /// Counts the batch's same-endpoint tables through the batched
+  /// TableBuilder (same-shape tables share one pass over the samples).
+  void test_batch_in_group(std::span<const VarId> flat_sets,
+                           std::int32_t depth,
+                           std::span<CiResult> results) override;
   [[nodiscard]] std::unique_ptr<CiTest> clone() const override;
+
+  /// Retargets single-table builds between the serial and the
+  /// sample-parallel kernel; always supported here.
+  bool set_sample_parallel(bool enabled) override;
+  [[nodiscard]] bool sample_parallel_build() const noexcept override {
+    return sample_parallel_build_;
+  }
+
+  [[nodiscard]] Count workload_samples() const noexcept override;
+  [[nodiscard]] std::int64_t workload_states(VarId v) const noexcept override;
+  [[nodiscard]] std::size_t table_cell_cap() const noexcept override {
+    return options_.max_cells;
+  }
 
   [[nodiscard]] const CiTestOptions& options() const noexcept { return options_; }
 
  private:
-  /// Combined-z cardinality; 0 signals "table too large".
-  [[nodiscard]] std::size_t conditioning_cells(std::span<const VarId> z) const;
+  /// Combined-z cardinality of the (x, y, z) table; 0 signals "table too
+  /// large" — the full cx * cy * cz cell count is what max_cells caps.
+  [[nodiscard]] std::size_t conditioning_cells(VarId x, VarId y,
+                                               std::span<const VarId> z) const;
 
   void compute_xy_codes(VarId x, VarId y);
-  void build_table(std::span<const VarId> z, std::size_t cz_total);
-  [[nodiscard]] CiResult evaluate(std::size_t cz_total, Count sample_count) const;
+  [[nodiscard]] TableBuildContext build_context() const noexcept;
+  /// The kernel single-table builds go through: scalar, or
+  /// sample-parallel when the option / runtime hint says so.
+  [[nodiscard]] TableBuilder& active_builder() const noexcept;
+  [[nodiscard]] CiResult evaluate(std::span<const Count> cells,
+                                  std::size_t cz_total,
+                                  Count sample_count) const;
 
   const DiscreteDataset* data_;
   CiTestOptions options_;
@@ -76,9 +111,18 @@ class DiscreteCiTest final : public CiTest {
   /// the endpoint codes without recomputation. (The plain test() entry
   /// point deliberately has no memo — it models the unoptimized path.)
   bool group_codes_valid_ = false;
+  /// Runtime mirror of options_.sample_parallel (set_sample_parallel).
+  bool sample_parallel_build_ = false;
+
+  std::unique_ptr<TableBuilder> scalar_builder_;
+  std::unique_ptr<TableBuilder> sample_builder_;
+  std::unique_ptr<TableBuilder> batch_builder_;
 
   std::vector<std::int32_t> xy_codes_;  ///< per sample: x*|Y| + y
   std::vector<Count> cells_;            ///< N_xyz, laid out [xy][zc]
+  std::vector<Count> batch_cells_;      ///< arena for batched builds
+  std::vector<TableJob> batch_jobs_;
+  std::vector<std::size_t> batch_slots_;  ///< result index per batch job
   mutable std::vector<Count> margin_xz_;
   mutable std::vector<Count> margin_yz_;
   mutable std::vector<Count> margin_z_;

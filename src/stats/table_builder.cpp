@@ -1,0 +1,268 @@
+#include "stats/table_builder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+#include <utility>
+
+namespace fastbns {
+
+void TableBuilder::build_batch(const TableBuildContext& context,
+                               std::span<TableJob> jobs) {
+  for (const TableJob& job : jobs) build(context, job);
+}
+
+namespace {
+
+/// Hard cap tied to the driver's depth limit; matches the fixed-size
+/// index buffers in edge_work.cpp.
+constexpr std::size_t kMaxDepth = 32;
+
+/// Per-job access plan: conditioning column pointers (column-major) or
+/// variable ids (row-major) plus cardinalities, gathered once per build.
+struct ZPlan {
+  std::array<const DataValue*, kMaxDepth> cols{};
+  std::array<std::int32_t, kMaxDepth> cards{};
+  std::span<const VarId> vars;
+  std::size_t d = 0;
+
+  ZPlan(const TableBuildContext& context, const TableJob& job)
+      : vars(job.z), d(job.z.size()) {
+    assert(d <= kMaxDepth);
+    for (std::size_t i = 0; i < d; ++i) {
+      cards[i] = context.data->cardinality(job.z[i]);
+      if (!context.row_major) cols[i] = context.data->column(job.z[i]).data();
+    }
+  }
+
+  [[nodiscard]] std::size_t code_column(std::size_t s) const {
+    std::size_t zc = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      zc = zc * static_cast<std::size_t>(cards[i]) + cols[i][s];
+    }
+    return zc;
+  }
+
+  [[nodiscard]] std::size_t code_row(const DataValue* row) const {
+    std::size_t zc = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      zc = zc * static_cast<std::size_t>(cards[i]) + row[vars[i]];
+    }
+    return zc;
+  }
+};
+
+std::size_t num_samples(const TableBuildContext& context) {
+  return static_cast<std::size_t>(context.data->num_samples());
+}
+
+const DataValue* row_base(const TableBuildContext& context) {
+  return context.row_major ? context.data->row(0).data() : nullptr;
+}
+
+class ScalarTableBuilder : public TableBuilder {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "scalar";
+  }
+
+  void build(const TableBuildContext& context, const TableJob& job) override {
+    const std::size_t m = num_samples(context);
+    std::fill(job.cells.begin(), job.cells.end(), Count{0});
+    Count* cells = job.cells.data();
+    const std::int32_t* codes = context.xy_codes.data();
+
+    if (job.z.empty()) {
+      // Marginal table: the xy code is the cell index.
+      for (std::size_t s = 0; s < m; ++s) ++cells[codes[s]];
+      return;
+    }
+    const ZPlan plan(context, job);
+    if (context.row_major) {
+      const DataValue* base = row_base(context);
+      const auto n = static_cast<std::size_t>(context.data->num_vars());
+      for (std::size_t s = 0; s < m; ++s) {
+        const std::size_t zc = plan.code_row(base + s * n);
+        ++cells[static_cast<std::size_t>(codes[s]) * job.cz_total + zc];
+      }
+    } else {
+      for (std::size_t s = 0; s < m; ++s) {
+        const std::size_t zc = plan.code_column(s);
+        ++cells[static_cast<std::size_t>(codes[s]) * job.cz_total + zc];
+      }
+    }
+  }
+};
+
+class SampleParallelTableBuilder final : public TableBuilder {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sample-parallel";
+  }
+
+  void build(const TableBuildContext& context, const TableJob& job) override {
+    const auto m = static_cast<std::int64_t>(num_samples(context));
+    std::fill(job.cells.begin(), job.cells.end(), Count{0});
+    Count* cells = job.cells.data();
+    const std::int32_t* codes = context.xy_codes.data();
+
+    if (job.z.empty()) {
+#pragma omp parallel for schedule(static)
+      for (std::int64_t s = 0; s < m; ++s) {
+#pragma omp atomic
+        ++cells[codes[s]];
+      }
+      return;
+    }
+    const ZPlan plan(context, job);
+    const DataValue* base = row_base(context);
+    const auto n = static_cast<std::size_t>(context.data->num_vars());
+    const bool row_major = context.row_major;
+    const std::size_t cz_total = job.cz_total;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t s = 0; s < m; ++s) {
+      const auto u = static_cast<std::size_t>(s);
+      const std::size_t zc =
+          row_major ? plan.code_row(base + u * n) : plan.code_column(u);
+      const std::size_t idx =
+          static_cast<std::size_t>(codes[u]) * cz_total + zc;
+#pragma omp atomic
+      ++cells[idx];
+    }
+  }
+};
+
+class BatchedTableBuilder final : public ScalarTableBuilder {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "batched";
+  }
+
+  void build_batch(const TableBuildContext& context,
+                   std::span<TableJob> jobs) override {
+    // Same-shape runs: with the endpoints fixed by the context, shape is
+    // the combined conditioning cardinality — but a run's shared pass
+    // also assumes one conditioning-set size, so |z| is part of the key
+    // (two sets of different size can multiply to the same cz_total).
+    const auto shape_key = [&jobs](std::size_t j) {
+      return std::make_pair(jobs[j].cz_total, jobs[j].z.size());
+    };
+    order_.resize(jobs.size());
+    std::iota(order_.begin(), order_.end(), std::size_t{0});
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&shape_key](std::size_t a, std::size_t b) {
+                       return shape_key(a) < shape_key(b);
+                     });
+
+    std::size_t start = 0;
+    while (start < order_.size()) {
+      std::size_t end = start + 1;
+      while (end < order_.size() &&
+             shape_key(order_[end]) == shape_key(order_[start]) &&
+             end - start < kMaxFanout) {
+        ++end;
+      }
+      build_run(context, jobs, std::span<const std::size_t>(
+                                   order_.data() + start, end - start));
+      start = end;
+    }
+  }
+
+ private:
+  /// Tables counted per pass: bounds the live cell buffers and column
+  /// streams so the shared pass stays inside the cache it exists for.
+  static constexpr std::size_t kMaxFanout = 8;
+
+  void build_run(const TableBuildContext& context, std::span<TableJob> jobs,
+                 std::span<const std::size_t> run) {
+    if (run.size() == 1 || jobs[run.front()].z.empty()) {
+      // Nothing to share: a marginal group is one table per shape.
+      for (const std::size_t j : run) ScalarTableBuilder::build(context, jobs[j]);
+      return;
+    }
+
+    const std::size_t m = num_samples(context);
+    const std::size_t cz_total = jobs[run.front()].cz_total;
+    const std::size_t d = jobs[run.front()].z.size();
+    plans_.clear();
+    for (const std::size_t j : run) {
+      std::fill(jobs[j].cells.begin(), jobs[j].cells.end(), Count{0});
+      plans_.emplace_back(context, jobs[j]);
+    }
+    const std::int32_t* codes = context.xy_codes.data();
+    const std::size_t k = run.size();
+
+    // Depth-specialized column paths: flattened pointer arrays so the
+    // per-sample inner loop is the same two-load multiply-add the scalar
+    // kernel runs, with the codes read shared across the run's tables.
+    if (!context.row_major && (d == 1 || d == 2)) {
+      std::array<Count*, kMaxFanout> out{};
+      std::array<const DataValue*, kMaxFanout> col0{};
+      std::array<const DataValue*, kMaxFanout> col1{};
+      std::array<std::size_t, kMaxFanout> card1{};
+      for (std::size_t j = 0; j < k; ++j) {
+        out[j] = jobs[run[j]].cells.data();
+        col0[j] = plans_[j].cols[0];
+        if (d == 2) {
+          col1[j] = plans_[j].cols[1];
+          card1[j] = static_cast<std::size_t>(plans_[j].cards[1]);
+        }
+      }
+      if (d == 1) {
+        for (std::size_t s = 0; s < m; ++s) {
+          const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
+          for (std::size_t j = 0; j < k; ++j) {
+            ++out[j][xy + col0[j][s]];
+          }
+        }
+      } else {
+        for (std::size_t s = 0; s < m; ++s) {
+          const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
+          for (std::size_t j = 0; j < k; ++j) {
+            ++out[j][xy + col0[j][s] * card1[j] + col1[j][s]];
+          }
+        }
+      }
+      return;
+    }
+
+    if (context.row_major) {
+      const DataValue* base = row_base(context);
+      const auto n = static_cast<std::size_t>(context.data->num_vars());
+      for (std::size_t s = 0; s < m; ++s) {
+        const DataValue* row = base + s * n;
+        const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
+        for (std::size_t j = 0; j < k; ++j) {
+          ++jobs[run[j]].cells[xy + plans_[j].code_row(row)];
+        }
+      }
+    } else {
+      for (std::size_t s = 0; s < m; ++s) {
+        const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
+        for (std::size_t j = 0; j < k; ++j) {
+          ++jobs[run[j]].cells[xy + plans_[j].code_column(s)];
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> order_;
+  std::vector<ZPlan> plans_;
+};
+
+}  // namespace
+
+std::unique_ptr<TableBuilder> make_scalar_table_builder() {
+  return std::make_unique<ScalarTableBuilder>();
+}
+
+std::unique_ptr<TableBuilder> make_sample_parallel_table_builder() {
+  return std::make_unique<SampleParallelTableBuilder>();
+}
+
+std::unique_ptr<TableBuilder> make_batched_table_builder() {
+  return std::make_unique<BatchedTableBuilder>();
+}
+
+}  // namespace fastbns

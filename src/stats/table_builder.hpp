@@ -1,0 +1,86 @@
+// The CI-kernel layer: contingency-table construction, separated from
+// the statistic computed on the finished counts.
+//
+// The paper's data-path speedups (sample-parallel builds of Section IV-A,
+// the cache-friendly column streaming of Section IV-C) and the batching
+// directions of the follow-on work (Scutari's bnlearn parallelisation,
+// arXiv:1406.7648) all live in *how* N_xyz is counted, never in the G^2 /
+// X^2 / MI formula evaluated afterwards. A TableBuilder owns exactly that
+// counting pass; DiscreteCiTest is a thin statistic layer over a
+// pluggable builder, and engines that know their workload (the hybrid
+// edge+sample engine) pick the kernel per edge.
+//
+// All builders are bit-identical in counts: a contingency table is a sum,
+// so every kernel must produce byte-equal cell buffers for the same job
+// (randomized tests pin this across shapes and cardinalities).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dataset/discrete_dataset.hpp"
+
+namespace fastbns {
+
+/// Inputs shared by every table of one endpoint group: the dataset, the
+/// fixed endpoint pair's cardinalities, and the precomputed combined
+/// codes x*|Y| + y per sample (the group protocol's "reuse Vi and Vj").
+struct TableBuildContext {
+  const DiscreteDataset* data = nullptr;
+  std::span<const std::int32_t> xy_codes;  ///< per sample: x*cy + y
+  std::int32_t cx = 0;                     ///< cardinality of X
+  std::int32_t cy = 0;                     ///< cardinality of Y
+  /// Stride across sample rows instead of streaming columns (the
+  /// cache-unfriendly ablation path; requires a row-major buffer).
+  bool row_major = false;
+};
+
+/// One table to count: the conditioning set, its combined cardinality,
+/// and the output cells laid out [xy][zc] (size cx * cy * cz_total).
+/// Builders zero `cells` before counting.
+struct TableJob {
+  std::span<const VarId> z;    ///< conditioning variables, ascending
+  std::size_t cz_total = 1;    ///< prod of conditioning cardinalities
+  std::span<Count> cells;      ///< out: N_xyz, size cx * cy * cz_total
+};
+
+class TableBuilder {
+ public:
+  virtual ~TableBuilder() = default;
+
+  /// Kernel name for logs and bench labels.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Counts one table.
+  virtual void build(const TableBuildContext& context, const TableJob& job) = 0;
+
+  /// Counts a batch of same-endpoint tables. The default loops build();
+  /// batching kernels override to share passes over the samples. Jobs may
+  /// be counted in any order (each owns its cells), but every job must be
+  /// complete on return.
+  virtual void build_batch(const TableBuildContext& context,
+                           std::span<TableJob> jobs);
+};
+
+/// Serial scan — the paper's optimized sequential kernel. One pass per
+/// table, streaming the |S| conditioning columns (or rows when the
+/// context says so).
+[[nodiscard]] std::unique_ptr<TableBuilder> make_scalar_table_builder();
+
+/// Sample-parallel scan (Section IV-A): all OpenMP threads fill one table
+/// with atomics. Exists both to reproduce the paper's negative result and
+/// as the hybrid engine's heavy-edge route, where one edge's tests
+/// dominate a depth and edge-level partitioning cannot split them.
+[[nodiscard]] std::unique_ptr<TableBuilder> make_sample_parallel_table_builder();
+
+/// Batched kernel: groups the same-shape (cx, cy, cz) tables of one
+/// endpoint group and counts each shape-run in a single pass over the
+/// samples, reading the xy codes once and touching the overlapping
+/// conditioning columns while they are cache-hot. build() falls back to
+/// the scalar pass.
+[[nodiscard]] std::unique_ptr<TableBuilder> make_batched_table_builder();
+
+}  // namespace fastbns

@@ -174,6 +174,23 @@ TEST(DiscreteCiTest, OversizedTableIsConservativelyDependent) {
   EXPECT_EQ(result.degrees_of_freedom, -1);
 }
 
+TEST(DiscreteCiTest, MaxCellsCapsTheFullTableNotJustConditioning) {
+  const auto data = xor_dataset(100, 37);
+  // A 2x2 marginal table needs 4 cells: a 3-cell cap skips it even with
+  // an empty conditioning set, and an 8-cell cap admits the marginal but
+  // not the 2x2x2 conditional table.
+  CiTestOptions tight;
+  tight.max_cells = 3;
+  DiscreteCiTest tight_test(data, tight);
+  EXPECT_EQ(tight_test.test(0, 1, {}).degrees_of_freedom, -1);
+  CiTestOptions marginal_only;
+  marginal_only.max_cells = 4;
+  DiscreteCiTest marginal_test(data, marginal_only);
+  EXPECT_NE(marginal_test.test(0, 1, {}).degrees_of_freedom, -1);
+  const std::vector<VarId> z{2};
+  EXPECT_EQ(marginal_test.test(0, 1, z).degrees_of_freedom, -1);
+}
+
 TEST(DiscreteCiTest, CountsTestsPerformed) {
   const auto data = xor_dataset(500, 41);
   DiscreteCiTest test(data, {});

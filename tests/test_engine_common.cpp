@@ -1,0 +1,211 @@
+// ThreadLocalTests / ClonePoolEngine contract: clones are built lazily,
+// reused across the depths of one run, and must be dropped between runs —
+// the cache keys on the prototype's address, which cannot distinguish a
+// new test object at a recycled address from the previous run's.
+#include "engine/engine_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/omp_utils.hpp"
+#include "common/rng.hpp"
+#include "engine/engine_registry.hpp"
+#include "perfmodel/workload_model.hpp"
+#include "stats/discrete_ci_test.hpp"
+
+namespace fastbns {
+namespace {
+
+DiscreteDataset tiny_dataset() {
+  DiscreteDataset data(3, 50, {2, 2, 2}, DataLayout::kBoth);
+  Rng rng(3);
+  for (Count s = 0; s < 50; ++s) {
+    for (VarId v = 0; v < 3; ++v) {
+      data.set(s, v, static_cast<DataValue>(rng.next_below(2)));
+    }
+  }
+  return data;
+}
+
+double clone_alpha(const CiTest* clone) {
+  const auto* discrete = dynamic_cast<const DiscreteCiTest*>(clone);
+  return discrete == nullptr ? -1.0 : discrete->options().alpha;
+}
+
+TEST(ThreadLocalTests, ReusesClonesAcrossDepthsOfOneRun) {
+  const DiscreteDataset data = tiny_dataset();
+  const DiscreteCiTest prototype(data, {});
+  ThreadLocalTests cache;
+
+  auto& first = cache.acquire(prototype, 3);
+  ASSERT_EQ(first.size(), 3u);
+  std::vector<CiTest*> pointers;
+  for (const auto& clone : first) pointers.push_back(clone.get());
+
+  // Depth 2, 3, ... of the same run: same prototype, same count — the
+  // cached clones (and their warm workspaces) come back untouched.
+  auto& second = cache.acquire(prototype, 3);
+  ASSERT_EQ(second.size(), 3u);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(second[t].get(), pointers[t]) << t;
+  }
+}
+
+TEST(ThreadLocalTests, RebuildsWhenTheThreadCountChanges) {
+  const DiscreteDataset data = tiny_dataset();
+  const DiscreteCiTest prototype(data, {});
+  ThreadLocalTests cache;
+  cache.acquire(prototype, 2);
+  auto& grown = cache.acquire(prototype, 4);
+  EXPECT_EQ(grown.size(), 4u);
+  for (const auto& clone : grown) {
+    EXPECT_NE(clone, nullptr);
+  }
+}
+
+TEST(ThreadLocalTests, ResetDropsClonesBetweenRuns) {
+  const DiscreteDataset data = tiny_dataset();
+  const DiscreteCiTest prototype(data, {});
+  ThreadLocalTests cache;
+  CiTest* stale = cache.acquire(prototype, 1).front().get();
+  stale->test(0, 1, {});
+  EXPECT_EQ(stale->tests_performed(), 1);
+
+  cache.reset();
+  CiTest* fresh = cache.acquire(prototype, 1).front().get();
+  // A fresh clone carries no state from the previous run.
+  EXPECT_EQ(fresh->tests_performed(), 0);
+}
+
+TEST(ThreadLocalTests, RecycledPrototypeAddressIsWhyResetIsMandatory) {
+  const DiscreteDataset data = tiny_dataset();
+  // std::optional guarantees the recycled-address scenario: every
+  // emplace constructs the new prototype in the same storage.
+  std::optional<DiscreteCiTest> slot;
+  CiTestOptions first_options;
+  first_options.alpha = 0.01;
+  slot.emplace(data, first_options);
+  ThreadLocalTests cache;
+  EXPECT_EQ(clone_alpha(cache.acquire(*slot, 1).front().get()), 0.01);
+
+  CiTestOptions second_options;
+  second_options.alpha = 0.2;
+  slot.emplace(data, second_options);
+  // Same address, different prototype: without a reset the cache cannot
+  // tell and hands back the previous run's clone — the documented hazard.
+  EXPECT_EQ(clone_alpha(cache.acquire(*slot, 1).front().get()), 0.01);
+  // reset() (what ClonePoolEngine::prepare_run wires to the driver's
+  // run-start hook) forces the re-clone.
+  cache.reset();
+  EXPECT_EQ(clone_alpha(cache.acquire(*slot, 1).front().get()), 0.2);
+}
+
+class ProbePoolEngine final : public ClonePoolEngine {
+ public:
+  CiTest* acquire_one(const CiTest& prototype) {
+    return tests_.acquire(prototype, 1).front().get();
+  }
+  std::int64_t run_depth(std::vector<EdgeWork>&, std::int32_t, const CiTest&,
+                         const PcOptions&) override {
+    return 0;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "probe";
+  }
+};
+
+/// Crafted works for one depth: a straggler edge whose pending tests
+/// dominate the depth, plus light edges. This is the distribution the
+/// hybrid engine's routing exists for; built directly (EdgeWork is a
+/// plain snapshot struct) because organic small graphs spread cost too
+/// evenly to ever cross the straggler threshold.
+std::vector<EdgeWork> skewed_depth_works(VarId num_vars, std::int32_t depth) {
+  std::vector<EdgeWork> works;
+  EdgeWork heavy;
+  heavy.x = 0;
+  heavy.y = 1;
+  for (VarId v = 2; v < num_vars; ++v) heavy.candidates1.push_back(v);
+  heavy.total1 = binomial(static_cast<std::int64_t>(heavy.candidates1.size()),
+                          depth);
+  works.push_back(std::move(heavy));
+  for (VarId v = 2; v + 1 < num_vars; ++v) {
+    EdgeWork light;
+    light.x = v;
+    light.y = static_cast<VarId>(v + 1);
+    light.candidates1 = {0, 1};
+    light.total1 = binomial(2, depth);
+    works.push_back(std::move(light));
+  }
+  return works;
+}
+
+TEST(HybridEngine, HeavyRouteEngagesOnStragglerAndMatchesSequential) {
+  // Enough samples to clear the workload model's sample-parallel floor.
+  const VarId n = 12;
+  const Count m = kMinSampleParallelSamples + 1000;
+  DiscreteDataset data(n, m, std::vector<std::int32_t>(n, 2),
+                       DataLayout::kBoth);
+  Rng rng(7);
+  for (Count s = 0; s < m; ++s) {
+    const auto x = static_cast<DataValue>(rng.next_below(2));
+    data.set(s, 0, x);
+    // v1 tracks v0 so the heavy edge survives its many tests.
+    data.set(s, 1, rng.next_double() < 0.9
+                       ? x
+                       : static_cast<DataValue>(1 - x));
+    for (VarId v = 2; v < n; ++v) {
+      data.set(s, v, static_cast<DataValue>(rng.next_below(2)));
+    }
+  }
+  const DiscreteCiTest prototype(data, {});
+  const std::int32_t depth = 2;
+  PcOptions options;
+
+  const ScopedNumThreads thread_guard(4);
+  std::vector<EdgeWork> reference_works = skewed_depth_works(n, depth);
+  const std::unique_ptr<SkeletonEngine> sequential =
+      EngineRegistry::instance().create("fastbns-seq");
+  sequential->prepare_run();
+  sequential->run_depth(reference_works, depth, prototype, options);
+
+  std::vector<EdgeWork> hybrid_works = skewed_depth_works(n, depth);
+  const std::unique_ptr<SkeletonEngine> hybrid =
+      EngineRegistry::instance().create("hybrid");
+  hybrid->prepare_run();
+  hybrid->run_depth(hybrid_works, depth, prototype, options);
+
+  // The crafted straggler must actually take the sample-parallel route —
+  // otherwise this test would pass vacuously through the light path.
+  EXPECT_TRUE(hybrid_works.front().sample_parallel_route);
+  EXPECT_GT(hybrid_works.front().predicted_cost, 0.0);
+  ASSERT_EQ(hybrid_works.size(), reference_works.size());
+  for (std::size_t i = 0; i < hybrid_works.size(); ++i) {
+    EXPECT_EQ(hybrid_works[i].removed, reference_works[i].removed) << i;
+    EXPECT_EQ(hybrid_works[i].sepset, reference_works[i].sepset) << i;
+  }
+}
+
+TEST(ClonePoolEngine, PrepareRunResetsTheCloneCache) {
+  const DiscreteDataset data = tiny_dataset();
+  std::optional<DiscreteCiTest> slot;
+  CiTestOptions first_options;
+  first_options.alpha = 0.01;
+  slot.emplace(data, first_options);
+  ProbePoolEngine engine;
+  engine.prepare_run();
+  EXPECT_EQ(clone_alpha(engine.acquire_one(*slot)), 0.01);
+
+  // A second run whose prototype landed at the recycled address: the
+  // driver's prepare_run call is what keeps the engine correct.
+  CiTestOptions second_options;
+  second_options.alpha = 0.2;
+  slot.emplace(data, second_options);
+  engine.prepare_run();
+  EXPECT_EQ(clone_alpha(engine.acquire_one(*slot)), 0.2);
+}
+
+}  // namespace
+}  // namespace fastbns

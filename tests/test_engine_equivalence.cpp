@@ -255,6 +255,52 @@ TEST(EngineEquivalence, EagerGroupStopNeverExecutesMoreTests) {
   EXPECT_EQ(stopped.total_ci_tests, baseline.total_ci_tests);
 }
 
+TEST(EngineEquivalence, HybridHeavyRouteIsResultIdentical) {
+  // The main fixture's 1200 samples stay under the workload model's
+  // sample-parallel floor, so the hybrid engine's heavy route never
+  // engages there. This fixture crosses it, forcing straggler edges
+  // through sample-parallel table builds — the results must still be
+  // identical to the sequential reference.
+  RandomNetworkConfig config;
+  config.num_nodes = 14;
+  config.num_edges = 22;
+  config.seed = 101;
+  const BayesianNetwork network = generate_random_network(config);
+  Rng rng(102);
+  const DiscreteDataset data =
+      forward_sample(network, 9000, rng, DataLayout::kBoth);
+
+  PcOptions reference_options;
+  reference_options.engine = engine_from_string("fastbns-seq");
+  const DiscreteCiTest reference_test(data, {});
+  const SkeletonResult reference =
+      learn_skeleton(data.num_vars(), reference_test, reference_options);
+
+  for (const int threads : {2, 4}) {
+    PcOptions options;
+    options.engine = engine_from_string("hybrid");
+    options.engine_name = "hybrid";
+    options.num_threads = threads;
+    const DiscreteCiTest test(data, {});
+    const SkeletonResult result =
+        learn_skeleton(data.num_vars(), test, options);
+    EXPECT_TRUE(result.graph == reference.graph) << "t=" << threads;
+    const VarId n = data.num_vars();
+    for (VarId u = 0; u < n; ++u) {
+      for (VarId v = u + 1; v < n; ++v) {
+        const auto* expected = reference.sepsets.find(u, v);
+        const auto* actual = result.sepsets.find(u, v);
+        ASSERT_EQ(expected == nullptr, actual == nullptr)
+            << "t=" << threads << ": " << u << "," << v;
+        if (expected != nullptr) {
+          EXPECT_EQ(*expected, *actual) << "t=" << threads << ": " << u << ","
+                                        << v;
+        }
+      }
+    }
+  }
+}
+
 TEST(EngineEquivalence, OracleRunsAgreeAcrossRegisteredEngines) {
   const BayesianNetwork alarm = alarm_network();
   DSeparationOracle oracle(alarm.dag());

@@ -14,15 +14,27 @@
 namespace fastbns {
 namespace {
 
-TEST(EngineRegistry, ListsTheFivePaperEngines) {
+TEST(EngineRegistry, ListsTheBuiltinEnginesSorted) {
   const std::vector<std::string> names = list_engines();
-  ASSERT_GE(names.size(), 5u);
-  // Registration order: the paper's five engines come first.
-  EXPECT_EQ(names[0], "naive-seq");
-  EXPECT_EQ(names[1], "fastbns-seq");
-  EXPECT_EQ(names[2], "edge-parallel");
-  EXPECT_EQ(names[3], "sample-parallel");
-  EXPECT_EQ(names[4], "fastbns-par(ci-level)");
+  ASSERT_GE(names.size(), 6u);
+  // list_engines() is the stable, sorted order CLI help enumerates.
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected :
+       {"naive-seq", "fastbns-seq", "edge-parallel", "sample-parallel",
+        "fastbns-par(ci-level)", "hybrid(edge+sample)"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  // names() keeps registration order: the paper's five engines first.
+  // Pinned on a standalone registry — the global instance may have
+  // grown extension registrations, which is exactly why list_engines()
+  // sorts.
+  const std::vector<std::string> registration_order =
+      EngineRegistry{}.names();
+  ASSERT_EQ(registration_order.size(), 6u);
+  EXPECT_EQ(registration_order[0], "naive-seq");
+  EXPECT_EQ(registration_order[4], "fastbns-par(ci-level)");
+  EXPECT_EQ(registration_order[5], "hybrid(edge+sample)");
 }
 
 TEST(EngineRegistry, CanonicalNamesRoundTrip) {
@@ -35,7 +47,7 @@ TEST(EngineRegistry, KindsRoundTripThroughNames) {
   for (const EngineKind kind :
        {EngineKind::kNaiveSequential, EngineKind::kFastSequential,
         EngineKind::kEdgeParallel, EngineKind::kSampleParallel,
-        EngineKind::kCiParallel}) {
+        EngineKind::kCiParallel, EngineKind::kHybrid}) {
     EXPECT_EQ(engine_from_string(to_string(kind)), kind);
   }
 }
@@ -47,6 +59,8 @@ TEST(EngineRegistry, AliasesResolve) {
   EXPECT_EQ(engine_from_string("sample"), EngineKind::kSampleParallel);
   EXPECT_EQ(engine_from_string("ci"), EngineKind::kCiParallel);
   EXPECT_EQ(engine_from_string("fastbns-par"), EngineKind::kCiParallel);
+  EXPECT_EQ(engine_from_string("hybrid"), EngineKind::kHybrid);
+  EXPECT_EQ(engine_from_string("auto"), EngineKind::kHybrid);
 }
 
 TEST(EngineRegistry, UnknownNameThrowsListingKnownEngines) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "perfmodel/workload_model.hpp"
+
 namespace fastbns {
 namespace {
 
@@ -100,6 +102,54 @@ TEST(PerfModel, OverallIsProductOfFactors) {
                    ci_level_speedup(params.ci) *
                        grouping_speedup(params.deletion_ratio) *
                        cache_speedup(params.cache));
+}
+
+TEST(WorkloadModel, EdgeCostScalesWithTestsSamplesAndDepth) {
+  CacheModelParams cache;
+  EdgeWorkload base;
+  base.tests = 10;
+  base.samples = 5000;
+  base.depth = 2;
+  base.xy_states = 4;
+  base.mean_z_states = 3.0;
+  cache.depth = base.depth;
+  const double cost = predict_edge_cost(base, cache);
+  EXPECT_GT(cost, 0.0);
+
+  EdgeWorkload more_tests = base;
+  more_tests.tests = 20;
+  EXPECT_DOUBLE_EQ(predict_edge_cost(more_tests, cache), 2.0 * cost);
+
+  EdgeWorkload more_samples = base;
+  more_samples.samples = 10000;
+  EXPECT_GT(predict_edge_cost(more_samples, cache), cost);
+
+  EdgeWorkload none;
+  none.tests = 0;
+  EXPECT_DOUBLE_EQ(predict_edge_cost(none, cache), 0.0);
+}
+
+TEST(WorkloadModel, PredictedCellsFollowCardinalities) {
+  EdgeWorkload workload;
+  workload.xy_states = 6;
+  workload.mean_z_states = 3.0;
+  workload.depth = 2;
+  EXPECT_DOUBLE_EQ(predict_table_cells(workload), 6.0 * 9.0);
+  workload.depth = 0;
+  EXPECT_DOUBLE_EQ(predict_table_cells(workload), 6.0);
+}
+
+TEST(WorkloadModel, RoutingRequiresStragglerAndLongScans) {
+  const Count long_scan = kMinSampleParallelSamples;
+  // Straggler: the edge alone exceeds a balanced per-thread share.
+  EXPECT_TRUE(route_edge_to_sample_parallel(60.0, 100.0, 4, long_scan));
+  // Balanced edge: stays on the light path.
+  EXPECT_FALSE(route_edge_to_sample_parallel(10.0, 100.0, 4, long_scan));
+  // Serial runs and short scans never pay for atomics.
+  EXPECT_FALSE(route_edge_to_sample_parallel(60.0, 100.0, 1, long_scan));
+  EXPECT_FALSE(route_edge_to_sample_parallel(60.0, 100.0, 4, long_scan - 1));
+  // Unknown sample counts (metadata-free tests) route light.
+  EXPECT_FALSE(route_edge_to_sample_parallel(60.0, 100.0, 4, 0));
 }
 
 }  // namespace

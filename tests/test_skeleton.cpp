@@ -100,6 +100,50 @@ TEST(Skeleton, InvalidGroupSizeThrows) {
   EXPECT_THROW(learn_skeleton(3, oracle, options), std::invalid_argument);
 }
 
+TEST(Skeleton, ValidateRejectsNonsensicalOptionsUpFront) {
+  const Dag dag = chain_dag(3);
+  DSeparationOracle oracle(dag);
+  // A table cap that cannot hold even a 2x2 marginal table would skip
+  // every CI test, so the run must fail before the depth loop, not
+  // degenerate inside an engine.
+  PcOptions tiny_cap;
+  tiny_cap.max_table_cells = 3;
+  EXPECT_THROW(tiny_cap.validate(), std::invalid_argument);
+  EXPECT_THROW(learn_skeleton(3, oracle, tiny_cap), std::invalid_argument);
+  // Thread counts beyond kMaxThreads are typos, not machines.
+  PcOptions typo_threads;
+  typo_threads.num_threads = PcOptions::kMaxThreads + 1;
+  EXPECT_THROW(typo_threads.validate(), std::invalid_argument);
+  // The engine-dependent combination — every permitted table smaller
+  // than the effective thread count makes sample-parallel builds pure
+  // atomic contention — is enforced by the driver once the engine is
+  // resolved: rejected for the engines that build tables that way,
+  // accepted elsewhere (a tiny cap merely skips tests conservatively).
+  PcOptions contention;
+  contention.num_threads = 64;
+  contention.max_table_cells = 32;
+  EXPECT_NO_THROW(contention.validate());  // fields are individually fine
+  for (const EngineKind kind :
+       {EngineKind::kSampleParallel, EngineKind::kHybrid}) {
+    contention.engine = kind;
+    EXPECT_THROW(learn_skeleton(3, oracle, contention),
+                 std::invalid_argument);
+  }
+  contention.engine = EngineKind::kCiParallel;
+  EXPECT_NO_THROW((void)learn_skeleton(3, oracle, contention));
+  // By-name selection must not bypass the guard: construction prefers
+  // engine_name, and the driver checks the engine it actually resolved.
+  contention.engine_name = "hybrid";
+  EXPECT_THROW(learn_skeleton(3, oracle, contention), std::invalid_argument);
+  contention.engine_name.clear();
+  // The same engines pass once the cap clears the thread count.
+  PcOptions ok;
+  ok.engine = EngineKind::kSampleParallel;
+  ok.num_threads = 64;
+  ok.max_table_cells = 64;
+  EXPECT_NO_THROW((void)learn_skeleton(3, oracle, ok));
+}
+
 TEST(Skeleton, EmptyAndSingletonGraphs) {
   const Dag dag = chain_dag(1);
   DSeparationOracle oracle(dag);

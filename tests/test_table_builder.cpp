@@ -1,0 +1,343 @@
+// The CI-kernel contract: every TableBuilder counts the same table —
+// bit-identical cells across the scalar, sample-parallel and batched
+// kernels, on randomized shapes, cardinalities and layouts. This is what
+// lets DiscreteCiTest treat the builder as pluggable and lets engines
+// pick the kernel per edge without changing any result.
+#include "stats/table_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "stats/discrete_ci_test.hpp"
+
+namespace fastbns {
+namespace {
+
+DiscreteDataset random_dataset(VarId n, Count m, std::int32_t max_card,
+                               std::uint64_t seed) {
+  Rng card_rng(seed);
+  std::vector<std::int32_t> cards;
+  for (VarId v = 0; v < n; ++v) {
+    cards.push_back(
+        2 + static_cast<std::int32_t>(card_rng.next_below(
+                static_cast<std::uint64_t>(max_card - 1))));
+  }
+  DiscreteDataset data(n, m, cards, DataLayout::kBoth);
+  Rng rng(seed + 1);
+  for (Count s = 0; s < m; ++s) {
+    for (VarId v = 0; v < n; ++v) {
+      data.set(s, v,
+               static_cast<DataValue>(
+                   rng.next_below(static_cast<std::uint64_t>(cards[v]))));
+    }
+  }
+  return data;
+}
+
+std::vector<std::int32_t> xy_codes(const DiscreteDataset& data, VarId x,
+                                   VarId y) {
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(data.num_samples()));
+  const std::int32_t cy = data.cardinality(y);
+  for (Count s = 0; s < data.num_samples(); ++s) {
+    codes[static_cast<std::size_t>(s)] =
+        static_cast<std::int32_t>(data.value(s, x)) * cy + data.value(s, y);
+  }
+  return codes;
+}
+
+std::size_t cz_product(const DiscreteDataset& data,
+                       const std::vector<VarId>& z) {
+  std::size_t cz = 1;
+  for (const VarId v : z) cz *= static_cast<std::size_t>(data.cardinality(v));
+  return cz;
+}
+
+/// One randomized batch of jobs for the endpoint pair (x, y): `count`
+/// conditioning sets of size `depth` drawn (without the endpoints) from
+/// the remaining variables. Returns per-job z vectors; cells buffers are
+/// owned by `cells_storage`.
+struct JobBatch {
+  std::vector<std::vector<VarId>> zs;
+  std::vector<std::vector<Count>> cells_storage;
+  std::vector<TableJob> jobs;
+};
+
+JobBatch make_jobs(const DiscreteDataset& data, VarId x, VarId y,
+                   std::size_t count, std::int32_t depth, Rng& rng) {
+  JobBatch batch;
+  const auto xy =
+      static_cast<std::size_t>(data.cardinality(x) * data.cardinality(y));
+  for (std::size_t j = 0; j < count; ++j) {
+    std::vector<VarId> z;
+    while (static_cast<std::int32_t>(z.size()) < depth) {
+      const auto v = static_cast<VarId>(
+          rng.next_below(static_cast<std::uint64_t>(data.num_vars())));
+      if (v == x || v == y) continue;
+      if (std::find(z.begin(), z.end(), v) != z.end()) continue;
+      z.push_back(v);
+    }
+    std::sort(z.begin(), z.end());
+    batch.zs.push_back(std::move(z));
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    batch.cells_storage.emplace_back(
+        xy * cz_product(data, batch.zs[j]), Count{-1});  // poisoned
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    batch.jobs.push_back(TableJob{batch.zs[j], cz_product(data, batch.zs[j]),
+                                  batch.cells_storage[j]});
+  }
+  return batch;
+}
+
+TEST(TableBuilder, KernelsAreBitIdenticalOnRandomizedShapes) {
+  const auto scalar = make_scalar_table_builder();
+  const auto sample_parallel = make_sample_parallel_table_builder();
+  const auto batched = make_batched_table_builder();
+
+  Rng rng(20260729);
+  for (int round = 0; round < 20; ++round) {
+    const auto n = static_cast<VarId>(6 + rng.next_below(5));
+    const auto m = static_cast<Count>(200 + rng.next_below(800));
+    const DiscreteDataset data =
+        random_dataset(n, m, /*max_card=*/5, 1000 + round);
+    const auto x = static_cast<VarId>(rng.next_below(
+        static_cast<std::uint64_t>(n)));
+    auto y = static_cast<VarId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (y == x) y = (y + 1) % n;
+    const std::vector<std::int32_t> codes = xy_codes(data, x, y);
+
+    TableBuildContext context;
+    context.data = &data;
+    context.xy_codes = codes;
+    context.cx = data.cardinality(x);
+    context.cy = data.cardinality(y);
+
+    const auto depth = static_cast<std::int32_t>(rng.next_below(4));
+    // More jobs than the batched kernel's per-pass fanout, so the
+    // shape-run chunking is exercised, with repeated sets so same-shape
+    // runs actually occur.
+    JobBatch reference = make_jobs(data, x, y, 12, depth, rng);
+    for (std::size_t j = 0; j < reference.jobs.size(); ++j) {
+      scalar->build(context, reference.jobs[j]);
+    }
+
+    for (TableBuilder* kernel : {sample_parallel.get(), batched.get()}) {
+      JobBatch probe;
+      probe.zs = reference.zs;
+      for (std::size_t j = 0; j < probe.zs.size(); ++j) {
+        probe.cells_storage.emplace_back(reference.cells_storage[j].size(),
+                                         Count{-1});
+        probe.jobs.push_back(TableJob{probe.zs[j],
+                                      cz_product(data, probe.zs[j]),
+                                      probe.cells_storage[j]});
+      }
+      kernel->build_batch(context, probe.jobs);
+      for (std::size_t j = 0; j < probe.jobs.size(); ++j) {
+        EXPECT_EQ(probe.cells_storage[j], reference.cells_storage[j])
+            << kernel->name() << " round=" << round << " job=" << j
+            << " depth=" << depth;
+      }
+    }
+  }
+}
+
+TEST(TableBuilder, RowMajorContextMatchesColumnMajor) {
+  const DiscreteDataset data = random_dataset(7, 500, 4, 7);
+  const std::vector<std::int32_t> codes = xy_codes(data, 1, 4);
+  TableBuildContext col_context;
+  col_context.data = &data;
+  col_context.xy_codes = codes;
+  col_context.cx = data.cardinality(1);
+  col_context.cy = data.cardinality(4);
+  TableBuildContext row_context = col_context;
+  row_context.row_major = true;
+
+  Rng rng(99);
+  const auto scalar = make_scalar_table_builder();
+  const auto batched = make_batched_table_builder();
+  JobBatch col_jobs = make_jobs(data, 1, 4, 6, 2, rng);
+  for (TableJob& job : col_jobs.jobs) scalar->build(col_context, job);
+
+  JobBatch row_jobs;
+  row_jobs.zs = col_jobs.zs;
+  for (std::size_t j = 0; j < row_jobs.zs.size(); ++j) {
+    row_jobs.cells_storage.emplace_back(col_jobs.cells_storage[j].size(),
+                                        Count{-1});
+    row_jobs.jobs.push_back(TableJob{row_jobs.zs[j],
+                                     cz_product(data, row_jobs.zs[j]),
+                                     row_jobs.cells_storage[j]});
+  }
+  batched->build_batch(row_context, row_jobs.jobs);
+  for (std::size_t j = 0; j < row_jobs.jobs.size(); ++j) {
+    EXPECT_EQ(row_jobs.cells_storage[j], col_jobs.cells_storage[j]) << j;
+  }
+}
+
+TEST(TableBuilder, MixedDepthJobsSharingCzTotalStaySeparateRuns) {
+  // Two sets of different size can multiply to the same cz_total (e.g.
+  // {card 2, card 3} and {card 6}); a shared pass assumes one set size,
+  // so the batched kernel must not fuse them into one run.
+  DiscreteDataset data(5, 400, {2, 2, 2, 3, 6}, DataLayout::kColumnMajor);
+  Rng rng(13);
+  for (Count s = 0; s < 400; ++s) {
+    for (VarId v = 0; v < 5; ++v) {
+      data.set(s, v,
+               static_cast<DataValue>(
+                   rng.next_below(static_cast<std::uint64_t>(
+                       data.cardinality(v)))));
+    }
+  }
+  const std::vector<std::int32_t> codes = xy_codes(data, 0, 1);
+  TableBuildContext context;
+  context.data = &data;
+  context.xy_codes = codes;
+  context.cx = 2;
+  context.cy = 2;
+
+  const std::vector<VarId> pair{2, 3};    // cz = 2 * 3 = 6
+  const std::vector<VarId> single{4};     // cz = 6
+  std::vector<Count> pair_cells(2 * 2 * 6, -1);
+  std::vector<Count> single_cells(2 * 2 * 6, -1);
+  std::vector<TableJob> jobs{TableJob{pair, 6, pair_cells},
+                             TableJob{single, 6, single_cells}};
+  make_batched_table_builder()->build_batch(context, jobs);
+
+  std::vector<Count> pair_expected(2 * 2 * 6, -1);
+  std::vector<Count> single_expected(2 * 2 * 6, -1);
+  const auto scalar = make_scalar_table_builder();
+  scalar->build(context, TableJob{pair, 6, pair_expected});
+  scalar->build(context, TableJob{single, 6, single_expected});
+  EXPECT_EQ(pair_cells, pair_expected);
+  EXPECT_EQ(single_cells, single_expected);
+}
+
+TEST(TableBuilder, MarginalTablesNeedNoConditioningColumns) {
+  const DiscreteDataset data = random_dataset(5, 300, 3, 21);
+  const std::vector<std::int32_t> codes = xy_codes(data, 0, 2);
+  TableBuildContext context;
+  context.data = &data;
+  context.xy_codes = codes;
+  context.cx = data.cardinality(0);
+  context.cy = data.cardinality(2);
+
+  const auto cells =
+      static_cast<std::size_t>(context.cx) * static_cast<std::size_t>(context.cy);
+  std::vector<Count> scalar_cells(cells, -1);
+  std::vector<Count> batched_cells(cells, -1);
+  std::vector<TableJob> scalar_job{TableJob{{}, 1, scalar_cells}};
+  std::vector<TableJob> batched_job{TableJob{{}, 1, batched_cells}};
+  make_scalar_table_builder()->build_batch(context, scalar_job);
+  make_batched_table_builder()->build_batch(context, batched_job);
+  EXPECT_EQ(scalar_cells, batched_cells);
+  Count total = 0;
+  for (const Count c : scalar_cells) total += c;
+  EXPECT_EQ(total, data.num_samples());
+}
+
+TEST(DiscreteCiTestBatch, BatchEntryMatchesPerSetGroupCalls) {
+  const DiscreteDataset data = random_dataset(8, 900, 4, 33);
+  DiscreteCiTest one_by_one(data, {});
+  DiscreteCiTest batched(data, {});
+  Rng rng(5);
+
+  for (const std::int32_t depth : {0, 1, 2, 3}) {
+    JobBatch sets = make_jobs(data, 2, 5, depth == 0 ? 1 : 9, depth, rng);
+    std::vector<VarId> flat;
+    for (const auto& z : sets.zs) flat.insert(flat.end(), z.begin(), z.end());
+
+    one_by_one.begin_group(2, 5);
+    std::vector<CiResult> expected;
+    for (const auto& z : sets.zs) {
+      expected.push_back(one_by_one.test_in_group(z));
+    }
+
+    batched.begin_group(2, 5);
+    std::vector<CiResult> actual(sets.zs.size());
+    batched.test_batch_in_group(flat, depth, actual);
+
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_DOUBLE_EQ(actual[i].statistic, expected[i].statistic)
+          << "depth=" << depth << " set=" << i;
+      EXPECT_DOUBLE_EQ(actual[i].p_value, expected[i].p_value);
+      EXPECT_EQ(actual[i].degrees_of_freedom, expected[i].degrees_of_freedom);
+      EXPECT_EQ(actual[i].independent, expected[i].independent);
+    }
+  }
+  // Both entry points charge one executed test per set.
+  EXPECT_EQ(batched.tests_performed(), one_by_one.tests_performed());
+}
+
+TEST(DiscreteCiTestBatch, ArenaChunkingUnderTightCapIsResultIdentical) {
+  // A cap that admits each table but not two at once forces the batch
+  // arena to chunk; results must not change.
+  const DiscreteDataset data = random_dataset(8, 600, 3, 91);
+  CiTestOptions tight;
+  // Largest single table here: cx*cy*cz <= 3*3*9 = 81 cells.
+  tight.max_cells = 100;
+  DiscreteCiTest chunked(data, tight);
+  DiscreteCiTest reference(data, tight);
+  Rng rng(17);
+  const JobBatch sets = make_jobs(data, 0, 3, 7, /*depth=*/2, rng);
+  std::vector<VarId> flat;
+  for (const auto& z : sets.zs) flat.insert(flat.end(), z.begin(), z.end());
+
+  reference.begin_group(0, 3);
+  std::vector<CiResult> expected;
+  for (const auto& z : sets.zs) expected.push_back(reference.test_in_group(z));
+
+  chunked.begin_group(0, 3);
+  std::vector<CiResult> actual(sets.zs.size());
+  chunked.test_batch_in_group(flat, /*depth=*/2, actual);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(actual[i].statistic, expected[i].statistic) << i;
+    EXPECT_EQ(actual[i].degrees_of_freedom, expected[i].degrees_of_freedom) << i;
+    EXPECT_EQ(actual[i].independent, expected[i].independent) << i;
+  }
+}
+
+TEST(DiscreteCiTestBatch, OversizedSetsInsideABatchAreSkippedConservatively) {
+  const DiscreteDataset data = random_dataset(6, 400, 4, 55);
+  CiTestOptions options;
+  // Every full (x, y, z) table overflows a 1-cell cap.
+  options.max_cells = 1;
+  DiscreteCiTest test(data, options);
+  test.begin_group(0, 1);
+
+  const std::vector<VarId> flat{2, 3, 4};  // three singleton sets
+  std::vector<CiResult> results(3);
+  test.test_batch_in_group(flat, /*depth=*/1, results);
+  for (const CiResult& result : results) {
+    EXPECT_FALSE(result.independent);
+    EXPECT_EQ(result.degrees_of_freedom, -1);
+  }
+  EXPECT_EQ(test.tests_performed(), 3);
+}
+
+TEST(DiscreteCiTestBatch, SampleParallelToggleIsRuntimeRetargetable) {
+  const DiscreteDataset data = random_dataset(6, 2000, 3, 77);
+  DiscreteCiTest test(data, {});
+  DiscreteCiTest reference(data, {});
+  const std::vector<VarId> z{3};
+  const CiResult serial = reference.test(0, 1, z);
+
+  EXPECT_FALSE(test.sample_parallel_build());
+  EXPECT_TRUE(test.set_sample_parallel(true));
+  EXPECT_TRUE(test.sample_parallel_build());
+  // Clones build the way the source currently does, not the way it was
+  // constructed.
+  EXPECT_TRUE(test.clone()->sample_parallel_build());
+  const CiResult parallel = test.test(0, 1, z);
+  EXPECT_DOUBLE_EQ(parallel.statistic, serial.statistic);
+  EXPECT_TRUE(test.set_sample_parallel(false));
+  EXPECT_FALSE(test.sample_parallel_build());
+  const CiResult back = test.test(0, 1, z);
+  EXPECT_DOUBLE_EQ(back.statistic, serial.statistic);
+}
+
+}  // namespace
+}  // namespace fastbns
