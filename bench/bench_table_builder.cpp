@@ -1,0 +1,136 @@
+// TableBuilder kernel bench: the counting pass isolated from the
+// statistic layer, on exactly the workload the SIMD data path targets —
+// large-n same-shape runs of one endpoint group (the batched kernel's
+// shared pass, ROADMAP's "gather z codes for 8 tables at once").
+//
+// Compares the scalar kernel (one pass per table), the batched scalar
+// kernel (one shared pass per shape run) and the SIMD kernel (shared
+// pass with vectorized index composition) at several conditioning
+// depths, and reports each kernel's speedup over the batched scalar
+// baseline — the acceptance bar for the SIMD path is >= 1.5x on AVX2
+// hardware. Results land in bench_results/BENCH_table_builder.json.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util/reporting.hpp"
+#include "bench_util/workloads.hpp"
+#include "common/args.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "stats/simd_dispatch.hpp"
+#include "stats/table_builder.hpp"
+
+namespace {
+
+using namespace fastbns;
+
+constexpr VarId kNumVars = 12;
+constexpr std::int32_t kCard = 3;
+constexpr std::size_t kFanout = 8;  ///< tables per shape run
+
+DiscreteDataset synthetic_dataset(Count samples) {
+  DiscreteDataset data(kNumVars, samples,
+                       std::vector<std::int32_t>(kNumVars, kCard),
+                       DataLayout::kColumnMajor);
+  Rng rng(20260730);
+  for (Count s = 0; s < samples; ++s) {
+    for (VarId v = 0; v < kNumVars; ++v) {
+      data.set(s, v, static_cast<DataValue>(rng.next_below(kCard)));
+    }
+  }
+  return data;
+}
+
+double best_build_seconds(TableBuilder& kernel,
+                          const TableBuildContext& context,
+                          std::vector<TableJob>& jobs, double min_total) {
+  kernel.build_batch(context, jobs);  // warmup
+  double best = 1e100;
+  double accumulated = 0.0;
+  for (int repeat = 0; repeat < 50 && accumulated < min_total; ++repeat) {
+    const WallTimer timer;
+    kernel.build_batch(context, jobs);
+    const double seconds = timer.seconds();
+    accumulated += seconds;
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_table_builder",
+                 "TableBuilder kernels on large-n same-shape runs: scalar "
+                 "vs batched vs SIMD");
+  args.add_flag("samples", "samples in the synthetic dataset", "2000000");
+  args.add_flag("min-seconds", "measurement budget per cell", "0.3");
+  if (!args.parse(argc, argv)) return 1;
+
+  const Count samples = args.get_int("samples");
+  const double min_total = std::stod(args.get("min-seconds"));
+
+  std::printf("TableBuilder kernel bench (m=%lld, fanout=%zu)\n",
+              static_cast<long long>(samples), kFanout);
+  std::printf("SIMD dispatch: detected=%s active=%s\n",
+              std::string(to_string(detected_simd_tier())).c_str(),
+              std::string(to_string(active_simd_tier())).c_str());
+
+  const DiscreteDataset data = synthetic_dataset(samples);
+  ScratchArena scratch;
+  const TableBuildContext context =
+      make_table_context(data, 0, 1, /*row_major=*/false, scratch);
+
+  TablePrinter table({"kernel", "depth", "samples", "fanout", "best(ms)",
+                      "Msamples*tables/s", "vs batched"});
+
+  for (const std::int32_t depth : {1, 2, 3}) {
+    const std::vector<std::vector<VarId>> sets =
+        shape_run_sets(kNumVars, depth, kFanout);
+    std::size_t cz_total = 1;
+    for (std::int32_t i = 0; i < depth; ++i) {
+      cz_total *= static_cast<std::size_t>(kCard);
+    }
+    const std::size_t cells_per_table =
+        static_cast<std::size_t>(kCard) * kCard * cz_total;
+
+    std::vector<std::vector<Count>> storage(sets.size());
+    std::vector<TableJob> jobs;
+    for (std::size_t j = 0; j < sets.size(); ++j) {
+      storage[j].assign(cells_per_table, 0);
+      jobs.push_back(TableJob{sets[j], cz_total, storage[j]});
+    }
+
+    double batched_seconds = 0.0;
+    for (const std::string name : {"scalar", "batched", "simd"}) {
+      const std::unique_ptr<TableBuilder> kernel = make_table_builder(name);
+      const double seconds =
+          best_build_seconds(*kernel, context, jobs, min_total);
+      if (name == "batched") batched_seconds = seconds;
+      const double throughput = static_cast<double>(samples) *
+                                static_cast<double>(sets.size()) /
+                                seconds / 1e6;
+      const double vs_batched =
+          name == "scalar" || batched_seconds == 0.0
+              ? 0.0
+              : batched_seconds / seconds;
+      table.add_row({name, std::to_string(depth),
+                     std::to_string(samples),
+                     std::to_string(sets.size()),
+                     TablePrinter::num(seconds * 1e3, 3),
+                     TablePrinter::num(throughput, 1),
+                     name == "scalar" ? std::string("-")
+                                      : TablePrinter::num(vs_batched, 2)});
+    }
+  }
+
+  emit_table("TableBuilder kernels: same-shape run counting",
+             "table_builder", table);
+  std::printf(
+      "\nShape check: simd >= 1.5x batched at depth >= 2 on AVX2 hardware\n"
+      "(the acceptance bar of the SIMD counting data path).\n");
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "engine/engine_registry.hpp"
 #include "graph/graphviz.hpp"
 #include "pc/pc_stable.hpp"
+#include "stats/table_builder.hpp"
 
 namespace {
 
@@ -33,6 +34,10 @@ int main(int argc, char** argv) {
                  "learn a Bayesian-network structure from a CSV dataset");
   args.add_flag("data", "input CSV (header row; integer-coded values)", "");
   args.add_flag("engine", engine_help(), "ci");
+  args.add_flag("builder",
+                "table-counting kernel (auto/simd/batched/scalar; auto = "
+                "runtime CPU dispatch)",
+                "auto");
   args.add_flag("threads", "worker threads (0 = all)", "0");
   args.add_flag("gs", "work-pool group size", "6");
   args.add_flag("alpha", "G2 significance level", "0.05");
@@ -64,6 +69,9 @@ int main(int argc, char** argv) {
   try {
     options.engine = engine_from_string(args.get("engine"));
     options.engine_name = args.get("engine");
+    options.table_builder = args.get("builder");
+    // Fail fast with the known-kernels message, like --engine does.
+    (void)make_table_builder(options.table_builder);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "structure_tool: %s\n", error.what());
     return 1;

@@ -1,5 +1,6 @@
 // Bench output conventions: print the paper-style table to stdout and
-// persist the same rows as CSV under bench_results/.
+// persist the same rows as CSV and machine-readable JSON under
+// bench_results/.
 #pragma once
 
 #include <string>
@@ -8,9 +9,17 @@
 
 namespace fastbns {
 
-/// Prints `table` with a titled banner and writes `<stem>.csv` to the
-/// bench result directory.
+/// Prints `table` with a titled banner, writes `<stem>.csv` to the bench
+/// result directory, and mirrors the rows as `BENCH_<stem>.json` (see
+/// bench_json) — the file the perf trajectory tooling ingests.
 void emit_table(const std::string& title, const std::string& stem,
                 const TablePrinter& table);
+
+/// The JSON document emit_table writes: one object per data row keyed by
+/// header, cells emitted as numbers when they parse as one —
+/// {"bench": stem, "title": ..., "headers": [...], "rows": [{...}]}.
+[[nodiscard]] std::string bench_json(const std::string& title,
+                                     const std::string& stem,
+                                     const TablePrinter& table);
 
 }  // namespace fastbns

@@ -71,6 +71,7 @@ EngineRunResult run_skeleton(const Workload& workload,
   test_options.max_cells = config.max_table_cells;
   test_options.use_row_major = config.row_major;
   test_options.sample_parallel = config.sample_parallel;
+  test_options.table_builder = config.table_builder;
   const DiscreteCiTest test(workload.data, test_options);
 
   PcOptions options;
@@ -83,6 +84,7 @@ EngineRunResult run_skeleton(const Workload& workload,
   options.eager_group_stop = config.eager_group_stop;
   options.alpha = config.alpha;
   options.max_table_cells = config.max_table_cells;
+  options.table_builder = config.table_builder;
 
   const WallTimer timer;
   SkeletonResult skeleton =

@@ -21,6 +21,9 @@ struct EngineRunConfig {
   /// Contingency-table cell cap; defaults to the library default so
   /// bench runs can never silently diverge from PcOptions.
   std::size_t max_table_cells = PcOptions{}.max_table_cells;
+  /// TableBuilder kernel name ("auto" = CPU-dispatched SIMD); forwarded
+  /// to CiTestOptions::table_builder like PcOptions does.
+  std::string table_builder = PcOptions{}.table_builder;
   /// Baseline knobs (bnlearn-style): strided data access, materialized
   /// conditioning sets, ungrouped edge directions.
   bool row_major = false;

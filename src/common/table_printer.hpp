@@ -26,6 +26,16 @@ class TablePrinter {
   /// Comma-separated dump of the same content (headers + rows).
   [[nodiscard]] std::string to_csv() const;
 
+  /// Raw content, for alternative serializers (the bench_util JSON
+  /// reporter).
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

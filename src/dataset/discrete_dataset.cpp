@@ -1,5 +1,6 @@
 #include "dataset/discrete_dataset.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace fastbns {
@@ -23,6 +24,15 @@ DiscreteDataset::DiscreteDataset(VarId num_vars, Count num_samples,
   if (layout == DataLayout::kColumnMajor || layout == DataLayout::kBoth) {
     cols_.assign(total, 0);
   }
+  codes8_stride_ = (static_cast<std::size_t>(num_samples) + kCodes8Pad - 1) /
+                   kCodes8Pad * kCodes8Pad;
+  // The packed mirror exists for the column-streaming kernels; a
+  // row-major-only dataset (the cache-unfriendly ablation path) never
+  // reads it, so don't double its memory. ensure_layout materializes it
+  // when the column-major buffer appears.
+  if (!cols_.empty()) {
+    codes8_.assign(static_cast<std::size_t>(num_vars) * codes8_stride_, 0);
+  }
 }
 
 void DiscreteDataset::set(Count sample, VarId var, DataValue value) noexcept {
@@ -32,6 +42,25 @@ void DiscreteDataset::set(Count sample, VarId var, DataValue value) noexcept {
   }
   if (!cols_.empty()) {
     cols_[static_cast<std::size_t>(var) * num_samples_ + sample] = value;
+  }
+  if (has_codes8(var)) {
+    const std::int32_t card = cardinalities_[var];
+    const auto clamped =
+        value >= card ? static_cast<std::uint8_t>(card - 1) : value;
+    codes8_[static_cast<std::size_t>(var) * codes8_stride_ + sample] = clamped;
+  }
+}
+
+void DiscreteDataset::materialize_codes8() {
+  codes8_.assign(static_cast<std::size_t>(num_vars_) * codes8_stride_, 0);
+  for (VarId v = 0; v < num_vars_; ++v) {
+    if (!has_codes8(v)) continue;
+    const auto clamp_max = static_cast<DataValue>(cardinalities_[v] - 1);
+    std::uint8_t* column = codes8_.data() +
+                           static_cast<std::size_t>(v) * codes8_stride_;
+    for (Count s = 0; s < num_samples_; ++s) {
+      column[s] = std::min(value(s, v), clamp_max);
+    }
   }
 }
 
@@ -85,6 +114,8 @@ void DiscreteDataset::ensure_layout(DataLayout layout) {
       }
     }
     layout_ = rows_.empty() ? DataLayout::kColumnMajor : DataLayout::kBoth;
+    // The packed mirror rides with the column-major buffer.
+    if (codes8_.empty()) materialize_codes8();
   }
 }
 

@@ -49,6 +49,37 @@ class DiscreteDataset {
   /// Contiguous per-variable values; requires a column-major buffer.
   [[nodiscard]] std::span<const DataValue> column(VarId var) const;
 
+  /// Buffer rows of the packed code columns are padded to a multiple of
+  /// this many samples, so full-width vector loads near the tail never
+  /// cross the allocation (padding is zero and is never counted). The
+  /// guarantee covers the dataset's codes8 columns and the ScratchArena
+  /// xy_codes8 mirror, which pads to the same boundary; today's kernels
+  /// tail-guard and process the tail scalar, so the padding is headroom
+  /// for full-width-tail kernels, not a current dependency.
+  static constexpr std::size_t kCodes8Pad = 64;
+
+  /// True when `var` has a packed code column: cardinality in [1, 255]
+  /// and the mirror is materialized (it accompanies the column-major
+  /// buffer; row-major-only datasets never read packed codes).
+  [[nodiscard]] bool has_codes8(VarId v) const noexcept {
+    return !codes8_.empty() && cardinalities_[v] >= 1 &&
+           cardinalities_[v] <= 255;
+  }
+
+  /// Packed per-variable code column for the SIMD counting data path:
+  /// one std::uint8_t code per sample, *clamped* into [0, cardinality)
+  /// so unchecked vector kernels can never index outside a cell buffer,
+  /// stored in rows padded to kCodes8Pad samples. Materialized whenever
+  /// the column-major buffer is (construction or ensure_layout) and kept
+  /// in sync by set(); variables whose cardinality falls outside
+  /// [1, 255] have no packed column (the span is empty) and kernels
+  /// gracefully fall back to column() / row().
+  [[nodiscard]] std::span<const std::uint8_t> codes8(VarId v) const noexcept {
+    if (!has_codes8(v)) return {};
+    return {codes8_.data() + static_cast<std::size_t>(v) * codes8_stride_,
+            static_cast<std::size_t>(num_samples_)};
+  }
+
   /// Contiguous per-sample values; requires a row-major buffer.
   [[nodiscard]] std::span<const DataValue> row(Count sample) const;
 
@@ -63,12 +94,18 @@ class DiscreteDataset {
   [[nodiscard]] DiscreteDataset head(Count count) const;
 
  private:
+  /// Builds the packed mirror from the value buffers (clamped); called
+  /// when the column-major layout appears after construction.
+  void materialize_codes8();
+
   VarId num_vars_;
   Count num_samples_;
   std::vector<std::int32_t> cardinalities_;
   DataLayout layout_;
   std::vector<DataValue> rows_;  ///< m*n when materialized
   std::vector<DataValue> cols_;  ///< n*m when materialized
+  std::size_t codes8_stride_ = 0;     ///< samples rounded up to kCodes8Pad
+  std::vector<std::uint8_t> codes8_;  ///< n * codes8_stride_, clamped codes
 };
 
 }  // namespace fastbns

@@ -70,7 +70,13 @@ class HybridEngine final : public ClonePoolEngine {
         tests_.acquire(prototype, static_cast<std::size_t>(threads));
 
     // Predict every edge's cost in the cache model's streamed-value units.
+    // The light path counts through the prototype's configured kernel
+    // (SIMD on capable CPUs), so its builder-aware throughput constant
+    // deflates the streaming term — and raises the bar the scalar-build
+    // heavy route must clear before atomics can pay off.
     const Count samples = prototype.workload_samples();
+    const double builder_scale =
+        builder_throughput_scale(prototype.table_builder_name(), depth);
     CacheModelParams cache;
     cache.depth = depth;
     double depth_total_cost = 0.0;
@@ -83,13 +89,15 @@ class HybridEngine final : public ClonePoolEngine {
           std::max<std::int64_t>(prototype.workload_states(work.x), 1) *
           std::max<std::int64_t>(prototype.workload_states(work.y), 1);
       workload.mean_z_states = mean_candidate_states(work, prototype);
+      workload.builder_scale = builder_scale;
       work.predicted_cost = predict_edge_cost(workload, cache);
       work.sample_parallel_route = false;
       depth_total_cost += work.predicted_cost;
     }
     for (EdgeWork& work : works) {
       work.sample_parallel_route = route_edge_to_sample_parallel(
-          work.predicted_cost, depth_total_cost, threads, samples);
+          work.predicted_cost, depth_total_cost, threads, samples,
+          builder_scale);
     }
 
     std::int64_t tests = 0;

@@ -1,7 +1,10 @@
 #include "pc/pc_options.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+
+#include "stats/table_builder.hpp"
 
 namespace fastbns {
 
@@ -22,6 +25,17 @@ void PcOptions::validate() const {
     throw std::invalid_argument(
         "PcOptions::num_threads exceeds kMaxThreads (" +
         std::to_string(kMaxThreads) + "); this is almost certainly a typo");
+  }
+  const std::vector<std::string> builders = list_table_builders();
+  if (std::find(builders.begin(), builders.end(), table_builder) ==
+      builders.end()) {
+    std::string message = "PcOptions::table_builder \"" + table_builder +
+                          "\" is not a known kernel; known builders:";
+    for (const std::string& known : builders) {
+      message += ' ';
+      message += known;
+    }
+    throw std::invalid_argument(message);
   }
   if (max_table_cells < 4) {
     throw std::invalid_argument(

@@ -69,6 +69,13 @@ struct PcOptions {
   /// Forwarded to CiTestOptions::max_cells by learn_structure and the
   /// bench runner.
   std::size_t max_table_cells = std::size_t{1} << 24;
+  /// TableBuilder kernel the CI test counts through — any
+  /// list_table_builders() name ("auto" picks the SIMD kernel when the
+  /// runtime CPU dispatch supports it, the batched scalar kernel
+  /// otherwise). Forwarded to CiTestOptions::table_builder by
+  /// learn_structure and the bench runner, exactly like engines are
+  /// selected by registry name.
+  std::string table_builder = "auto";
 
   /// Largest accepted num_threads; far beyond any machine this targets,
   /// so a mistyped thread count fails here instead of oversubscribing.
@@ -76,7 +83,8 @@ struct PcOptions {
 
   /// Throws std::invalid_argument when any field is out of range:
   /// group_size >= 1, alpha in (0, 1), max_depth >= -1, 0 <= num_threads
-  /// <= kMaxThreads, and max_table_cells >= 4 (a smaller cap cannot hold
+  /// <= kMaxThreads, table_builder a known kernel name, and
+  /// max_table_cells >= 4 (a smaller cap cannot hold
   /// even the 2x2 marginal table of two binary variables, so every test
   /// would be skipped and no edge ever removed). Self-contained field
   /// checks only; the engine-dependent max_table_cells/threads

@@ -34,6 +34,7 @@ PcStableResult learn_structure(const DiscreteDataset& data,
   CiTestOptions test_options;
   test_options.alpha = options.alpha;
   test_options.max_cells = options.max_table_cells;
+  test_options.table_builder = options.table_builder;
   test_options.sample_parallel = engine->wants_sample_parallel_test();
   const DiscreteCiTest test(data, test_options);
   return pc_stable(data.num_vars(), test, options, *engine);

@@ -2,7 +2,33 @@
 
 #include <cmath>
 
+#include "stats/simd_dispatch.hpp"
+
 namespace fastbns {
+
+double builder_throughput_scale(std::string_view builder_name) {
+  if (builder_name == "batched") return kBatchedBuilderScale;
+  if (builder_name == "simd" || builder_name == "auto") {
+    switch (active_simd_tier()) {
+      case SimdTier::kAvx2:
+        return kAvx2BuilderScale;
+      case SimdTier::kSse42:
+        return kSse42BuilderScale;
+      case SimdTier::kScalar:
+        // The SIMD kernel degrades to the batched scalar pass per run.
+        return kBatchedBuilderScale;
+    }
+  }
+  return kScalarBuilderScale;
+}
+
+double builder_throughput_scale(std::string_view builder_name,
+                                std::int32_t depth) {
+  if (depth <= 1 && (builder_name == "simd" || builder_name == "auto")) {
+    return builder_throughput_scale("batched");
+  }
+  return builder_throughput_scale(builder_name);
+}
 
 double predict_table_cells(const EdgeWorkload& workload) {
   return static_cast<double>(workload.xy_states) *
@@ -15,15 +41,24 @@ double predict_edge_cost(const EdgeWorkload& workload,
   if (workload.tests == 0) return 0.0;
   const double streamed = static_cast<double>(workload.samples) *
                           (static_cast<double>(workload.depth) + 2.0);
-  const double per_test =
-      streamed / cache_speedup(cache) + predict_table_cells(workload);
+  const double scale =
+      workload.builder_scale > 0.0 ? workload.builder_scale : 1.0;
+  const double per_test = streamed / (cache_speedup(cache) * scale) +
+                          predict_table_cells(workload);
   return static_cast<double>(workload.tests) * per_test;
 }
 
 bool route_edge_to_sample_parallel(double edge_cost, double depth_total_cost,
-                                   int threads, Count samples) {
+                                   int threads, Count samples,
+                                   double light_builder_scale) {
   if (threads <= 1) return false;  // serial run: granularity is irrelevant
-  if (samples < kMinSampleParallelSamples) return false;
+  const double scale = light_builder_scale > 1.0 ? light_builder_scale : 1.0;
+  // The heavy route's atomics run against the scalar kernel; a faster
+  // light-path kernel must be beaten by that much more scan length.
+  if (static_cast<double>(samples) <
+      static_cast<double>(kMinSampleParallelSamples) * scale) {
+    return false;
+  }
   // Straggler condition: the edge alone exceeds the balanced per-thread
   // share, so a static partition would leave t-1 threads idle behind it.
   return edge_cost * static_cast<double>(threads) > depth_total_cost;

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "common/types.hpp"
 #include "perfmodel/speedup_model.hpp"
@@ -27,12 +28,42 @@ struct EdgeWorkload {
   std::int32_t depth = 0;        ///< d; a test touches d + 2 variables
   std::int64_t xy_states = 0;    ///< |X| * |Y| combined endpoint cardinality
   double mean_z_states = 1.0;    ///< mean state count over the candidates
+  /// Relative throughput of the kernel the edge's tables are counted
+  /// with (builder_throughput_scale); deflates the streaming term the
+  /// way S_cache does.
+  double builder_scale = 1.0;
 };
 
+/// Builder-aware cost constants: relative streamed-values throughput of
+/// each TableBuilder kernel's counting pass, scalar = 1. Calibrated on
+/// the shape-run kernel bench (bench/bench_table_builder.cpp): batching
+/// shares the endpoint-code stream across a run's tables; the SIMD tiers
+/// vectorize the index composition on top (the scatter increments stay
+/// scalar, which caps the realized gain well below the lane count).
+inline constexpr double kScalarBuilderScale = 1.0;
+inline constexpr double kBatchedBuilderScale = 1.3;
+inline constexpr double kSse42BuilderScale = 1.7;
+inline constexpr double kAvx2BuilderScale = 2.2;
+
+/// Maps a TableBuilder kernel name (CiTest::table_builder_name()) to its
+/// throughput constant. "simd" and "auto" resolve through the runtime
+/// SIMD dispatch tier at call time; unknown or empty names — tests that
+/// count nothing — return 1.0.
+[[nodiscard]] double builder_throughput_scale(std::string_view builder_name);
+
+/// Depth-aware variant: the SIMD kernel counts depth <= 1 runs with the
+/// batched scalar pass (the index round-trip loses there — see
+/// simd_table_builder.cpp), so at those depths "simd"/"auto" cost like
+/// "batched" regardless of the dispatch tier.
+[[nodiscard]] double builder_throughput_scale(std::string_view builder_name,
+                                              std::int32_t depth);
+
 /// Predicted cost of the edge's remaining tests, in effective streamed
-/// values: tests * (m * (d + 2) / S_cache + expected table cells), with
-/// S_cache the Section IV-D cache speedup of the column-major layout and
-/// the cell term covering zeroing + marginalization of the table.
+/// values: tests * (m * (d + 2) / (S_cache * builder_scale) + expected
+/// table cells), with S_cache the Section IV-D cache speedup of the
+/// column-major layout, builder_scale the counting kernel's throughput
+/// constant, and the cell term covering zeroing + marginalization of the
+/// table (statistic-layer work no kernel accelerates).
 [[nodiscard]] double predict_edge_cost(const EdgeWorkload& workload,
                                        const CacheModelParams& cache);
 
@@ -45,12 +76,17 @@ struct EdgeWorkload {
 /// per-thread share of the depth (the straggler condition behind T1 of
 /// the CI-level model) *and* the scan is long enough to amortize the
 /// atomics the paper's negative result charges to sample-level
-/// parallelism. Always false for t <= 1 or unknown (0) sample counts.
+/// parallelism. The light path's builder scale raises that amortization
+/// bar: the faster the batched kernel the edge would otherwise run on,
+/// the longer a scan must be before scalar atomics can beat it. Always
+/// false for t <= 1 or unknown (0) sample counts.
 [[nodiscard]] bool route_edge_to_sample_parallel(double edge_cost,
                                                  double depth_total_cost,
-                                                 int threads, Count samples);
+                                                 int threads, Count samples,
+                                                 double light_builder_scale = 1.0);
 
-/// Scans below this many samples never pay for sample-parallel atomics.
+/// Scans below this many samples never pay for sample-parallel atomics
+/// (scaled up by the light path's builder throughput).
 inline constexpr Count kMinSampleParallelSamples = 8192;
 
 }  // namespace fastbns

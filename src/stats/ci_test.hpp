@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string_view>
 
 #include "common/types.hpp"
 
@@ -75,6 +76,14 @@ class CiTest {
   /// actually in force rather than the PcOptions mirror of it.
   [[nodiscard]] virtual std::size_t table_cell_cap() const noexcept {
     return 0;
+  }
+
+  /// Name of the TableBuilder kernel batched counting goes through
+  /// ("simd", "batched", ...), empty for tests that count nothing (the
+  /// oracle). Cost-predicting engines map it to builder-aware throughput
+  /// constants (perfmodel/workload_model.hpp).
+  [[nodiscard]] virtual std::string_view table_builder_name() const noexcept {
+    return {};
   }
 
   /// Deep copy for per-thread use.

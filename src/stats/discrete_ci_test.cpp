@@ -20,11 +20,10 @@ constexpr CiResult oversized_result() {
 
 DiscreteCiTest::DiscreteCiTest(const DiscreteDataset& data, CiTestOptions options)
     : data_(&data),
-      options_(options),
-      sample_parallel_build_(options.sample_parallel),
-      scalar_builder_(make_scalar_table_builder()),
-      sample_builder_(make_sample_parallel_table_builder()),
-      batch_builder_(make_batched_table_builder()) {
+      options_(std::move(options)),
+      sample_parallel_build_(options_.sample_parallel),
+      main_builder_(make_table_builder(options_.table_builder)),
+      sample_builder_(make_sample_parallel_table_builder()) {
   if (options_.use_row_major || options_.sample_parallel) {
     if (!data.has_row_major() && options_.use_row_major) {
       throw std::invalid_argument(
@@ -36,7 +35,6 @@ DiscreteCiTest::DiscreteCiTest(const DiscreteDataset& data, CiTestOptions option
     throw std::invalid_argument(
         "DiscreteCiTest: column-major access requires a column-major buffer");
   }
-  xy_codes_.resize(static_cast<std::size_t>(data.num_samples()));
 }
 
 std::size_t DiscreteCiTest::conditioning_cells(VarId x, VarId y,
@@ -54,39 +52,19 @@ std::size_t DiscreteCiTest::conditioning_cells(VarId x, VarId y,
   return cz_total;
 }
 
-void DiscreteCiTest::compute_xy_codes(VarId x, VarId y) {
-  cx_ = data_->cardinality(x);
-  cy_ = data_->cardinality(y);
-  const auto m = static_cast<std::size_t>(data_->num_samples());
-  if (options_.use_row_major) {
-    // Cache-unfriendly path: stride across the sample rows.
-    const VarId n = data_->num_vars();
-    const DataValue* base = data_->row(0).data();
-    for (std::size_t s = 0; s < m; ++s) {
-      const DataValue* row = base + s * static_cast<std::size_t>(n);
-      xy_codes_[s] = static_cast<std::int32_t>(row[x]) * cy_ + row[y];
-    }
-  } else {
-    const DataValue* xs = data_->column(x).data();
-    const DataValue* ys = data_->column(y).data();
-    for (std::size_t s = 0; s < m; ++s) {
-      xy_codes_[s] = static_cast<std::int32_t>(xs[s]) * cy_ + ys[s];
-    }
-  }
-}
-
-TableBuildContext DiscreteCiTest::build_context() const noexcept {
-  TableBuildContext context;
-  context.data = data_;
-  context.xy_codes = xy_codes_;
-  context.cx = cx_;
-  context.cy = cy_;
-  context.row_major = options_.use_row_major;
-  return context;
+void DiscreteCiTest::refresh_context(VarId x, VarId y) {
+  context_ = make_table_context(*data_, x, y, options_.use_row_major, scratch_,
+                                main_builder_->wants_packed_xy());
+  cx_ = context_.cx;
+  cy_ = context_.cy;
 }
 
 TableBuilder& DiscreteCiTest::active_builder() const noexcept {
-  return sample_parallel_build_ ? *sample_builder_ : *scalar_builder_;
+  return sample_parallel_build_ ? *sample_builder_ : *main_builder_;
+}
+
+std::string_view DiscreteCiTest::table_builder_name() const noexcept {
+  return main_builder_->name();
 }
 
 bool DiscreteCiTest::set_sample_parallel(bool enabled) {
@@ -213,11 +191,11 @@ CiResult DiscreteCiTest::test(VarId x, VarId y, std::span<const VarId> z) {
     ++tests_performed_;
     return oversized_result();
   }
-  compute_xy_codes(x, y);
+  refresh_context(x, y);
   group_codes_valid_ = false;  // the scratch codes no longer match the group
   cells_.resize(static_cast<std::size_t>(cx_) * static_cast<std::size_t>(cy_) *
                 cz_total);
-  active_builder().build(build_context(), TableJob{z, cz_total, cells_});
+  active_builder().build(context_, TableJob{z, cz_total, cells_});
   ++tests_performed_;
   return evaluate(cells_, cz_total, data_->num_samples());
 }
@@ -227,7 +205,7 @@ void DiscreteCiTest::begin_group(VarId x, VarId y) {
     return;  // same edge as the previous group: codes still valid
   }
   CiTest::begin_group(x, y);
-  compute_xy_codes(x, y);
+  refresh_context(x, y);
   group_codes_valid_ = true;
 }
 
@@ -242,7 +220,7 @@ CiResult DiscreteCiTest::test_in_group(std::span<const VarId> z) {
   // group — the paper's "reuse Vi and Vj" memory-access saving.
   cells_.resize(static_cast<std::size_t>(cx_) * static_cast<std::size_t>(cy_) *
                 cz_total);
-  active_builder().build(build_context(), TableJob{z, cz_total, cells_});
+  active_builder().build(context_, TableJob{z, cz_total, cells_});
   ++tests_performed_;
   return evaluate(cells_, cz_total, data_->num_samples());
 }
@@ -286,15 +264,15 @@ void DiscreteCiTest::test_batch_in_group(std::span<const VarId> flat_sets,
       arena += size;
       ++j1;
     }
-    batch_cells_.resize(arena);
+    const std::span<Count> batch_cells = scratch_.cells(arena);
     std::size_t offset = 0;
     for (std::size_t j = j0; j < j1; ++j) {
       const std::size_t size = xy_cells * batch_jobs_[j].cz_total;
-      batch_jobs_[j].cells = std::span<Count>(batch_cells_.data() + offset, size);
+      batch_jobs_[j].cells = batch_cells.subspan(offset, size);
       offset += size;
     }
     const std::span<TableJob> chunk(batch_jobs_.data() + j0, j1 - j0);
-    batch_builder_->build_batch(build_context(), chunk);
+    main_builder_->build_batch(context_, chunk);
     for (std::size_t j = j0; j < j1; ++j) {
       results[batch_slots_[j]] = evaluate(
           batch_jobs_[j].cells, batch_jobs_[j].cz_total, data_->num_samples());

@@ -23,10 +23,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dataset/discrete_dataset.hpp"
 #include "stats/ci_test.hpp"
+#include "stats/scratch_arena.hpp"
 #include "stats/table_builder.hpp"
 
 namespace fastbns {
@@ -55,6 +57,12 @@ struct CiTestOptions {
   /// the sample-level granularity of Section IV-A. Engines can retarget
   /// this at runtime through set_sample_parallel().
   bool sample_parallel = false;
+  /// TableBuilder kernel serial builds and the batch entry go through —
+  /// any list_table_builders() name. "auto" resolves through the runtime
+  /// CPU dispatch: the SIMD kernel when a vectorized tier is active, the
+  /// batched scalar kernel otherwise. The constructor throws
+  /// std::invalid_argument for unknown names.
+  std::string table_builder = "auto";
 };
 
 class DiscreteCiTest final : public CiTest {
@@ -65,8 +73,9 @@ class DiscreteCiTest final : public CiTest {
   CiResult test(VarId x, VarId y, std::span<const VarId> z) override;
   void begin_group(VarId x, VarId y) override;
   CiResult test_in_group(std::span<const VarId> z) override;
-  /// Counts the batch's same-endpoint tables through the batched
-  /// TableBuilder (same-shape tables share one pass over the samples).
+  /// Counts the batch's same-endpoint tables through the configured
+  /// kernel (same-shape tables share one pass over the samples; the SIMD
+  /// kernel additionally vectorizes the index composition of each pass).
   void test_batch_in_group(std::span<const VarId> flat_sets,
                            std::int32_t depth,
                            std::span<CiResult> results) override;
@@ -84,6 +93,9 @@ class DiscreteCiTest final : public CiTest {
   [[nodiscard]] std::size_t table_cell_cap() const noexcept override {
     return options_.max_cells;
   }
+  /// Kernel the batch entry counts through ("simd", "batched", ...), for
+  /// cost-predicting engines and logs.
+  [[nodiscard]] std::string_view table_builder_name() const noexcept override;
 
   [[nodiscard]] const CiTestOptions& options() const noexcept { return options_; }
 
@@ -93,10 +105,11 @@ class DiscreteCiTest final : public CiTest {
   [[nodiscard]] std::size_t conditioning_cells(VarId x, VarId y,
                                                std::span<const VarId> z) const;
 
-  void compute_xy_codes(VarId x, VarId y);
-  [[nodiscard]] TableBuildContext build_context() const noexcept;
-  /// The kernel single-table builds go through: scalar, or
-  /// sample-parallel when the option / runtime hint says so.
+  /// Recomputes the endpoint codes and the build context for (x, y)
+  /// through the shared make_table_context helper.
+  void refresh_context(VarId x, VarId y);
+  /// The kernel single-table builds go through: the configured main
+  /// builder, or sample-parallel when the option / runtime hint says so.
   [[nodiscard]] TableBuilder& active_builder() const noexcept;
   [[nodiscard]] CiResult evaluate(std::span<const Count> cells,
                                   std::size_t cz_total,
@@ -114,13 +127,19 @@ class DiscreteCiTest final : public CiTest {
   /// Runtime mirror of options_.sample_parallel (set_sample_parallel).
   bool sample_parallel_build_ = false;
 
-  std::unique_ptr<TableBuilder> scalar_builder_;
+  /// The configured kernel (options_.table_builder): serial single-table
+  /// builds and the batch entry both go through it.
+  std::unique_ptr<TableBuilder> main_builder_;
   std::unique_ptr<TableBuilder> sample_builder_;
-  std::unique_ptr<TableBuilder> batch_builder_;
 
-  std::vector<std::int32_t> xy_codes_;  ///< per sample: x*|Y| + y
-  std::vector<Count> cells_;            ///< N_xyz, laid out [xy][zc]
-  std::vector<Count> batch_cells_;      ///< arena for batched builds
+  /// Per-instance scratch (instances are per-thread via clone()): the
+  /// endpoint-code buffers the build context points into, the batch cell
+  /// arena, and the SIMD kernel's index blocks all live here, so groups
+  /// stop reallocating on the hot path.
+  ScratchArena scratch_;
+  /// Context of the current endpoint pair; spans point into scratch_.
+  TableBuildContext context_;
+  std::vector<Count> cells_;  ///< N_xyz, laid out [xy][zc]
   std::vector<TableJob> batch_jobs_;
   std::vector<std::size_t> batch_slots_;  ///< result index per batch job
   mutable std::vector<Count> margin_xz_;

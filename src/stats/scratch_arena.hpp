@@ -1,0 +1,81 @@
+// Reusable grow-only scratch buffers for the counting data path.
+//
+// Before this arena existed every endpoint group re-allocated its
+// xy-code buffers and every batched build its cell arena; the SIMD
+// kernel would have added per-run index blocks on top. One arena per
+// CiTest instance (engines clone one test per thread, so the arena is
+// per-thread by construction) keeps the high-water allocation alive
+// across groups and depths — the hot path stops touching the allocator
+// entirely after the first few groups.
+//
+// Each named buffer has a single user at a time; a span is invalidated
+// by the next call for the *same* buffer (different buffers never
+// alias).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastbns {
+
+class ScratchArena {
+ public:
+  /// Combined endpoint codes x*|Y| + y, one int32 per sample.
+  [[nodiscard]] std::span<std::int32_t> xy_codes(std::size_t n) {
+    return grow(xy_codes_, n);
+  }
+
+  /// Packed uint8 mirror of xy_codes, for groups whose combined endpoint
+  /// cardinality fits a byte — 4x less bandwidth on the hottest stream.
+  /// The allocation extends to a kVectorPad boundary with zeroed padding
+  /// (mirroring DiscreteDataset::kCodes8Pad), so full-width vector loads
+  /// near the tail never cross it; the span covers only the n samples.
+  [[nodiscard]] std::span<std::uint8_t> xy_codes8(std::size_t n) {
+    const std::size_t padded = (n + kVectorPad - 1) / kVectorPad * kVectorPad;
+    const std::span<std::uint8_t> buffer = grow(xy_codes8_, padded);
+    std::fill(buffer.begin() + static_cast<std::ptrdiff_t>(n), buffer.end(),
+              std::uint8_t{0});
+    return buffer.first(n);
+  }
+
+  /// Per-sample cell indices of one SIMD block (composed z+xy codes).
+  [[nodiscard]] std::span<std::uint32_t> cell_indices(std::size_t n) {
+    return grow(cell_indices_, n);
+  }
+
+  /// Half-width index block for tables within 65536 cells — twice the
+  /// vector lanes and half the buffer traffic of the 32-bit block.
+  [[nodiscard]] std::span<std::uint16_t> cell_indices16(std::size_t n) {
+    return grow(cell_indices16_, n);
+  }
+
+  /// Contingency-cell arena for batched builds.
+  [[nodiscard]] std::span<Count> cells(std::size_t n) {
+    return grow(cells_, n);
+  }
+
+ private:
+  /// Same boundary as DiscreteDataset::kCodes8Pad (duplicated to keep
+  /// this header free of the dataset dependency): every byte-code stream
+  /// a vector kernel may load full-width is padded to it.
+  static constexpr std::size_t kVectorPad = 64;
+
+  template <typename T>
+  [[nodiscard]] static std::span<T> grow(std::vector<T>& buffer,
+                                         std::size_t n) {
+    if (buffer.size() < n) buffer.resize(n);
+    return {buffer.data(), n};
+  }
+
+  std::vector<std::int32_t> xy_codes_;
+  std::vector<std::uint8_t> xy_codes8_;
+  std::vector<std::uint32_t> cell_indices_;
+  std::vector<std::uint16_t> cell_indices16_;
+  std::vector<Count> cells_;
+};
+
+}  // namespace fastbns

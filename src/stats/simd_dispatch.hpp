@@ -1,0 +1,53 @@
+// Runtime CPU dispatch for the SIMD counting data path.
+//
+// The SIMD table builder (stats/simd_table_builder.cpp) compiles its
+// AVX2 and SSE4.2 passes behind per-function target attributes, so the
+// library builds on any x86 toolchain without -mavx2 and still runs the
+// widest pass the *executing* CPU supports. This header is the single
+// source of that decision: a cached CPUID probe, clamped down by the
+// FASTBNS_SIMD environment variable ("off"/"scalar", "sse4.2", "avx2")
+// and by a programmatic override tests use to force the fallback tiers
+// on hardware that would otherwise never take them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace fastbns {
+
+/// Dispatch tiers, ordered: a higher tier implies every lower one.
+enum class SimdTier : std::uint8_t {
+  kScalar = 0,  ///< portable batched pass, no vector instructions
+  kSse42 = 1,   ///< 128-bit index composition (4 samples per op)
+  kAvx2 = 2,    ///< 256-bit index composition (8 samples per op)
+};
+
+[[nodiscard]] std::string_view to_string(SimdTier tier) noexcept;
+
+/// Highest tier the running CPU supports (CPUID, probed once).
+[[nodiscard]] SimdTier detected_simd_tier() noexcept;
+
+/// Tier the SIMD kernel dispatches to right now: the detected tier,
+/// clamped down by FASTBNS_SIMD (read once per process) and by the
+/// current override. Never exceeds detected_simd_tier(), so the
+/// dispatcher cannot select instructions the CPU lacks.
+[[nodiscard]] SimdTier active_simd_tier() noexcept;
+
+/// Clamps active_simd_tier() to `tier` until cleared with std::nullopt.
+/// Not thread-safe; intended for test setup and single-threaded CLI
+/// startup, like engine registration.
+void set_simd_tier_override(std::optional<SimdTier> tier) noexcept;
+
+/// RAII override for tests that pin the fallback paths.
+class ScopedSimdTierOverride {
+ public:
+  explicit ScopedSimdTierOverride(SimdTier tier) noexcept {
+    set_simd_tier_override(tier);
+  }
+  ~ScopedSimdTierOverride() { set_simd_tier_override(std::nullopt); }
+  ScopedSimdTierOverride(const ScopedSimdTierOverride&) = delete;
+  ScopedSimdTierOverride& operator=(const ScopedSimdTierOverride&) = delete;
+};
+
+}  // namespace fastbns

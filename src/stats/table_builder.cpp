@@ -1,10 +1,10 @@
 #include "stats/table_builder.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cassert>
-#include <numeric>
-#include <utility>
+#include <stdexcept>
+
+#include "stats/simd_dispatch.hpp"
+#include "stats/table_builder_detail.hpp"
 
 namespace fastbns {
 
@@ -13,53 +13,169 @@ void TableBuilder::build_batch(const TableBuildContext& context,
   for (const TableJob& job : jobs) build(context, job);
 }
 
+TableBuildContext make_table_context(const DiscreteDataset& data, VarId x,
+                                     VarId y, bool row_major,
+                                     ScratchArena& scratch, bool want_packed) {
+  const std::int32_t cx = data.cardinality(x);
+  const std::int32_t cy = data.cardinality(y);
+  const auto m = static_cast<std::size_t>(data.num_samples());
+  const std::span<std::int32_t> codes = scratch.xy_codes(m);
+  // The raw buffers keep malformed values as-is (values_in_range is the
+  // detector), so the endpoint codes clamp into [0, cx*cy) here: the
+  // kernels increment cells through these codes without bounds checks,
+  // and the clamp is what keeps even bad data inside the cell buffer —
+  // the same guarantee the dataset's codes8 columns give the z streams.
+  if (row_major) {
+    // Cache-unfriendly path: stride across the sample rows.
+    const auto n = static_cast<std::size_t>(data.num_vars());
+    const DataValue* base = data.row(0).data();
+    for (std::size_t s = 0; s < m; ++s) {
+      const DataValue* row = base + s * n;
+      codes[s] = std::min<std::int32_t>(row[x], cx - 1) * cy +
+                 std::min<std::int32_t>(row[y], cy - 1);
+    }
+  } else {
+    const DataValue* xs = data.column(x).data();
+    const DataValue* ys = data.column(y).data();
+    for (std::size_t s = 0; s < m; ++s) {
+      codes[s] = std::min<std::int32_t>(xs[s], cx - 1) * cy +
+                 std::min<std::int32_t>(ys[s], cy - 1);
+    }
+  }
+
+  TableBuildContext context;
+  context.data = &data;
+  context.xy_codes = codes;
+  context.cx = cx;
+  context.cy = cy;
+  context.row_major = row_major;
+  context.scratch = &scratch;
+  if (want_packed && cx * cy <= 255 && !row_major &&
+      active_simd_tier() != SimdTier::kScalar) {
+    // Every combined code fits a byte: materialize the packed mirror the
+    // SIMD kernel streams instead of the int32 codes. Only the vector
+    // narrow path reads it, so kernels that never consume it
+    // (want_packed = wants_packed_xy() of the selected builder),
+    // row-major contexts and scalar-tier runs (no vector hardware,
+    // FASTBNS_SIMD=off) skip the extra O(m) packing pass entirely.
+    const std::span<std::uint8_t> packed = scratch.xy_codes8(m);
+    for (std::size_t s = 0; s < m; ++s) {
+      packed[s] = static_cast<std::uint8_t>(codes[s]);
+    }
+    context.xy_codes8 = packed;
+  }
+  return context;
+}
+
+namespace table_detail {
+
+void count_single_scalar(const TableBuildContext& context,
+                         const TableJob& job) {
+  const std::size_t m = num_samples(context);
+  std::fill(job.cells.begin(), job.cells.end(), Count{0});
+  Count* cells = job.cells.data();
+  const std::int32_t* codes = context.xy_codes.data();
+
+  if (job.z.empty()) {
+    // Marginal table: the xy code is the cell index.
+    for (std::size_t s = 0; s < m; ++s) ++cells[codes[s]];
+    return;
+  }
+  const ZPlan plan(context, job);
+  if (context.row_major) {
+    const DataValue* base = row_base(context);
+    const auto n = static_cast<std::size_t>(context.data->num_vars());
+    for (std::size_t s = 0; s < m; ++s) {
+      const std::size_t zc = plan.code_row(base + s * n);
+      ++cells[static_cast<std::size_t>(codes[s]) * job.cz_total + zc];
+    }
+  } else {
+    for (std::size_t s = 0; s < m; ++s) {
+      const std::size_t zc = plan.code_column(s);
+      ++cells[static_cast<std::size_t>(codes[s]) * job.cz_total + zc];
+    }
+  }
+}
+
+void count_run_scalar(const TableBuildContext& context,
+                      std::span<TableJob> jobs,
+                      std::span<const std::size_t> run,
+                      std::vector<ZPlan>& plans_scratch) {
+  if (run.size() == 1 || jobs[run.front()].z.empty()) {
+    // Nothing to share: a marginal group is one table per shape.
+    for (const std::size_t j : run) count_single_scalar(context, jobs[j]);
+    return;
+  }
+
+  const std::size_t m = num_samples(context);
+  const std::size_t cz_total = jobs[run.front()].cz_total;
+  const std::size_t d = jobs[run.front()].z.size();
+  std::vector<ZPlan>& plans = plans_scratch;
+  plans.clear();
+  for (const std::size_t j : run) {
+    std::fill(jobs[j].cells.begin(), jobs[j].cells.end(), Count{0});
+    plans.emplace_back(context, jobs[j]);
+  }
+  const std::int32_t* codes = context.xy_codes.data();
+  const std::size_t k = run.size();
+
+  // Depth-specialized column paths: flattened pointer arrays so the
+  // per-sample inner loop is the same two-load multiply-add the scalar
+  // kernel runs, with the codes read shared across the run's tables.
+  if (!context.row_major && (d == 1 || d == 2)) {
+    std::array<Count*, kMaxFanout> out{};
+    std::array<const std::uint8_t*, kMaxFanout> col0{};
+    std::array<const std::uint8_t*, kMaxFanout> col1{};
+    std::array<std::size_t, kMaxFanout> card1{};
+    for (std::size_t j = 0; j < k; ++j) {
+      out[j] = jobs[run[j]].cells.data();
+      col0[j] = plans[j].cols[0];
+      if (d == 2) {
+        col1[j] = plans[j].cols[1];
+        card1[j] = static_cast<std::size_t>(plans[j].cards[1]);
+      }
+    }
+    if (d == 1) {
+      for (std::size_t s = 0; s < m; ++s) {
+        const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
+        for (std::size_t j = 0; j < k; ++j) {
+          ++out[j][xy + col0[j][s]];
+        }
+      }
+    } else {
+      for (std::size_t s = 0; s < m; ++s) {
+        const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
+        for (std::size_t j = 0; j < k; ++j) {
+          ++out[j][xy + col0[j][s] * card1[j] + col1[j][s]];
+        }
+      }
+    }
+    return;
+  }
+
+  if (context.row_major) {
+    const DataValue* base = row_base(context);
+    const auto n = static_cast<std::size_t>(context.data->num_vars());
+    for (std::size_t s = 0; s < m; ++s) {
+      const DataValue* row = base + s * n;
+      const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
+      for (std::size_t j = 0; j < k; ++j) {
+        ++jobs[run[j]].cells[xy + plans[j].code_row(row)];
+      }
+    }
+  } else {
+    for (std::size_t s = 0; s < m; ++s) {
+      const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
+      for (std::size_t j = 0; j < k; ++j) {
+        ++jobs[run[j]].cells[xy + plans[j].code_column(s)];
+      }
+    }
+  }
+}
+
+}  // namespace table_detail
+
 namespace {
-
-/// Hard cap tied to the driver's depth limit; matches the fixed-size
-/// index buffers in edge_work.cpp.
-constexpr std::size_t kMaxDepth = 32;
-
-/// Per-job access plan: conditioning column pointers (column-major) or
-/// variable ids (row-major) plus cardinalities, gathered once per build.
-struct ZPlan {
-  std::array<const DataValue*, kMaxDepth> cols{};
-  std::array<std::int32_t, kMaxDepth> cards{};
-  std::span<const VarId> vars;
-  std::size_t d = 0;
-
-  ZPlan(const TableBuildContext& context, const TableJob& job)
-      : vars(job.z), d(job.z.size()) {
-    assert(d <= kMaxDepth);
-    for (std::size_t i = 0; i < d; ++i) {
-      cards[i] = context.data->cardinality(job.z[i]);
-      if (!context.row_major) cols[i] = context.data->column(job.z[i]).data();
-    }
-  }
-
-  [[nodiscard]] std::size_t code_column(std::size_t s) const {
-    std::size_t zc = 0;
-    for (std::size_t i = 0; i < d; ++i) {
-      zc = zc * static_cast<std::size_t>(cards[i]) + cols[i][s];
-    }
-    return zc;
-  }
-
-  [[nodiscard]] std::size_t code_row(const DataValue* row) const {
-    std::size_t zc = 0;
-    for (std::size_t i = 0; i < d; ++i) {
-      zc = zc * static_cast<std::size_t>(cards[i]) + row[vars[i]];
-    }
-    return zc;
-  }
-};
-
-std::size_t num_samples(const TableBuildContext& context) {
-  return static_cast<std::size_t>(context.data->num_samples());
-}
-
-const DataValue* row_base(const TableBuildContext& context) {
-  return context.row_major ? context.data->row(0).data() : nullptr;
-}
 
 class ScalarTableBuilder : public TableBuilder {
  public:
@@ -68,30 +184,7 @@ class ScalarTableBuilder : public TableBuilder {
   }
 
   void build(const TableBuildContext& context, const TableJob& job) override {
-    const std::size_t m = num_samples(context);
-    std::fill(job.cells.begin(), job.cells.end(), Count{0});
-    Count* cells = job.cells.data();
-    const std::int32_t* codes = context.xy_codes.data();
-
-    if (job.z.empty()) {
-      // Marginal table: the xy code is the cell index.
-      for (std::size_t s = 0; s < m; ++s) ++cells[codes[s]];
-      return;
-    }
-    const ZPlan plan(context, job);
-    if (context.row_major) {
-      const DataValue* base = row_base(context);
-      const auto n = static_cast<std::size_t>(context.data->num_vars());
-      for (std::size_t s = 0; s < m; ++s) {
-        const std::size_t zc = plan.code_row(base + s * n);
-        ++cells[static_cast<std::size_t>(codes[s]) * job.cz_total + zc];
-      }
-    } else {
-      for (std::size_t s = 0; s < m; ++s) {
-        const std::size_t zc = plan.code_column(s);
-        ++cells[static_cast<std::size_t>(codes[s]) * job.cz_total + zc];
-      }
-    }
+    table_detail::count_single_scalar(context, job);
   }
 };
 
@@ -102,7 +195,8 @@ class SampleParallelTableBuilder final : public TableBuilder {
   }
 
   void build(const TableBuildContext& context, const TableJob& job) override {
-    const auto m = static_cast<std::int64_t>(num_samples(context));
+    const auto m =
+        static_cast<std::int64_t>(table_detail::num_samples(context));
     std::fill(job.cells.begin(), job.cells.end(), Count{0});
     Count* cells = job.cells.data();
     const std::int32_t* codes = context.xy_codes.data();
@@ -115,8 +209,8 @@ class SampleParallelTableBuilder final : public TableBuilder {
       }
       return;
     }
-    const ZPlan plan(context, job);
-    const DataValue* base = row_base(context);
+    const table_detail::ZPlan plan(context, job);
+    const DataValue* base = table_detail::row_base(context);
     const auto n = static_cast<std::size_t>(context.data->num_vars());
     const bool row_major = context.row_major;
     const std::size_t cz_total = job.cz_total;
@@ -141,114 +235,15 @@ class BatchedTableBuilder final : public ScalarTableBuilder {
 
   void build_batch(const TableBuildContext& context,
                    std::span<TableJob> jobs) override {
-    // Same-shape runs: with the endpoints fixed by the context, shape is
-    // the combined conditioning cardinality — but a run's shared pass
-    // also assumes one conditioning-set size, so |z| is part of the key
-    // (two sets of different size can multiply to the same cz_total).
-    const auto shape_key = [&jobs](std::size_t j) {
-      return std::make_pair(jobs[j].cz_total, jobs[j].z.size());
-    };
-    order_.resize(jobs.size());
-    std::iota(order_.begin(), order_.end(), std::size_t{0});
-    std::stable_sort(order_.begin(), order_.end(),
-                     [&shape_key](std::size_t a, std::size_t b) {
-                       return shape_key(a) < shape_key(b);
-                     });
-
-    std::size_t start = 0;
-    while (start < order_.size()) {
-      std::size_t end = start + 1;
-      while (end < order_.size() &&
-             shape_key(order_[end]) == shape_key(order_[start]) &&
-             end - start < kMaxFanout) {
-        ++end;
-      }
-      build_run(context, jobs, std::span<const std::size_t>(
-                                   order_.data() + start, end - start));
-      start = end;
-    }
+    table_detail::for_each_shape_run(
+        jobs, order_, [&](std::span<const std::size_t> run) {
+          table_detail::count_run_scalar(context, jobs, run, plans_);
+        });
   }
 
  private:
-  /// Tables counted per pass: bounds the live cell buffers and column
-  /// streams so the shared pass stays inside the cache it exists for.
-  static constexpr std::size_t kMaxFanout = 8;
-
-  void build_run(const TableBuildContext& context, std::span<TableJob> jobs,
-                 std::span<const std::size_t> run) {
-    if (run.size() == 1 || jobs[run.front()].z.empty()) {
-      // Nothing to share: a marginal group is one table per shape.
-      for (const std::size_t j : run) ScalarTableBuilder::build(context, jobs[j]);
-      return;
-    }
-
-    const std::size_t m = num_samples(context);
-    const std::size_t cz_total = jobs[run.front()].cz_total;
-    const std::size_t d = jobs[run.front()].z.size();
-    plans_.clear();
-    for (const std::size_t j : run) {
-      std::fill(jobs[j].cells.begin(), jobs[j].cells.end(), Count{0});
-      plans_.emplace_back(context, jobs[j]);
-    }
-    const std::int32_t* codes = context.xy_codes.data();
-    const std::size_t k = run.size();
-
-    // Depth-specialized column paths: flattened pointer arrays so the
-    // per-sample inner loop is the same two-load multiply-add the scalar
-    // kernel runs, with the codes read shared across the run's tables.
-    if (!context.row_major && (d == 1 || d == 2)) {
-      std::array<Count*, kMaxFanout> out{};
-      std::array<const DataValue*, kMaxFanout> col0{};
-      std::array<const DataValue*, kMaxFanout> col1{};
-      std::array<std::size_t, kMaxFanout> card1{};
-      for (std::size_t j = 0; j < k; ++j) {
-        out[j] = jobs[run[j]].cells.data();
-        col0[j] = plans_[j].cols[0];
-        if (d == 2) {
-          col1[j] = plans_[j].cols[1];
-          card1[j] = static_cast<std::size_t>(plans_[j].cards[1]);
-        }
-      }
-      if (d == 1) {
-        for (std::size_t s = 0; s < m; ++s) {
-          const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
-          for (std::size_t j = 0; j < k; ++j) {
-            ++out[j][xy + col0[j][s]];
-          }
-        }
-      } else {
-        for (std::size_t s = 0; s < m; ++s) {
-          const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
-          for (std::size_t j = 0; j < k; ++j) {
-            ++out[j][xy + col0[j][s] * card1[j] + col1[j][s]];
-          }
-        }
-      }
-      return;
-    }
-
-    if (context.row_major) {
-      const DataValue* base = row_base(context);
-      const auto n = static_cast<std::size_t>(context.data->num_vars());
-      for (std::size_t s = 0; s < m; ++s) {
-        const DataValue* row = base + s * n;
-        const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
-        for (std::size_t j = 0; j < k; ++j) {
-          ++jobs[run[j]].cells[xy + plans_[j].code_row(row)];
-        }
-      }
-    } else {
-      for (std::size_t s = 0; s < m; ++s) {
-        const auto xy = static_cast<std::size_t>(codes[s]) * cz_total;
-        for (std::size_t j = 0; j < k; ++j) {
-          ++jobs[run[j]].cells[xy + plans_[j].code_column(s)];
-        }
-      }
-    }
-  }
-
   std::vector<std::size_t> order_;
-  std::vector<ZPlan> plans_;
+  std::vector<table_detail::ZPlan> plans_;
 };
 
 }  // namespace
@@ -263,6 +258,48 @@ std::unique_ptr<TableBuilder> make_sample_parallel_table_builder() {
 
 std::unique_ptr<TableBuilder> make_batched_table_builder() {
   return std::make_unique<BatchedTableBuilder>();
+}
+
+std::unique_ptr<TableBuilder> make_table_builder(std::string_view name) {
+  if (name == "scalar") return make_scalar_table_builder();
+  if (name == "sample-parallel") {
+    // Installing the sample-parallel kernel as the *main* builder would
+    // nest its OpenMP team inside every edge-parallel worker and serialize
+    // batch entries into contended atomic builds; sample-parallel routing
+    // is owned by the engines (EngineRunConfig::sample_parallel, the
+    // hybrid engine's heavy route), which flip CiTest::set_sample_parallel
+    // onto the dedicated builder instead.
+    throw std::invalid_argument(
+        "table builder \"sample-parallel\" is not name-selectable: "
+        "sample-parallel builds are routed by the engines (--engine sample "
+        "or the hybrid engine's heavy route), not configured as the main "
+        "kernel");
+  }
+  if (name == "batched") return make_batched_table_builder();
+  if (name == "simd") return make_simd_table_builder();
+  if (name == "auto") {
+    // The CPU decides: the SIMD kernel when a vectorized dispatch tier is
+    // active, the batched scalar kernel otherwise (the two behave
+    // identically in that case — this just keeps the reported kernel
+    // name honest on scalar-only hardware).
+    return active_simd_tier() == SimdTier::kScalar
+               ? make_batched_table_builder()
+               : make_simd_table_builder();
+  }
+  std::string message = "unknown table builder \"" + std::string(name) +
+                        "\"; known builders:";
+  for (const std::string& known : list_table_builders()) {
+    message += ' ';
+    message += known;
+  }
+  throw std::invalid_argument(message);
+}
+
+std::vector<std::string> list_table_builders() {
+  // "sample-parallel" is deliberately absent: that kernel exists as the
+  // engines' routing target (CiTest::set_sample_parallel), never as a
+  // name-selected main builder.
+  return {"auto", "batched", "scalar", "simd"};
 }
 
 }  // namespace fastbns

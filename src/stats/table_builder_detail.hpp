@@ -1,0 +1,129 @@
+// Internals shared by the TableBuilder kernels: the scalar/batched
+// passes in table_builder.cpp and the vectorized pass in
+// simd_table_builder.cpp (a separate TU so its per-function target
+// attributes stay contained). Not part of the public API.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <numeric>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "stats/table_builder.hpp"
+
+namespace fastbns::table_detail {
+
+/// Hard cap tied to the driver's depth limit; matches the fixed-size
+/// index buffers in edge_work.cpp.
+inline constexpr std::size_t kMaxDepth = 32;
+
+/// Tables counted per shared pass: bounds the live cell buffers and
+/// column streams so a pass stays inside the cache it exists for.
+inline constexpr std::size_t kMaxFanout = 8;
+
+/// Per-job access plan: conditioning column pointers (column-major) or
+/// variable ids (row-major) plus cardinalities, gathered once per build.
+/// Column streams prefer the dataset's packed codes8 columns (clamped
+/// into range, so even malformed values cannot index outside the cells)
+/// and fall back to the raw column for cardinalities past 255.
+struct ZPlan {
+  std::array<const std::uint8_t*, kMaxDepth> cols{};
+  std::array<std::int32_t, kMaxDepth> cards{};
+  std::span<const VarId> vars;
+  std::size_t d = 0;
+
+  ZPlan(const TableBuildContext& context, const TableJob& job)
+      : vars(job.z), d(job.z.size()) {
+    assert(d <= kMaxDepth);
+    for (std::size_t i = 0; i < d; ++i) {
+      const VarId v = job.z[i];
+      cards[i] = context.data->cardinality(v);
+      if (!context.row_major) {
+        cols[i] = context.data->has_codes8(v)
+                      ? context.data->codes8(v).data()
+                      : context.data->column(v).data();
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t code_column(std::size_t s) const {
+    std::size_t zc = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      zc = zc * static_cast<std::size_t>(cards[i]) + cols[i][s];
+    }
+    return zc;
+  }
+
+  [[nodiscard]] std::size_t code_row(const DataValue* row) const {
+    // Row streams have no clamped codes8 mirror, so clamp here: keeps
+    // malformed values inside the cells and the row-major pass
+    // bit-identical to the column path (whose codes8 streams clamp).
+    std::size_t zc = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const auto cap = static_cast<DataValue>(
+          std::min<std::int32_t>(cards[i] - 1, 255));
+      zc = zc * static_cast<std::size_t>(cards[i]) +
+           std::min(row[vars[i]], cap);
+    }
+    return zc;
+  }
+};
+
+inline std::size_t num_samples(const TableBuildContext& context) {
+  return static_cast<std::size_t>(context.data->num_samples());
+}
+
+inline const DataValue* row_base(const TableBuildContext& context) {
+  return context.row_major ? context.data->row(0).data() : nullptr;
+}
+
+/// The serial one-table scan (the paper's optimized sequential kernel);
+/// zeroes the cells first.
+void count_single_scalar(const TableBuildContext& context,
+                         const TableJob& job);
+
+/// The batched kernel's shared pass over one same-shape run: zeroes
+/// every run member's cells, builds the plans into `plans_scratch`, and
+/// counts all tables of the run in a single pass over the samples
+/// (depth-specialized column paths for |z| in {1, 2}). Degenerates to
+/// per-table scalar scans for single-job and marginal runs.
+void count_run_scalar(const TableBuildContext& context,
+                      std::span<TableJob> jobs,
+                      std::span<const std::size_t> run,
+                      std::vector<ZPlan>& plans_scratch);
+
+/// Shape-run iteration shared by the batching kernels: stable-sorts job
+/// indices into `order` by (cz_total, |z|) — two conditioning sets of
+/// different size can multiply to the same cz_total, and a shared pass
+/// assumes one set size — then invokes `run_fn` once per run of at most
+/// kMaxFanout jobs.
+template <typename RunFn>
+void for_each_shape_run(std::span<TableJob> jobs,
+                        std::vector<std::size_t>& order, RunFn&& run_fn) {
+  const auto shape_key = [&jobs](std::size_t j) {
+    return std::make_pair(jobs[j].cz_total, jobs[j].z.size());
+  };
+  order.resize(jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&shape_key](std::size_t a, std::size_t b) {
+                     return shape_key(a) < shape_key(b);
+                   });
+
+  std::size_t start = 0;
+  while (start < order.size()) {
+    std::size_t end = start + 1;
+    while (end < order.size() &&
+           shape_key(order[end]) == shape_key(order[start]) &&
+           end - start < kMaxFanout) {
+      ++end;
+    }
+    run_fn(std::span<const std::size_t>(order.data() + start, end - start));
+    start = end;
+  }
+}
+
+}  // namespace fastbns::table_detail

@@ -59,9 +59,9 @@ TEST(DiscreteDataset, RowSpanIsContiguousPerSample) {
 
 TEST(DiscreteDataset, MissingLayoutThrows) {
   const auto col_only = make_small(DataLayout::kColumnMajor);
-  EXPECT_THROW(col_only.row(0), std::logic_error);
+  EXPECT_THROW((void)col_only.row(0), std::logic_error);
   const auto row_only = make_small(DataLayout::kRowMajor);
-  EXPECT_THROW(row_only.column(0), std::logic_error);
+  EXPECT_THROW((void)row_only.column(0), std::logic_error);
 }
 
 TEST(DiscreteDataset, EnsureLayoutMaterializesCopy) {
@@ -111,6 +111,68 @@ TEST(DiscreteDataset, HeadTakesPrefix) {
 TEST(DiscreteDataset, CardinalityMismatchThrows) {
   EXPECT_THROW(DiscreteDataset(3, 4, {2, 2}, DataLayout::kColumnMajor),
                std::invalid_argument);
+}
+
+TEST(DiscreteDataset, Codes8MirrorsValuesForSmallCardinalities) {
+  const auto data = make_small(DataLayout::kColumnMajor);
+  for (VarId v = 0; v < data.num_vars(); ++v) {
+    ASSERT_TRUE(data.has_codes8(v));
+    const std::span<const std::uint8_t> codes = data.codes8(v);
+    ASSERT_EQ(codes.size(), static_cast<std::size_t>(data.num_samples()));
+    for (Count s = 0; s < data.num_samples(); ++s) {
+      EXPECT_EQ(codes[static_cast<std::size_t>(s)], data.value(s, v))
+          << "v=" << v << " s=" << s;
+    }
+  }
+}
+
+TEST(DiscreteDataset, Codes8GuardsCardinalityPast255) {
+  // Values are bytes either way, but the packed-column contract (clamped
+  // into [0, cardinality)) is only meaningful up to 255 states; larger
+  // declared cardinalities fall back gracefully.
+  DiscreteDataset data(3, 4, {255, 256, 300}, DataLayout::kColumnMajor);
+  EXPECT_TRUE(data.has_codes8(0));
+  EXPECT_FALSE(data.has_codes8(1));
+  EXPECT_FALSE(data.has_codes8(2));
+  EXPECT_TRUE(data.codes8(1).empty());
+  data.set(0, 0, 254);
+  EXPECT_EQ(data.codes8(0)[0], 254);
+}
+
+TEST(DiscreteDataset, Codes8ClampsOutOfRangeValues) {
+  // The SIMD kernels index cell buffers without bounds checks; the
+  // packed column clamps malformed values so they can never escape the
+  // table even when the raw buffers carry them (values_in_range stays
+  // the detector for that condition).
+  DiscreteDataset data(2, 3, {2, 3}, DataLayout::kBoth);
+  data.set(0, 0, 7);  // out of range for cardinality 2
+  EXPECT_FALSE(data.values_in_range());
+  EXPECT_EQ(data.value(0, 0), 7);     // raw buffers keep the bad value
+  EXPECT_EQ(data.codes8(0)[0], 1);    // packed column clamps to card-1
+}
+
+TEST(DiscreteDataset, Codes8RidesWithTheColumnMajorBuffer) {
+  // Row-major-only datasets (the cache-unfriendly ablation path) never
+  // stream packed codes, so they don't pay for the mirror; it appears
+  // with the column-major buffer and head() keeps it.
+  auto data = make_small(DataLayout::kRowMajor);
+  EXPECT_FALSE(data.has_codes8(0));
+  EXPECT_TRUE(data.codes8(0).empty());
+  data.ensure_layout(DataLayout::kBoth);
+  ASSERT_TRUE(data.has_codes8(0));
+  for (VarId v = 0; v < data.num_vars(); ++v) {
+    for (Count s = 0; s < data.num_samples(); ++s) {
+      EXPECT_EQ(data.codes8(v)[static_cast<std::size_t>(s)],
+                data.value(s, v));
+    }
+  }
+  const auto head = data.head(2);
+  for (VarId v = 0; v < head.num_vars(); ++v) {
+    for (Count s = 0; s < head.num_samples(); ++s) {
+      EXPECT_EQ(head.codes8(v)[static_cast<std::size_t>(s)],
+                head.value(s, v));
+    }
+  }
 }
 
 }  // namespace

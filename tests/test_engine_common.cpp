@@ -143,9 +143,14 @@ std::vector<EdgeWork> skewed_depth_works(VarId num_vars, std::int32_t depth) {
 }
 
 TEST(HybridEngine, HeavyRouteEngagesOnStragglerAndMatchesSequential) {
-  // Enough samples to clear the workload model's sample-parallel floor.
+  // Enough samples to clear the workload model's sample-parallel floor,
+  // which scales with the light path's builder throughput (the default
+  // "auto" kernel resolves through the runtime SIMD dispatch tier).
   const VarId n = 12;
-  const Count m = kMinSampleParallelSamples + 1000;
+  const Count m = static_cast<Count>(
+                      static_cast<double>(kMinSampleParallelSamples) *
+                      builder_throughput_scale("auto")) +
+                  1000;
   DiscreteDataset data(n, m, std::vector<std::int32_t>(n, 2),
                        DataLayout::kBoth);
   Rng rng(7);

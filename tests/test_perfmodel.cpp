@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "perfmodel/workload_model.hpp"
+#include "stats/simd_dispatch.hpp"
 
 namespace fastbns {
 namespace {
@@ -150,6 +151,70 @@ TEST(WorkloadModel, RoutingRequiresStragglerAndLongScans) {
   EXPECT_FALSE(route_edge_to_sample_parallel(60.0, 100.0, 4, long_scan - 1));
   // Unknown sample counts (metadata-free tests) route light.
   EXPECT_FALSE(route_edge_to_sample_parallel(60.0, 100.0, 4, 0));
+}
+
+TEST(WorkloadModel, BuilderScaleDeflatesOnlyTheStreamingTerm) {
+  EdgeWorkload workload;
+  workload.tests = 10;
+  workload.samples = 5000;
+  workload.depth = 2;
+  workload.xy_states = 4;
+  workload.mean_z_states = 3.0;
+  const CacheModelParams cache;
+  const double scalar_cost = predict_edge_cost(workload, cache);
+  workload.builder_scale = 2.0;
+  const double simd_cost = predict_edge_cost(workload, cache);
+  // Faster counting shrinks the cost, but never below the cell term the
+  // statistic layer still pays at scalar speed.
+  EXPECT_LT(simd_cost, scalar_cost);
+  const double cells_only =
+      static_cast<double>(workload.tests) * predict_table_cells(workload);
+  EXPECT_GT(simd_cost, cells_only);
+  EXPECT_LT(scalar_cost - cells_only, 2.0 * (simd_cost - cells_only) + 1e-9);
+}
+
+TEST(WorkloadModel, BuilderThroughputConstantsAreOrdered) {
+  // scalar <= batched <= sse4.2 <= avx2: each tier adds work sharing.
+  EXPECT_DOUBLE_EQ(builder_throughput_scale("scalar"), kScalarBuilderScale);
+  EXPECT_DOUBLE_EQ(builder_throughput_scale("batched"), kBatchedBuilderScale);
+  EXPECT_LE(kScalarBuilderScale, kBatchedBuilderScale);
+  EXPECT_LE(kBatchedBuilderScale, kSse42BuilderScale);
+  EXPECT_LE(kSse42BuilderScale, kAvx2BuilderScale);
+  // Metadata-free tests (empty name) cost like the scalar kernel.
+  EXPECT_DOUBLE_EQ(builder_throughput_scale(""), kScalarBuilderScale);
+  // "simd"/"auto" resolve through the dispatch tier; forcing the scalar
+  // tier degrades them to the batched constant (the kernel degrades to
+  // the batched scalar pass the same way).
+  const ScopedSimdTierOverride guard(SimdTier::kScalar);
+  EXPECT_DOUBLE_EQ(builder_throughput_scale("simd"), kBatchedBuilderScale);
+  EXPECT_DOUBLE_EQ(builder_throughput_scale("auto"), kBatchedBuilderScale);
+}
+
+TEST(WorkloadModel, SimdBuilderCostsLikeBatchedAtShallowDepths) {
+  // The SIMD kernel counts depth <= 1 runs with the batched scalar pass,
+  // so the depth-aware constant must not overstate its throughput there.
+  EXPECT_DOUBLE_EQ(builder_throughput_scale("simd", 0), kBatchedBuilderScale);
+  EXPECT_DOUBLE_EQ(builder_throughput_scale("auto", 1), kBatchedBuilderScale);
+  EXPECT_DOUBLE_EQ(builder_throughput_scale("simd", 2),
+                   builder_throughput_scale("simd"));
+  // Non-SIMD kernels are depth-independent.
+  EXPECT_DOUBLE_EQ(builder_throughput_scale("batched", 1),
+                   kBatchedBuilderScale);
+  EXPECT_DOUBLE_EQ(builder_throughput_scale("scalar", 0),
+                   kScalarBuilderScale);
+}
+
+TEST(WorkloadModel, RoutingFloorScalesWithLightBuilderThroughput) {
+  // A 2x-faster light kernel doubles the scan length needed before the
+  // scalar-build atomics of the heavy route can win.
+  const Count floor = kMinSampleParallelSamples;
+  EXPECT_TRUE(route_edge_to_sample_parallel(60.0, 100.0, 4, floor, 1.0));
+  EXPECT_FALSE(route_edge_to_sample_parallel(60.0, 100.0, 4, floor, 2.0));
+  EXPECT_TRUE(
+      route_edge_to_sample_parallel(60.0, 100.0, 4, 2 * floor, 2.0));
+  // Scales below 1 never lower the floor.
+  EXPECT_FALSE(
+      route_edge_to_sample_parallel(60.0, 100.0, 4, floor - 1, 0.5));
 }
 
 }  // namespace

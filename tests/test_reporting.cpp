@@ -1,0 +1,54 @@
+// The bench_util JSON reporter: numeric cells stay bare JSON numbers,
+// everything else — including the strtod-accepted-but-not-JSON spellings
+// "inf"/"nan"/hex floats — is quoted and escaped, so one degenerate
+// bench cell can never make BENCH_<stem>.json unparseable for the perf
+// trajectory tooling.
+#include "bench_util/reporting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fastbns {
+namespace {
+
+TEST(BenchJson, NumericCellsAreBareAndStringsQuoted) {
+  TablePrinter table({"kernel", "speedup", "samples"});
+  table.add_row({"simd", "1.70", "4000000"});
+  table.add_row({"batched", "4.5e+09", "-"});
+  const std::string json = bench_json("title", "stem", table);
+  EXPECT_NE(json.find("\"bench\": \"stem\""), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\": 1.70"), std::string::npos);
+  EXPECT_NE(json.find("\"samples\": 4000000"), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\": 4.5e+09"), std::string::npos);
+  EXPECT_NE(json.find("\"kernel\": \"simd\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\": \"-\""), std::string::npos);
+}
+
+TEST(BenchJson, NonFiniteAndHexCellsAreQuoted) {
+  // strtod parses all of these; JSON accepts none of them bare. A
+  // zero-denominator speedup printed as "inf" must arrive quoted.
+  TablePrinter table({"value"});
+  for (const char* cell : {"inf", "-inf", "nan", "infinity", "0x10", ""}) {
+    table.add_row({cell});
+  }
+  const std::string json = bench_json("t", "s", table);
+  EXPECT_NE(json.find("\"value\": \"inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": \"-inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": \"nan\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": \"infinity\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": \"0x10\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": \"\""), std::string::npos);
+  EXPECT_EQ(json.find(": inf"), std::string::npos);
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+}
+
+TEST(BenchJson, EscapesQuotesBackslashesAndControlCharacters) {
+  TablePrinter table({"label"});
+  table.add_row({"a\"b\\c\nd\te"});
+  const std::string json = bench_json("t", "s", table);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fastbns

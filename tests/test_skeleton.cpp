@@ -114,6 +114,10 @@ TEST(Skeleton, ValidateRejectsNonsensicalOptionsUpFront) {
   PcOptions typo_threads;
   typo_threads.num_threads = PcOptions::kMaxThreads + 1;
   EXPECT_THROW(typo_threads.validate(), std::invalid_argument);
+  // Unknown counting kernels fail up front, exactly like engine names.
+  PcOptions typo_builder;
+  typo_builder.table_builder = "vectorised";
+  EXPECT_THROW(typo_builder.validate(), std::invalid_argument);
   // The engine-dependent combination — every permitted table smaller
   // than the effective thread count makes sample-parallel builds pure
   // atomic contention — is enforced by the driver once the engine is

@@ -1,18 +1,21 @@
 // The CI-kernel contract: every TableBuilder counts the same table —
-// bit-identical cells across the scalar, sample-parallel and batched
-// kernels, on randomized shapes, cardinalities and layouts. This is what
-// lets DiscreteCiTest treat the builder as pluggable and lets engines
-// pick the kernel per edge without changing any result.
+// bit-identical cells across the scalar, sample-parallel, batched and
+// SIMD kernels, on randomized shapes, cardinalities and layouts. This is
+// what lets DiscreteCiTest treat the builder as pluggable and lets
+// engines pick the kernel per edge without changing any result.
 #include "stats/table_builder.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "stats/discrete_ci_test.hpp"
+#include "stats/simd_dispatch.hpp"
 
 namespace fastbns {
 namespace {
@@ -98,10 +101,14 @@ TEST(TableBuilder, KernelsAreBitIdenticalOnRandomizedShapes) {
   const auto scalar = make_scalar_table_builder();
   const auto sample_parallel = make_sample_parallel_table_builder();
   const auto batched = make_batched_table_builder();
+  const auto simd = make_simd_table_builder();
 
   Rng rng(20260729);
+  ScratchArena arena;
   for (int round = 0; round < 20; ++round) {
     const auto n = static_cast<VarId>(6 + rng.next_below(5));
+    // Deliberately not a vector-width multiple most rounds, so the SIMD
+    // kernel's tail lanes are exercised alongside its full blocks.
     const auto m = static_cast<Count>(200 + rng.next_below(800));
     const DiscreteDataset data =
         random_dataset(n, m, /*max_card=*/5, 1000 + round);
@@ -109,13 +116,8 @@ TEST(TableBuilder, KernelsAreBitIdenticalOnRandomizedShapes) {
         static_cast<std::uint64_t>(n)));
     auto y = static_cast<VarId>(rng.next_below(static_cast<std::uint64_t>(n)));
     if (y == x) y = (y + 1) % n;
-    const std::vector<std::int32_t> codes = xy_codes(data, x, y);
-
-    TableBuildContext context;
-    context.data = &data;
-    context.xy_codes = codes;
-    context.cx = data.cardinality(x);
-    context.cy = data.cardinality(y);
+    const TableBuildContext context =
+        make_table_context(data, x, y, /*row_major=*/false, arena);
 
     const auto depth = static_cast<std::int32_t>(rng.next_below(4));
     // More jobs than the batched kernel's per-pass fanout, so the
@@ -126,7 +128,8 @@ TEST(TableBuilder, KernelsAreBitIdenticalOnRandomizedShapes) {
       scalar->build(context, reference.jobs[j]);
     }
 
-    for (TableBuilder* kernel : {sample_parallel.get(), batched.get()}) {
+    for (TableBuilder* kernel :
+         {sample_parallel.get(), batched.get(), simd.get()}) {
       JobBatch probe;
       probe.zs = reference.zs;
       for (std::size_t j = 0; j < probe.zs.size(); ++j) {
@@ -237,6 +240,232 @@ TEST(TableBuilder, MarginalTablesNeedNoConditioningColumns) {
   Count total = 0;
   for (const Count c : scalar_cells) total += c;
   EXPECT_EQ(total, data.num_samples());
+
+  std::vector<Count> simd_cells(cells, -1);
+  std::vector<TableJob> simd_job{TableJob{{}, 1, simd_cells}};
+  make_simd_table_builder()->build_batch(context, simd_job);
+  EXPECT_EQ(scalar_cells, simd_cells);
+}
+
+TEST(TableBuilder, ContextHelperMatchesManualCodes) {
+  // The centralized make_table_context must produce exactly the codes
+  // every call site used to compute by hand, plus the packed mirror when
+  // the combined endpoint cardinality fits a byte and a vector tier can
+  // consume it.
+  const DiscreteDataset data = random_dataset(6, 333, 4, 11);
+  ScratchArena arena;
+  const TableBuildContext context =
+      make_table_context(data, 2, 4, /*row_major=*/false, arena);
+  const std::vector<std::int32_t> expected = xy_codes(data, 2, 4);
+  ASSERT_EQ(context.xy_codes.size(), expected.size());
+  EXPECT_EQ(context.cx, data.cardinality(2));
+  EXPECT_EQ(context.cy, data.cardinality(4));
+  EXPECT_EQ(context.scratch, &arena);
+  if (active_simd_tier() != SimdTier::kScalar) {
+    // cards <= 5 -> cx*cy <= 25, so a vector tier gets the mirror.
+    ASSERT_FALSE(context.xy_codes8.empty());
+    for (std::size_t s = 0; s < expected.size(); ++s) {
+      EXPECT_EQ(context.xy_codes8[s], expected[s]) << s;
+    }
+  }
+  for (std::size_t s = 0; s < expected.size(); ++s) {
+    EXPECT_EQ(context.xy_codes[s], expected[s]) << s;
+  }
+
+  // On the scalar tier nothing reads the packed mirror, so the helper
+  // must not pay the packing pass.
+  {
+    const ScopedSimdTierOverride guard(SimdTier::kScalar);
+    const TableBuildContext scalar_context =
+        make_table_context(data, 2, 4, /*row_major=*/false, arena);
+    EXPECT_TRUE(scalar_context.xy_codes8.empty());
+  }
+
+  // Same when the selected kernel declares it never reads the mirror
+  // (want_packed = wants_packed_xy(); only the SIMD kernel consumes it).
+  EXPECT_TRUE(make_simd_table_builder()->wants_packed_xy());
+  EXPECT_FALSE(make_batched_table_builder()->wants_packed_xy());
+  const TableBuildContext unpacked = make_table_context(
+      data, 2, 4, /*row_major=*/false, arena, /*want_packed=*/false);
+  EXPECT_TRUE(unpacked.xy_codes8.empty());
+
+  // Row-major contexts compute the same codes through the row stride
+  // and never carry the packed mirror (the SIMD pass requires columns).
+  const TableBuildContext row_context =
+      make_table_context(data, 2, 4, /*row_major=*/true, arena);
+  EXPECT_TRUE(row_context.xy_codes8.empty());
+  for (std::size_t s = 0; s < expected.size(); ++s) {
+    ASSERT_EQ(row_context.xy_codes[s], expected[s]) << s;
+  }
+}
+
+TEST(TableBuilder, MalformedValuesCannotEscapeTheCellBuffer) {
+  // The kernels increment cells without bounds checks; the clamps in
+  // make_table_context (endpoint codes), the dataset's codes8 columns
+  // (column z streams), and ZPlan::code_row (row z streams) are what
+  // contain malformed raw values. Poison every variable with
+  // out-of-range values and require all kernels, in both layouts, to
+  // agree and to keep every count inside the table.
+  DiscreteDataset data(4, 257, {2, 3, 4, 3}, DataLayout::kBoth);
+  Rng rng(424242);
+  for (VarId v = 0; v < 4; ++v) {
+    for (Count s = 0; s < data.num_samples(); ++s) {
+      data.set(s, v,
+               static_cast<DataValue>(rng.next_below(
+                   static_cast<std::uint64_t>(data.cardinality(v)))));
+    }
+  }
+  data.set(0, 0, 200);   // x endpoint out of range
+  data.set(1, 1, 255);   // y endpoint out of range
+  data.set(2, 2, 99);    // conditioning column out of range
+  data.set(256, 3, 77);  // past the widest vector block
+  ASSERT_FALSE(data.values_in_range());
+
+  ScratchArena arena;
+  const TableBuildContext context =
+      make_table_context(data, 0, 1, /*row_major=*/false, arena);
+  const auto in_range = [&](std::int32_t code) {
+    return code >= 0 && code < data.cardinality(0) * data.cardinality(1);
+  };
+  for (const std::int32_t code : context.xy_codes) {
+    ASSERT_TRUE(in_range(code));
+  }
+
+  const std::vector<VarId> z{2, 3};
+  const std::size_t cells = static_cast<std::size_t>(
+      data.cardinality(0) * data.cardinality(1) * cz_product(data, z));
+  std::vector<Count> reference(cells, Count{-1});
+  TableJob job{z, cz_product(data, z), reference};
+  make_scalar_table_builder()->build(context, job);
+  Count total = 0;
+  for (const Count c : reference) total += c;
+  EXPECT_EQ(total, data.num_samples());  // every sample landed in a cell
+
+  const TableBuildContext row_context =
+      make_table_context(data, 0, 1, /*row_major=*/true, arena);
+  const auto batched = make_batched_table_builder();
+  const auto simd = make_simd_table_builder();
+  const struct {
+    TableBuilder* builder;
+    const TableBuildContext* ctx;
+    const char* label;
+  } cases[] = {{batched.get(), &context, "batched/col"},
+               {simd.get(), &context, "simd/col"},
+               {batched.get(), &row_context, "batched/row"}};
+  for (const auto& c : cases) {
+    std::vector<Count> probe(cells, Count{-2});
+    std::vector<TableJob> jobs{TableJob{z, cz_product(data, z), probe}};
+    c.builder->build_batch(*c.ctx, jobs);
+    EXPECT_EQ(probe, reference) << c.label;
+  }
+}
+
+/// Runs `count` jobs of the given conditioning sets through the SIMD
+/// kernel and expects byte-equal cells vs the scalar kernel.
+void expect_simd_matches_scalar(const DiscreteDataset& data, VarId x, VarId y,
+                                const std::vector<std::vector<VarId>>& zs,
+                                const char* label) {
+  ScratchArena arena;
+  const TableBuildContext context =
+      make_table_context(data, x, y, /*row_major=*/false, arena);
+  const auto xy =
+      static_cast<std::size_t>(data.cardinality(x) * data.cardinality(y));
+
+  JobBatch expected;
+  expected.zs = zs;
+  JobBatch actual;
+  actual.zs = zs;
+  for (const auto& z : zs) {
+    expected.cells_storage.emplace_back(xy * cz_product(data, z), Count{-1});
+    actual.cells_storage.emplace_back(xy * cz_product(data, z), Count{-2});
+  }
+  const auto scalar = make_scalar_table_builder();
+  for (std::size_t j = 0; j < zs.size(); ++j) {
+    expected.jobs.push_back(TableJob{expected.zs[j], cz_product(data, zs[j]),
+                                     expected.cells_storage[j]});
+    scalar->build(context, expected.jobs[j]);
+    actual.jobs.push_back(TableJob{actual.zs[j], cz_product(data, zs[j]),
+                                   actual.cells_storage[j]});
+  }
+  make_simd_table_builder()->build_batch(context, actual.jobs);
+  for (std::size_t j = 0; j < zs.size(); ++j) {
+    EXPECT_EQ(actual.cells_storage[j], expected.cells_storage[j])
+        << label << " job=" << j;
+  }
+}
+
+TEST(TableBuilder, SimdMatchesScalarAcrossCardinalityBoundaries) {
+  // Cardinality 255 is the last value with a packed codes8 column; 300
+  // (values still bytes, metadata past the guard) has none and the
+  // kernels fall back to the raw column. The 255*300-state set also
+  // pushes the table past 65536 cells, forcing the wide 32-bit index
+  // path, while the smaller sets stay on the 16-bit fast path.
+  const VarId n = 5;
+  const Count m = 3001;
+  DiscreteDataset data(n, m, {2, 3, 255, 300, 17}, DataLayout::kColumnMajor);
+  EXPECT_TRUE(data.has_codes8(2));
+  EXPECT_FALSE(data.has_codes8(3));
+  Rng rng(255);
+  for (Count s = 0; s < m; ++s) {
+    for (VarId v = 0; v < n; ++v) {
+      const auto card = static_cast<std::uint64_t>(
+          std::min(data.cardinality(v), 256));
+      data.set(s, v, static_cast<DataValue>(rng.next_below(card)));
+    }
+  }
+  expect_simd_matches_scalar(
+      data, 0, 1,
+      {{2}, {3}, {2, 4}, {3, 4}, {2, 3}, {2, 4}, {3, 4}},
+      "boundary-cards");
+}
+
+TEST(TableBuilder, SimdHandlesNonVectorWidthSampleCounts) {
+  // 1 and 5 never fill a vector; 97 leaves scalar tails on every tier;
+  // 4097 spills one sample into a second block of the SIMD pass.
+  for (const Count m : {Count{1}, Count{5}, Count{97}, Count{4097}}) {
+    const DiscreteDataset data =
+        random_dataset(6, m, 4, 500 + static_cast<std::uint64_t>(m));
+    expect_simd_matches_scalar(data, 0, 3,
+                               {{1, 2}, {2, 4}, {1, 2}, {4, 5}, {1, 5}},
+                               "tail-samples");
+  }
+}
+
+TEST(TableBuilder, SimdForcedFallbackTiersStayBitIdentical) {
+  // CPUs without AVX2 (or with FASTBNS_SIMD clamping the dispatch) must
+  // count the same tables; the override forces each fallback tier.
+  const DiscreteDataset data = random_dataset(7, 1203, 5, 77);
+  const std::vector<std::vector<VarId>> sets{{2, 3}, {3, 4}, {2, 3}, {4, 6}};
+  for (const SimdTier tier :
+       {SimdTier::kScalar, SimdTier::kSse42, SimdTier::kAvx2}) {
+    const ScopedSimdTierOverride guard(tier);
+    // The override clamps to the detected tier, so this runs the widest
+    // supported path <= tier on any hardware.
+    EXPECT_LE(active_simd_tier(), tier);
+    const std::string label(to_string(tier));
+    expect_simd_matches_scalar(data, 0, 1, sets, label.c_str());
+  }
+}
+
+TEST(TableBuilder, FactoryResolvesKernelNames) {
+  for (const std::string& name : list_table_builders()) {
+    const auto kernel = make_table_builder(name);
+    ASSERT_NE(kernel, nullptr) << name;
+    if (name != "auto") {
+      EXPECT_EQ(kernel->name(), name);
+    } else {
+      // "auto" resolves through the CPU dispatch to a concrete kernel.
+      EXPECT_TRUE(kernel->name() == "simd" || kernel->name() == "batched");
+    }
+  }
+  EXPECT_THROW((void)make_table_builder("vectorized"), std::invalid_argument);
+  // The sample-parallel kernel is the engines' routing target, never a
+  // name-selected main builder (that would nest OpenMP teams).
+  EXPECT_THROW((void)make_table_builder("sample-parallel"),
+               std::invalid_argument);
+  for (const std::string& name : list_table_builders()) {
+    EXPECT_NE(name, "sample-parallel");
+  }
 }
 
 TEST(DiscreteCiTestBatch, BatchEntryMatchesPerSetGroupCalls) {
