@@ -9,6 +9,10 @@
 namespace fastbns {
 namespace {
 
+/// RFC 8259 string escaping: the two mandatory characters, the five
+/// short-form control escapes, and \u00XX for every remaining control
+/// character — a title or header containing any byte below 0x20 must
+/// still produce a BENCH_*.json that json.tool accepts.
 void append_json_string(std::string& out, const std::string& value) {
   out += '"';
   for (const char c : value) {
@@ -19,8 +23,17 @@ void append_json_string(std::string& out, const std::string& value) {
       case '\\':
         out += "\\\\";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       case '\n':
         out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
         break;
       case '\t':
         out += "\\t";
@@ -28,7 +41,8 @@ void append_json_string(std::string& out, const std::string& value) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buffer;
         } else {
           out += c;

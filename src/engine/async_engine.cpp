@@ -1,0 +1,361 @@
+// The async depth-overlap engine.
+//
+// The paper's dynamic work pool (Section IV-B) removes intra-depth
+// stalls, but every engine still hard-barriers between depths: once the
+// pool runs dry, threads idle behind the depth's last straggler edge,
+// and only then does the driver serially rebuild the next depth's work
+// list. This engine overlaps the two phases. A thread that finds the
+// pool momentarily empty — exactly the depth-tail situation — claims an
+// already-settled edge and materializes its depth d+1 record (candidate
+// snapshots filtered by the removals settled so far, plus the binomial
+// totals) instead of sleeping; when even that runs out, it blocks on the
+// pool's condition variable rather than busy-spinning. The driver picks
+// the prepared list up through take_prepared_depth_works, so the serial
+// gap between depths shrinks to the truly last straggler plus a fix-up
+// of the few records a late removal invalidated.
+//
+// Results are identical to every other engine. Preparation never touches
+// the current depth's execution (tests still run in canonical rank order
+// with lowest-rank-accepting sepsets), and a prepared record is only
+// trusted at the handoff when the per-endpoint removal epochs it was
+// built against match the depth's final epochs — any record a late
+// removal could have invalidated is rebuilt from the committed graph,
+// which is byte-for-byte what build_depth_works would have produced.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/omp_utils.hpp"
+#include "engine/engine_common.hpp"
+#include "engine/engines.hpp"
+#include "engine/skeleton_engine.hpp"
+#include "pc/work_pool.hpp"
+
+namespace fastbns {
+namespace {
+
+/// Canonical unordered-pair key of an edge (works are grouped, so each
+/// current edge appears exactly once).
+std::uint64_t edge_key(VarId u, VarId v) noexcept {
+  const auto a = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+      std::min(u, v)));
+  const auto b = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+      std::max(u, v)));
+  return (a << 32) | b;
+}
+
+class AsyncEngine final : public ClonePoolEngine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "async(depth-overlap)";
+  }
+
+  std::int64_t run_depth(std::vector<EdgeWork>& works, std::int32_t depth,
+                         const CiTest& prototype,
+                         const PcOptions& options) override {
+    // A new depth's works supersede whatever handoff was pending (the
+    // driver either consumed it or rebuilt on its own).
+    handoff_valid_ = false;
+
+    const int max_threads = hardware_threads();
+    std::vector<std::unique_ptr<CiTest>>& clones =
+        tests_.acquire(prototype, static_cast<std::size_t>(max_threads));
+
+    std::int64_t tests = 0;
+
+    if (depth == 0) {
+      // No tail to overlap (the depth-0 workload is one balanced test per
+      // edge, and depth-0 works carry no candidate snapshots to prepare
+      // depth 1 from), so the driver builds depth 1 normally.
+      return run_depth_zero_edge_parallel(works, clones);
+    }
+
+    std::vector<std::int64_t> initial = pending_work_indices(works);
+    const auto outstanding = static_cast<std::int64_t>(initial.size());
+    WorkPool pool(std::move(initial), outstanding);
+
+    // Preparing ahead requires grouped works (a work is the edge: its
+    // candidate snapshots are the adjacency information the next depth
+    // needs) and a next depth that will actually run.
+    const bool prep_enabled =
+        options.group_endpoints &&
+        (options.max_depth < 0 || depth < options.max_depth);
+    if (prep_enabled) begin_prep(works, depth);
+
+    const auto gs = static_cast<std::uint64_t>(options.group_size);
+
+#pragma omp parallel reduction(+ : tests)
+    {
+      CiTest& test = *clones[current_thread()];
+      const WorkPool::PrepHook prep =
+          prep_enabled ? WorkPool::PrepHook([this] { return prep_one(); })
+                       : WorkPool::PrepHook();
+      while (true) {
+        const std::optional<std::int64_t> index = pool.pop_or_prep(prep);
+        if (!index.has_value()) break;  // depth complete
+        EdgeWork& work = works[*index];
+        // The holder owns `work` exclusively: no atomics on its fields.
+        tests += options.eager_group_stop
+                     ? process_work_tests_early_stop(
+                           work, depth, gs, test,
+                           /*use_group_protocol=*/true)
+                     : process_work_tests(work, depth, gs, test,
+                                          /*use_group_protocol=*/true);
+        if (work.finished()) {
+          if (prep_enabled) publish_settled(*index);
+          // mark_complete wakes pool sleepers: the settled edge is new
+          // preparation input even though the stack did not grow.
+          pool.mark_complete();
+        } else {
+          pool.push(*index);
+        }
+      }
+    }
+
+    if (prep_enabled) finish_prep(works, depth);
+    return tests;
+  }
+
+  [[nodiscard]] bool take_prepared_depth_works(
+      std::int32_t depth, const UndirectedGraph& graph, bool grouped,
+      std::vector<EdgeWork>& works) override {
+    if (!handoff_valid_ || handoff_depth_ != depth || !grouped) {
+      handoff_valid_ = false;
+      return false;
+    }
+    handoff_valid_ = false;
+    works.clear();
+    works.reserve(pending_.size());
+    for (PendingEdge& pending : pending_) {
+      if (pending.removed) continue;  // committed out of the graph
+      // A prepared record is trusted only when no removal incident to
+      // either endpoint settled after it was built; otherwise rebuild
+      // from the committed graph (identical to the driver's own path).
+      const bool fresh =
+          pending.prepped &&
+          pending.epoch_x == final_epoch_[static_cast<std::size_t>(pending.x)] &&
+          pending.epoch_y == final_epoch_[static_cast<std::size_t>(pending.y)];
+      if (fresh) {
+        works.push_back(std::move(pending.prepared));
+      } else {
+        works.push_back(
+            build_edge_work(graph, pending.x, pending.y, depth, grouped));
+      }
+    }
+    pending_.clear();
+    final_epoch_.clear();
+    return true;
+  }
+
+ protected:
+  void on_prepare_run() override {
+    handoff_valid_ = false;
+    pending_.clear();
+    final_epoch_.clear();
+  }
+
+ private:
+  /// One edge's prepared next-depth record plus the endpoint removal
+  /// epochs it was filtered against. Written by the claiming thread only;
+  /// read after the depth's parallel region joined.
+  struct PrepSlot {
+    EdgeWork work;
+    std::uint32_t epoch_x = 0;
+    std::uint32_t epoch_y = 0;
+    bool valid = false;
+  };
+
+  /// Post-depth snapshot of one current-depth work, kept across the
+  /// driver's commit (the works vector itself dies with the depth).
+  struct PendingEdge {
+    VarId x = kInvalidVar;
+    VarId y = kInvalidVar;
+    bool removed = false;
+    bool prepped = false;
+    std::uint32_t epoch_x = 0;
+    std::uint32_t epoch_y = 0;
+    EdgeWork prepared;
+  };
+
+  void begin_prep(const std::vector<EdgeWork>& works, std::int32_t depth) {
+    const std::size_t n = works.size();
+    depth_works_ = &works;
+    prep_depth_ = depth;
+    settled_ = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+    claimed_ = std::make_unique<std::atomic<std::uint8_t>[]>(n);
+    slots_.assign(n, PrepSlot{});
+    edge_index_.clear();
+    edge_index_.reserve(n);
+    VarId max_var = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const EdgeWork& work = works[i];
+      edge_index_.emplace(edge_key(work.x, work.y),
+                          static_cast<std::int64_t>(i));
+      max_var = std::max({max_var, work.x, work.y});
+    }
+    num_vars_ = static_cast<std::size_t>(max_var) + 1;
+    var_epoch_ = std::make_unique<std::atomic<std::uint32_t>[]>(num_vars_);
+    for (std::size_t v = 0; v < num_vars_; ++v) {
+      var_epoch_[v].store(0, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      settled_[i].store(works[i].total_tests() == 0 ? 1 : 0,
+                        std::memory_order_relaxed);
+      claimed_[i].store(0, std::memory_order_relaxed);
+    }
+    prep_cursor_.store(0, std::memory_order_relaxed);
+    // The OpenMP parallel-region entry barrier publishes all of the above
+    // to the worker threads.
+  }
+
+  /// Publishes a finished work to the preparation side. The release store
+  /// on settled_ sequences after the owner's writes to the work's outcome
+  /// slots; epoch bumps come after it, so any prep that reads a bumped
+  /// epoch also sees the removal it stands for.
+  void publish_settled(std::int64_t index) {
+    const EdgeWork& work = (*depth_works_)[static_cast<std::size_t>(index)];
+    settled_[index].store(1, std::memory_order_release);
+    if (work.removed) {
+      var_epoch_[static_cast<std::size_t>(work.x)].fetch_add(
+          1, std::memory_order_acq_rel);
+      var_epoch_[static_cast<std::size_t>(work.y)].fetch_add(
+          1, std::memory_order_acq_rel);
+    }
+  }
+
+  /// Claims and prepares one settled edge; returns whether it did any
+  /// work (the pool's PrepHook contract). Runs concurrently on every
+  /// thread the pool left idle.
+  bool prep_one() {
+    const std::vector<EdgeWork>& works = *depth_works_;
+    const std::size_t n = works.size();
+    // Shared scan hint: claims are permanent, so the first unclaimed
+    // index is monotone and every store below is a lower bound of it.
+    std::size_t start = prep_cursor_.load(std::memory_order_relaxed);
+    while (start < n && claimed_[start].load(std::memory_order_relaxed) != 0) {
+      ++start;
+    }
+    prep_cursor_.store(start, std::memory_order_relaxed);
+    for (std::size_t i = start; i < n; ++i) {
+      if (claimed_[i].load(std::memory_order_relaxed) != 0) continue;
+      if (settled_[i].load(std::memory_order_acquire) == 0) continue;
+      if (claimed_[i].exchange(1, std::memory_order_acq_rel) != 0) continue;
+      prep_edge(i);
+      return true;
+    }
+    return false;
+  }
+
+  void prep_edge(std::size_t index) {
+    const EdgeWork& current = (*depth_works_)[index];
+    PrepSlot& slot = slots_[index];
+    if (current.removed) return;  // leaves the graph; no next-depth work
+    // Epochs are read before filtering: a removal that settles after
+    // these loads makes the final epochs differ and the record rebuild,
+    // regardless of whether the filter below happened to observe it.
+    slot.epoch_x = var_epoch_[static_cast<std::size_t>(current.x)].load(
+        std::memory_order_acquire);
+    slot.epoch_y = var_epoch_[static_cast<std::size_t>(current.y)].load(
+        std::memory_order_acquire);
+    EdgeWork next;
+    next.x = current.x;
+    next.y = current.y;
+    filter_candidates(current.x, current.candidates1, next.candidates1);
+    filter_candidates(current.y, current.candidates2, next.candidates2);
+    const auto next_depth = static_cast<std::int64_t>(prep_depth_) + 1;
+    next.total1 = binomial(static_cast<std::int64_t>(next.candidates1.size()),
+                           next_depth);
+    next.total2 = binomial(static_cast<std::int64_t>(next.candidates2.size()),
+                           next_depth);
+    slot.work = std::move(next);
+    slot.valid = true;
+  }
+
+  /// Next-depth candidate pool of `endpoint`: the current-depth snapshot
+  /// minus every incident edge whose removal has settled. Ascending order
+  /// is preserved (filtering a sorted list).
+  void filter_candidates(VarId endpoint, const std::vector<VarId>& current,
+                         std::vector<VarId>& out) const {
+    out.clear();
+    out.reserve(current.size());
+    for (const VarId v : current) {
+      const auto it = edge_index_.find(edge_key(endpoint, v));
+      if (it != edge_index_.end()) {
+        const std::int64_t j = it->second;
+        // `removed` is read only behind the settled acquire: a work that
+        // has not settled is still owned (and written) by its holder.
+        if (settled_[j].load(std::memory_order_acquire) != 0 &&
+            (*depth_works_)[static_cast<std::size_t>(j)].removed) {
+          continue;
+        }
+      }
+      out.push_back(v);
+    }
+  }
+
+  /// Runs after the depth's parallel region joined (every write above is
+  /// plainly visible): snapshots what the handoff needs, because the
+  /// driver owns — and destroys — the works vector itself.
+  void finish_prep(const std::vector<EdgeWork>& works, std::int32_t depth) {
+    final_epoch_.assign(num_vars_, 0);
+    for (std::size_t v = 0; v < num_vars_; ++v) {
+      final_epoch_[v] = var_epoch_[v].load(std::memory_order_relaxed);
+    }
+    pending_.clear();
+    pending_.reserve(works.size());
+    for (std::size_t i = 0; i < works.size(); ++i) {
+      const EdgeWork& work = works[i];
+      PendingEdge pending;
+      pending.x = work.x;
+      pending.y = work.y;
+      pending.removed = work.removed;
+      PrepSlot& slot = slots_[i];
+      pending.prepped =
+          claimed_[i].load(std::memory_order_relaxed) != 0 && slot.valid;
+      if (pending.prepped) {
+        pending.epoch_x = slot.epoch_x;
+        pending.epoch_y = slot.epoch_y;
+        pending.prepared = std::move(slot.work);
+      }
+      pending_.push_back(std::move(pending));
+    }
+    handoff_depth_ = depth + 1;
+    handoff_valid_ = true;
+    // Per-depth scratch dies here; the handoff snapshot is all that
+    // crosses the depth boundary.
+    depth_works_ = nullptr;
+    slots_.clear();
+    edge_index_.clear();
+    settled_.reset();
+    claimed_.reset();
+    var_epoch_.reset();
+  }
+
+  // --- per-depth preparation scratch (valid inside one run_depth) ---
+  const std::vector<EdgeWork>* depth_works_ = nullptr;
+  std::int32_t prep_depth_ = 0;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> settled_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> claimed_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> var_epoch_;
+  std::size_t num_vars_ = 0;
+  std::vector<PrepSlot> slots_;
+  std::unordered_map<std::uint64_t, std::int64_t> edge_index_;
+  std::atomic<std::size_t> prep_cursor_{0};
+
+  // --- depth-boundary handoff (valid between run_depth calls) ---
+  std::vector<PendingEdge> pending_;
+  std::vector<std::uint32_t> final_epoch_;
+  std::int32_t handoff_depth_ = -1;
+  bool handoff_valid_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<SkeletonEngine> make_async_engine() {
+  return std::make_unique<AsyncEngine>();
+}
+
+}  // namespace fastbns

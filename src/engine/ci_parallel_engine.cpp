@@ -5,7 +5,6 @@
 // depth >= 1, the dynamic work pool schedules groups of gs CI tests; a
 // thread that finishes an edge's group immediately pops another edge, so
 // no thread idles while tests remain — the paper's load-balancing claim.
-#include <algorithm>
 #include <thread>
 
 #include "common/omp_utils.hpp"
@@ -33,31 +32,12 @@ class CiParallelEngine final : public ClonePoolEngine {
     std::int64_t tests = 0;
 
     if (depth == 0) {
-      // Known workload of exactly one test per edge: direct edge-level
-      // partition, as the paper prescribes for depth zero.
-#pragma omp parallel for schedule(static) reduction(+ : tests)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(works.size());
-           ++i) {
-        EdgeWork& work = works[i];
-        if (work.total_tests() == 0) continue;
-        tests += process_work_tests(work, depth, 1, *clones[current_thread()],
-                                    /*use_group_protocol=*/true);
-      }
-      return tests;
+      return run_depth_zero_edge_parallel(works, clones);
     }
 
-    std::vector<std::int64_t> initial;
-    initial.reserve(works.size());
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(works.size());
-         ++i) {
-      if (works[i].total_tests() > 0) initial.push_back(i);
-    }
-    WorkPool pool(std::move(initial),
-                  static_cast<std::int64_t>(works.size()) -
-                      std::count_if(works.begin(), works.end(),
-                                    [](const EdgeWork& w) {
-                                      return w.total_tests() == 0;
-                                    }));
+    std::vector<std::int64_t> initial = pending_work_indices(works);
+    const auto outstanding = static_cast<std::int64_t>(initial.size());
+    WorkPool pool(std::move(initial), outstanding);
 
     const auto gs = static_cast<std::uint64_t>(options.group_size);
     // Edges claimed per pool interaction: amortizes the lock across

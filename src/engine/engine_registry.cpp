@@ -60,6 +60,13 @@ EngineRegistry::EngineRegistry() {
                    "edges get sample-parallel builds, light edges run "
                    "edge-parallel over the batched table kernel"},
                   make_hybrid_engine);
+  register_engine({EngineKind::kAsync,
+                   "async(depth-overlap)",
+                   {"async", "overlap"},
+                   "CI-level dynamic pool whose idle tail threads prepare "
+                   "the next depth's work list (settled-edge candidate sets "
+                   "+ records) instead of spinning at the depth barrier"},
+                  make_async_engine);
 }
 
 EngineRegistry& EngineRegistry::instance() {

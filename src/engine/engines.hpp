@@ -35,4 +35,10 @@ namespace fastbns {
 /// edges run edge-parallel over the batched TableBuilder kernel.
 [[nodiscard]] std::unique_ptr<SkeletonEngine> make_hybrid_engine();
 
+/// Async depth-overlap extension: CI-level pool scheduling where threads
+/// idling in a depth's tail prepare the next depth's work list
+/// (per-settled-edge candidate sets + EdgeWork records), handed to the
+/// driver through take_prepared_depth_works.
+[[nodiscard]] std::unique_ptr<SkeletonEngine> make_async_engine();
+
 }  // namespace fastbns

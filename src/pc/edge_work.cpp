@@ -17,6 +17,27 @@ void snapshot_candidates(const UndirectedGraph& graph, VarId v, VarId excluded,
 
 }  // namespace
 
+EdgeWork build_edge_work(const UndirectedGraph& graph, VarId x, VarId y,
+                         std::int32_t depth, bool group_endpoints) {
+  EdgeWork work;
+  work.x = x;
+  work.y = y;
+  if (depth == 0) {
+    // Single marginal test I(x, y | {}): no candidate snapshot needed.
+    work.total1 = 1;
+    return work;
+  }
+  snapshot_candidates(graph, x, y, work.candidates1);
+  work.total1 =
+      binomial(static_cast<std::int64_t>(work.candidates1.size()), depth);
+  if (group_endpoints) {
+    snapshot_candidates(graph, y, x, work.candidates2);
+    work.total2 =
+        binomial(static_cast<std::int64_t>(work.candidates2.size()), depth);
+  }
+  return work;
+}
+
 std::vector<EdgeWork> build_depth_works(const UndirectedGraph& graph,
                                         std::int32_t depth,
                                         bool group_endpoints) {
@@ -25,44 +46,11 @@ std::vector<EdgeWork> build_depth_works(const UndirectedGraph& graph,
   works.reserve(group_endpoints ? edges.size() : 2 * edges.size());
 
   for (const auto& [u, v] : edges) {
-    EdgeWork forward;
-    forward.x = u;
-    forward.y = v;
-    snapshot_candidates(graph, u, v, forward.candidates1);
-    if (depth == 0) {
-      // Single marginal test I(u, v | {}) per edge regardless of grouping
-      // for the grouped engines; the ungrouped classic runs it once per
-      // direction.
-      forward.total1 = 1;
-      forward.candidates1.clear();
-      if (group_endpoints) {
-        works.push_back(std::move(forward));
-      } else {
-        works.push_back(forward);
-        EdgeWork backward = forward;
-        backward.x = v;
-        backward.y = u;
-        works.push_back(std::move(backward));
-      }
-      continue;
-    }
-
-    forward.total1 = binomial(
-        static_cast<std::int64_t>(forward.candidates1.size()), depth);
-    if (group_endpoints) {
-      snapshot_candidates(graph, v, u, forward.candidates2);
-      forward.total2 = binomial(
-          static_cast<std::int64_t>(forward.candidates2.size()), depth);
-      works.push_back(std::move(forward));
-    } else {
-      EdgeWork backward;
-      backward.x = v;
-      backward.y = u;
-      snapshot_candidates(graph, v, u, backward.candidates1);
-      backward.total1 = binomial(
-          static_cast<std::int64_t>(backward.candidates1.size()), depth);
-      works.push_back(std::move(forward));
-      works.push_back(std::move(backward));
+    // Grouped: one work covering both directions. Ungrouped: the classic
+    // ordered-pair traversal, (u, v) then (v, u), direction 1 only.
+    works.push_back(build_edge_work(graph, u, v, depth, group_endpoints));
+    if (!group_endpoints) {
+      works.push_back(build_edge_work(graph, v, u, depth, group_endpoints));
     }
   }
   return works;

@@ -29,6 +29,11 @@ enum class EngineKind : std::uint8_t {
   /// workload (heavy edges sample-parallel, light edges batched
   /// edge-parallel).
   kHybrid,
+  /// Async depth-overlap extension: the CI-level dynamic pool, with
+  /// threads that find the pool momentarily dry materializing the next
+  /// depth's work list for already-settled edges instead of spinning —
+  /// the depth barrier shrinks to the truly last straggler.
+  kAsync,
 };
 
 /// Canonical engine name as registered in the EngineRegistry (defined in

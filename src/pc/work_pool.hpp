@@ -6,10 +6,19 @@
 // atomics), then either mark it complete or push it back with an advanced
 // progress cursor. Pool operations are amortized over gs contingency-table
 // builds, which is what keeps the synchronization cost negligible.
+//
+// Two waiting disciplines coexist: try_pop / try_pop_batch return
+// immediately (callers spin-yield on all_complete, the paper's scheme),
+// while pop_or_prep hands a dry moment to a caller-supplied preparation
+// hook — the async engine materializes the next depth's work list there —
+// and otherwise blocks on a condition variable until work returns or the
+// depth completes, so the tail of a depth never busy-spins.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -18,6 +27,11 @@ namespace fastbns {
 
 class WorkPool {
  public:
+  /// Invoked by pop_or_prep while the stack is momentarily dry; returns
+  /// whether it made progress (when false the caller blocks until the
+  /// pool changes instead of being invoked again back-to-back).
+  using PrepHook = std::function<bool()>;
+
   /// `initial` holds the work indices initially available (pushed so the
   /// lowest index is popped first); `outstanding` is the number of works
   /// that will eventually be marked complete.
@@ -34,6 +48,16 @@ class WorkPool {
   std::size_t try_pop_batch(std::size_t max_items,
                             std::vector<std::int64_t>& out);
 
+  /// Pops one work index, treating a dry stack as an invitation to do
+  /// something else: while works are outstanding but none are poppable,
+  /// `prep` (may be empty) runs outside the lock; when it reports no
+  /// progress the calling thread blocks until another thread pushes an
+  /// edge back or settles one (mark_complete wakes sleepers so they can
+  /// re-try `prep` — a settled edge is new preparation input). Returns
+  /// std::nullopt only once every work is complete. This is the async
+  /// engine's replacement for the try_pop / yield spin.
+  [[nodiscard]] std::optional<std::int64_t> pop_or_prep(const PrepHook& prep);
+
   /// Returns an edge whose processing is not finished to the pool.
   void push(std::int64_t index);
 
@@ -46,8 +70,16 @@ class WorkPool {
   [[nodiscard]] bool all_complete() const noexcept;
 
  private:
+  /// Pops under an already-held lock; the stack must not be empty.
+  [[nodiscard]] std::int64_t pop_locked() noexcept;
+
   mutable std::mutex mutex_;
+  std::condition_variable cv_;
   std::vector<std::int64_t> stack_;
+  /// Bumped (under mutex_) whenever the pool's state changes in a way a
+  /// pop_or_prep sleeper cares about: a push or a completed work. Lets
+  /// sleepers wait for "anything changed" without lost wakeups.
+  std::uint64_t version_ = 0;
   std::atomic<std::int64_t> outstanding_;
 };
 

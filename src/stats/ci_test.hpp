@@ -86,6 +86,20 @@ class CiTest {
     return {};
   }
 
+  /// Fingerprint of the configuration a clone() of this test would
+  /// inherit. ThreadLocalTests keys its per-thread clone cache on the
+  /// prototype's (address, dynamic type, token): the address alone cannot
+  /// distinguish a *reconfigured* prototype at a recycled address from
+  /// the previous run's, so implementations must fold every clone-visible
+  /// knob (data source, statistic options, builder selection, runtime
+  /// retargets) into this value. The default 0 is for tests with no
+  /// configuration beyond their dynamic type and constructor inputs —
+  /// such tests should still fold those inputs in (see the d-separation
+  /// oracle hashing its DAG pointer).
+  [[nodiscard]] virtual std::uint64_t config_token() const noexcept {
+    return 0;
+  }
+
   /// Deep copy for per-thread use.
   [[nodiscard]] virtual std::unique_ptr<CiTest> clone() const = 0;
 

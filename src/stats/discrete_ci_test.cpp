@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "stats/special_functions.hpp"
@@ -65,6 +66,37 @@ TableBuilder& DiscreteCiTest::active_builder() const noexcept {
 
 std::string_view DiscreteCiTest::table_builder_name() const noexcept {
   return main_builder_->name();
+}
+
+std::uint64_t DiscreteCiTest::config_token() const noexcept {
+  // FNV-1a over every clone-visible knob. A collision between two
+  // *different* configurations would make the clone cache keep stale
+  // clones — the exact bug this fingerprint exists to prevent — so the
+  // hash must stay strong and every knob must be folded in; the only
+  // cheap failure mode is a knob folded in unnecessarily (a spurious
+  // re-clone).
+  std::uint64_t hash = 14695981039346656037ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffU;
+      hash *= 1099511628211ULL;
+    }
+  };
+  mix(reinterpret_cast<std::uintptr_t>(data_));
+  std::uint64_t alpha_bits = 0;
+  static_assert(sizeof(alpha_bits) == sizeof(options_.alpha));
+  std::memcpy(&alpha_bits, &options_.alpha, sizeof(alpha_bits));
+  mix(alpha_bits);
+  mix(static_cast<std::uint64_t>(options_.statistic));
+  mix(static_cast<std::uint64_t>(options_.df_mode));
+  mix(static_cast<std::uint64_t>(options_.max_cells));
+  mix(static_cast<std::uint64_t>(options_.use_row_major));
+  mix(static_cast<std::uint64_t>(options_.sample_parallel));
+  mix(static_cast<std::uint64_t>(sample_parallel_build_));
+  for (const char c : options_.table_builder) {
+    mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return hash;
 }
 
 bool DiscreteCiTest::set_sample_parallel(bool enabled) {

@@ -97,6 +97,12 @@ class DiscreteCiTest final : public CiTest {
   /// cost-predicting engines and logs.
   [[nodiscard]] std::string_view table_builder_name() const noexcept override;
 
+  /// Folds every clone-visible knob — the dataset, the full
+  /// CiTestOptions, and the runtime sample-parallel retarget — into the
+  /// fingerprint the clone cache keys on, so a reconfigured prototype at
+  /// a recycled address is never mistaken for the previous one.
+  [[nodiscard]] std::uint64_t config_token() const noexcept override;
+
   [[nodiscard]] const CiTestOptions& options() const noexcept { return options_; }
 
  private:

@@ -6,6 +6,7 @@
 // behaviour (test counts, depth profiles) decoupled from statistics.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "graph/dag.hpp"
@@ -20,6 +21,13 @@ class DSeparationOracle final : public CiTest {
 
   CiResult test(VarId x, VarId y, std::span<const VarId> z) override;
   [[nodiscard]] std::unique_ptr<CiTest> clone() const override;
+
+  /// The oracle's whole configuration is the ground-truth DAG it answers
+  /// from; folding its address in lets the clone cache tell two oracles
+  /// apart even when they recycle one prototype address.
+  [[nodiscard]] std::uint64_t config_token() const noexcept override {
+    return reinterpret_cast<std::uintptr_t>(dag_);
+  }
 
  private:
   const Dag* dag_;

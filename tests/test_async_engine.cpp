@@ -1,0 +1,176 @@
+// The async depth-overlap engine's handoff contract: whatever
+// take_prepared_depth_works hands the driver must be byte-for-byte what
+// build_depth_works would have produced from the committed graph — that
+// equality is the whole result-identity argument, independent of how the
+// tail threads raced the preparation. (Skeleton/sepset equivalence across
+// thread counts is additionally pinned by the registry-driven
+// test_engine_equivalence suite.)
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/omp_utils.hpp"
+#include "common/rng.hpp"
+#include "engine/engine_registry.hpp"
+#include "engine/skeleton_engine.hpp"
+#include "graph/dag.hpp"
+#include "pc/skeleton.hpp"
+#include "stats/oracle_test.hpp"
+
+namespace fastbns {
+namespace {
+
+Dag random_dag(VarId num_nodes, double edge_probability, std::uint64_t seed) {
+  Rng rng(seed);
+  Dag dag(num_nodes);
+  for (VarId u = 0; u < num_nodes; ++u) {
+    for (VarId v = u + 1; v < num_nodes; ++v) {
+      if (rng.next_double() < edge_probability) dag.add_edge_unchecked(u, v);
+    }
+  }
+  return dag;
+}
+
+void expect_works_equal(const std::vector<EdgeWork>& prepared,
+                        const std::vector<EdgeWork>& reference,
+                        std::int32_t depth) {
+  ASSERT_EQ(prepared.size(), reference.size()) << "depth " << depth;
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    const EdgeWork& a = prepared[i];
+    const EdgeWork& b = reference[i];
+    EXPECT_EQ(a.x, b.x) << "depth " << depth << " work " << i;
+    EXPECT_EQ(a.y, b.y) << "depth " << depth << " work " << i;
+    EXPECT_EQ(a.candidates1, b.candidates1) << "depth " << depth << " work "
+                                            << i;
+    EXPECT_EQ(a.candidates2, b.candidates2) << "depth " << depth << " work "
+                                            << i;
+    EXPECT_EQ(a.total1, b.total1) << "depth " << depth << " work " << i;
+    EXPECT_EQ(a.total2, b.total2) << "depth " << depth << " work " << i;
+    // Fresh records only: no progress, no outcome.
+    EXPECT_EQ(a.progress, 0u) << "depth " << depth << " work " << i;
+    EXPECT_FALSE(a.removed) << "depth " << depth << " work " << i;
+    EXPECT_TRUE(a.sepset.empty()) << "depth " << depth << " work " << i;
+  }
+}
+
+TEST(AsyncEngine, PreparedHandoffEqualsDriverBuiltWorks) {
+  // Replays the driver's depth loop by hand so the handoff can be
+  // compared against the from-scratch build at every boundary, across
+  // several seeds (different removal patterns race the preparation
+  // differently) and a thread count high enough to leave tail threads
+  // idle.
+  const ScopedNumThreads thread_guard(4);
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    const Dag dag = random_dag(16, 0.3, seed);
+    DSeparationOracle oracle(dag);
+    PcOptions options;
+    options.engine_name = "async";
+    options.group_size = 4;
+    const std::unique_ptr<SkeletonEngine> engine =
+        EngineRegistry::instance().create("async");
+    engine->prepare_run();
+
+    UndirectedGraph graph = UndirectedGraph::complete(16);
+    bool any_handoff = false;
+    for (std::int32_t depth = 0; depth <= 6; ++depth) {
+      std::vector<EdgeWork> reference = build_depth_works(graph, depth,
+                                                          /*grouped=*/true);
+      std::vector<EdgeWork> works;
+      if (engine->take_prepared_depth_works(depth, graph, /*grouped=*/true,
+                                            works)) {
+        any_handoff = true;
+        expect_works_equal(works, reference, depth);
+      } else {
+        // The engine preps during every depth >= 1, so only the first two
+        // depths may lack a handoff.
+        EXPECT_LE(depth, 1) << "seed " << seed;
+        works = std::move(reference);
+      }
+      bool any_tests = false;
+      for (const EdgeWork& work : works) {
+        any_tests = any_tests || work.total_tests() > 0;
+      }
+      if (!any_tests || graph.num_edges() == 0) break;
+      engine->run_depth(works, depth, oracle, options);
+      for (const EdgeWork& work : works) {
+        if (work.removed) graph.remove_edge(work.x, work.y);
+      }
+    }
+    EXPECT_TRUE(any_handoff) << "seed " << seed;
+  }
+}
+
+TEST(AsyncEngine, HandoffIsNotOfferedForUngroupedWorkLists) {
+  const Dag dag = random_dag(10, 0.25, 5);
+  DSeparationOracle oracle(dag);
+  PcOptions options;
+  options.engine_name = "async";
+  const std::unique_ptr<SkeletonEngine> engine =
+      EngineRegistry::instance().create("async");
+  engine->prepare_run();
+  UndirectedGraph graph = UndirectedGraph::complete(10);
+  std::vector<EdgeWork> works = build_depth_works(graph, 1, /*grouped=*/true);
+  engine->run_depth(works, 1, oracle, options);
+  std::vector<EdgeWork> out;
+  // Grouped handoff exists...
+  EXPECT_TRUE(engine->take_prepared_depth_works(2, graph, true, out));
+  // ...but is consumed; and an ungrouped request must always fall back.
+  EXPECT_FALSE(engine->take_prepared_depth_works(2, graph, true, out));
+  engine->run_depth(works, 1, oracle, options);
+  EXPECT_FALSE(engine->take_prepared_depth_works(2, graph, false, out));
+}
+
+TEST(AsyncEngine, MaxDepthCapStillProducesTheReferenceSkeleton) {
+  // With max_depth == 1 there is no depth 2 to prepare; the engine must
+  // skip preparation (not hand the driver a list it will never use) and
+  // still match the sequential reference.
+  const Dag dag = random_dag(12, 0.3, 9);
+  DSeparationOracle oracle(dag);
+  PcOptions reference_options;
+  reference_options.engine = EngineKind::kFastSequential;
+  reference_options.max_depth = 1;
+  const SkeletonResult reference =
+      learn_skeleton(12, oracle, reference_options);
+
+  PcOptions options;
+  options.engine = EngineKind::kAsync;
+  options.engine_name = "async";
+  options.max_depth = 1;
+  options.num_threads = 4;
+  const SkeletonResult result = learn_skeleton(12, oracle, options);
+  EXPECT_TRUE(result.graph == reference.graph);
+}
+
+TEST(AsyncEngine, CiTestCountMatchesCiParallelPerGroupSize) {
+  // The async engine schedules through the same pool with the same gs
+  // batching, so for a fixed gs its executed-test count must equal the
+  // CI-level engine's (the redundancy is a function of the canonical
+  // order only) — preparation must never add or skip tests.
+  // threads = 0 runs at the OpenMP default, so the CI workflow's
+  // OMP_NUM_THREADS sweep varies the concurrency of that configuration.
+  const Dag dag = random_dag(14, 0.3, 17);
+  DSeparationOracle oracle(dag);
+  for (const std::int32_t gs : {1, 4, 8}) {
+    std::int64_t reference_count = -1;
+    for (const char* name : {"ci", "async"}) {
+      for (const int threads : {0, 1, 3}) {
+        PcOptions options;
+        options.engine_name = name;
+        options.engine = engine_from_string(name);
+        options.group_size = gs;
+        options.num_threads = threads;
+        const SkeletonResult result = learn_skeleton(14, oracle, options);
+        if (reference_count < 0) {
+          reference_count = result.total_ci_tests;
+        } else {
+          EXPECT_EQ(result.total_ci_tests, reference_count)
+              << name << " gs=" << gs << " t=" << threads;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastbns

@@ -73,6 +73,17 @@ std::vector<EngineThreadsGs> registry_param_grid() {
        {std::pair<int, std::int32_t>{2, 4}, {4, 6}, {3, 8}, {2, 16}}) {
     params.emplace_back("fastbns-par(ci-level)", threads, gs);
   }
+  // The async engine races next-depth preparation against the depth tail,
+  // so sweep it across thread counts too (different races, same result).
+  // threads = 0 keeps the OpenMP runtime default, which is what lets the
+  // CI workflow's OMP_NUM_THREADS=1/2/nproc sweep actually vary the
+  // concurrency these configurations run at — every pinned thread count
+  // overrides the environment.
+  for (const auto& [threads, gs] :
+       {std::pair<int, std::int32_t>{2, 8}, {3, 4}, {4, 16}, {0, 1},
+        {0, 8}}) {
+    params.emplace_back("async(depth-overlap)", threads, gs);
+  }
   return params;
 }
 
@@ -207,27 +218,31 @@ TEST(EngineEquivalence, LargerGroupSizeNeverReducesTests) {
 
 TEST(EngineEquivalence, EagerGroupStopIsResultIdentical) {
   // The eager extension must change only the executed-test count, never
-  // the skeleton or the sepsets, at any gs and thread count.
+  // the skeleton or the sepsets, at any gs and thread count — for both
+  // engines that schedule through the pool (bench_fig2 runs the async
+  // scheme with gs=8 + eager stop, so that combination must be pinned).
   static const SkeletonResult reference = reference_result();
-  for (const std::int32_t gs : {2, 8}) {
-    for (const int threads : {1, 3}) {
-      PcOptions options;
-      options.engine = EngineKind::kCiParallel;
-      options.num_threads = threads;
-      options.group_size = gs;
-      options.eager_group_stop = true;
-      const DiscreteCiTest test(fixture().data, {});
-      const SkeletonResult result =
-          learn_skeleton(fixture().data.num_vars(), test, options);
-      EXPECT_TRUE(result.graph == reference.graph)
-          << "gs=" << gs << " t=" << threads;
-      const VarId n = fixture().data.num_vars();
-      for (VarId u = 0; u < n; ++u) {
-        for (VarId v = u + 1; v < n; ++v) {
-          const auto* expected = reference.sepsets.find(u, v);
-          const auto* actual = result.sepsets.find(u, v);
-          ASSERT_EQ(expected == nullptr, actual == nullptr);
-          if (expected != nullptr) EXPECT_EQ(*expected, *actual);
+  for (const EngineKind engine : {EngineKind::kCiParallel, EngineKind::kAsync}) {
+    for (const std::int32_t gs : {2, 8}) {
+      for (const int threads : {1, 3}) {
+        PcOptions options;
+        options.engine = engine;
+        options.num_threads = threads;
+        options.group_size = gs;
+        options.eager_group_stop = true;
+        const DiscreteCiTest test(fixture().data, {});
+        const SkeletonResult result =
+            learn_skeleton(fixture().data.num_vars(), test, options);
+        EXPECT_TRUE(result.graph == reference.graph)
+            << to_string(engine) << " gs=" << gs << " t=" << threads;
+        const VarId n = fixture().data.num_vars();
+        for (VarId u = 0; u < n; ++u) {
+          for (VarId v = u + 1; v < n; ++v) {
+            const auto* expected = reference.sepsets.find(u, v);
+            const auto* actual = result.sepsets.find(u, v);
+            ASSERT_EQ(expected == nullptr, actual == nullptr);
+            if (expected != nullptr) EXPECT_EQ(*expected, *actual);
+          }
         }
       }
     }

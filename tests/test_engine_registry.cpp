@@ -16,12 +16,13 @@ namespace {
 
 TEST(EngineRegistry, ListsTheBuiltinEnginesSorted) {
   const std::vector<std::string> names = list_engines();
-  ASSERT_GE(names.size(), 6u);
+  ASSERT_GE(names.size(), 7u);
   // list_engines() is the stable, sorted order CLI help enumerates.
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   for (const char* expected :
        {"naive-seq", "fastbns-seq", "edge-parallel", "sample-parallel",
-        "fastbns-par(ci-level)", "hybrid(edge+sample)"}) {
+        "fastbns-par(ci-level)", "hybrid(edge+sample)",
+        "async(depth-overlap)"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -31,10 +32,11 @@ TEST(EngineRegistry, ListsTheBuiltinEnginesSorted) {
   // sorts.
   const std::vector<std::string> registration_order =
       EngineRegistry{}.names();
-  ASSERT_EQ(registration_order.size(), 6u);
+  ASSERT_EQ(registration_order.size(), 7u);
   EXPECT_EQ(registration_order[0], "naive-seq");
   EXPECT_EQ(registration_order[4], "fastbns-par(ci-level)");
   EXPECT_EQ(registration_order[5], "hybrid(edge+sample)");
+  EXPECT_EQ(registration_order[6], "async(depth-overlap)");
 }
 
 TEST(EngineRegistry, CanonicalNamesRoundTrip) {
@@ -47,7 +49,7 @@ TEST(EngineRegistry, KindsRoundTripThroughNames) {
   for (const EngineKind kind :
        {EngineKind::kNaiveSequential, EngineKind::kFastSequential,
         EngineKind::kEdgeParallel, EngineKind::kSampleParallel,
-        EngineKind::kCiParallel, EngineKind::kHybrid}) {
+        EngineKind::kCiParallel, EngineKind::kHybrid, EngineKind::kAsync}) {
     EXPECT_EQ(engine_from_string(to_string(kind)), kind);
   }
 }
@@ -61,6 +63,8 @@ TEST(EngineRegistry, AliasesResolve) {
   EXPECT_EQ(engine_from_string("fastbns-par"), EngineKind::kCiParallel);
   EXPECT_EQ(engine_from_string("hybrid"), EngineKind::kHybrid);
   EXPECT_EQ(engine_from_string("auto"), EngineKind::kHybrid);
+  EXPECT_EQ(engine_from_string("async"), EngineKind::kAsync);
+  EXPECT_EQ(engine_from_string("overlap"), EngineKind::kAsync);
 }
 
 TEST(EngineRegistry, UnknownNameThrowsListingKnownEngines) {

@@ -25,6 +25,60 @@ TEST(OrientVStructures, ColliderOriented) {
   EXPECT_TRUE(pdag.has_directed(2, 1));
 }
 
+TEST(OrientVStructures, EmptySepsetIsRecordedNotMissing) {
+  // Depth-0 removals record an *empty* sepset (engine_common's depth-0
+  // branch clears work.sepset on acceptance). The orientation phase must
+  // read that as "recorded, and the middle node is not in it" — the
+  // v-structure fires — and never conflate it with "no sepset found",
+  // which (unseparated pair) suppresses the collider.
+  UndirectedGraph skeleton(3);
+  skeleton.add_edge(0, 1);
+  skeleton.add_edge(1, 2);
+
+  SepsetStore recorded_empty;
+  recorded_empty.set(0, 2, {});  // what a depth-0 removal commits
+  ASSERT_NE(recorded_empty.find(0, 2), nullptr);  // recorded...
+  EXPECT_TRUE(recorded_empty.find(0, 2)->empty());  // ...and empty
+  EXPECT_FALSE(recorded_empty.separates_with(0, 2, 1));
+  Pdag with_empty = Pdag::from_skeleton(skeleton);
+  EXPECT_EQ(orient_v_structures(with_empty, recorded_empty), 1);
+  EXPECT_TRUE(with_empty.has_directed(0, 1));
+  EXPECT_TRUE(with_empty.has_directed(2, 1));
+
+  // The contrast: the store itself must keep "never separated" (nullptr)
+  // distinguishable from "recorded, empty" — the orientation rule reads
+  // both through separates_with (every non-adjacent PC pair has a
+  // record, so the distinction never decides a collider there), but
+  // consumers that branch on whether a pair *was* separated (bootstrap
+  // aggregation, result diffing) rely on find() telling them apart.
+  SepsetStore missing;
+  EXPECT_EQ(missing.find(0, 2), nullptr);
+  EXPECT_FALSE(missing.separates_with(0, 2, 1));
+}
+
+TEST(OraclePipeline, DepthZeroRemovalCommitsEmptySepsetAndOrientsCollider) {
+  // End to end through the engines: 0 -> 2 <- 1 makes 0 and 1 marginally
+  // independent, so the 0-1 edge is removed at depth 0 and the committed
+  // sepset must be the recorded-empty set — which is exactly what lets
+  // the collider orient.
+  Dag dag(3);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 2);
+  DSeparationOracle oracle(dag);
+  for (const EngineKind engine :
+       {EngineKind::kFastSequential, EngineKind::kCiParallel}) {
+    PcOptions options;
+    options.engine = engine;
+    const SkeletonResult skeleton = learn_skeleton(3, oracle, options);
+    const auto* sepset = skeleton.sepsets.find(0, 1);
+    ASSERT_NE(sepset, nullptr);    // recorded — not "no sepset found"
+    EXPECT_TRUE(sepset->empty());  // and empty
+    const Pdag pdag = orient_skeleton(skeleton.graph, skeleton.sepsets);
+    EXPECT_TRUE(pdag.has_directed(0, 2));
+    EXPECT_TRUE(pdag.has_directed(1, 2));
+  }
+}
+
 TEST(OrientVStructures, NoColliderWhenSepsetContainsMiddle) {
   UndirectedGraph skeleton(3);
   skeleton.add_edge(0, 1);

@@ -50,5 +50,34 @@ TEST(BenchJson, EscapesQuotesBackslashesAndControlCharacters) {
   EXPECT_NE(json.find("a\\\"b\\\\c\\nd\\te"), std::string::npos);
 }
 
+TEST(BenchJson, MalformedStringsAnywhereStayValidJson) {
+  // RFC 8259: every control character below 0x20 must be escaped — the
+  // five short forms where they exist, \u00XX otherwise. A title or
+  // *header* smuggling a carriage return, backspace, form feed or a raw
+  // 0x01/0x1f must never reach the file unescaped (json.tool in CI
+  // parses every committed BENCH_*.json).
+  TablePrinter table({std::string("head\rer")});
+  table.add_row({std::string("A\rB\bC\fD\x01" "E\x1f" "F")});
+  const std::string json =
+      bench_json(std::string("ti\btle\f\x02"), "st\rem", table);
+  EXPECT_NE(json.find("ti\\btle\\f\\u0002"), std::string::npos);
+  EXPECT_NE(json.find("st\\rem"), std::string::npos);
+  EXPECT_NE(json.find("head\\rer"), std::string::npos);
+  EXPECT_NE(json.find("A\\rB\\bC\\fD\\u0001E\\u001fF"), std::string::npos);
+  // No raw control character may survive inside the document other than
+  // the reporter's own layout newlines.
+  for (const char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control char " << static_cast<int>(c);
+  }
+  // DEL (0x7f) is not a control character in JSON's grammar and passes
+  // through raw.
+  TablePrinter del_table({"label"});
+  del_table.add_row({std::string("x\x7fy")});
+  EXPECT_NE(bench_json("t", "s", del_table).find("x\x7fy"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace fastbns

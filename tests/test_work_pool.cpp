@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -71,6 +73,103 @@ TEST(WorkPool, BatchPushReturnsAllItems) {
   EXPECT_EQ(out, (std::vector<std::int64_t>{9, 8, 7}));
   pool.push_batch({});  // no-op
   EXPECT_EQ(pool.try_pop_batch(1, out), 0u);
+}
+
+TEST(WorkPool, PopOrPrepPopsWithoutTouchingThePrepHook) {
+  WorkPool pool({0, 1}, 2);
+  int preps = 0;
+  const WorkPool::PrepHook prep = [&] {
+    ++preps;
+    return false;
+  };
+  EXPECT_EQ(pool.pop_or_prep(prep), 0);
+  EXPECT_EQ(pool.pop_or_prep(prep), 1);
+  EXPECT_EQ(preps, 0);  // work available: prep is tail-only
+}
+
+TEST(WorkPool, PopOrPrepReturnsNulloptOnZeroWork) {
+  WorkPool pool({}, 0);
+  EXPECT_EQ(pool.pop_or_prep({}), std::nullopt);
+}
+
+TEST(WorkPool, PopOrPrepRunsPrepWhileDryAndPopsWhatItProduces) {
+  // Dry pool, one outstanding work: the hook runs (outside the lock)
+  // until it stops reporting progress or feeds the stack. Here it
+  // "prepares" twice and then pushes the held edge back.
+  WorkPool pool({0}, 1);
+  ASSERT_EQ(pool.try_pop(), 0);
+  int preps = 0;
+  const WorkPool::PrepHook prep = [&] {
+    ++preps;
+    if (preps == 3) pool.push(0);
+    return true;
+  };
+  EXPECT_EQ(pool.pop_or_prep(prep), 0);
+  EXPECT_EQ(preps, 3);
+}
+
+TEST(WorkPool, PopOrPrepSeesCompletionReportedFromThePrepHook) {
+  WorkPool pool({0}, 1);
+  ASSERT_EQ(pool.try_pop(), 0);
+  const WorkPool::PrepHook prep = [&] {
+    pool.mark_complete();
+    return true;
+  };
+  EXPECT_EQ(pool.pop_or_prep(prep), std::nullopt);
+  EXPECT_TRUE(pool.all_complete());
+}
+
+TEST(WorkPool, PopOrPrepBlocksUntilWorkIsPushedBack) {
+  // The no-busy-spin wait: a thread with nothing to pop and nothing to
+  // prepare blocks until another thread pushes its edge back.
+  WorkPool pool({0}, 1);
+  ASSERT_EQ(pool.try_pop(), 0);
+  std::optional<std::int64_t> got;
+  std::thread waiter([&] { got = pool.pop_or_prep({}); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pool.push(0);
+  waiter.join();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(WorkPool, PopOrPrepWakesOnFinalCompletion) {
+  WorkPool pool({0}, 1);
+  ASSERT_EQ(pool.try_pop(), 0);
+  std::optional<std::int64_t> got = 123;
+  std::thread waiter([&] { got = pool.pop_or_prep({}); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pool.mark_complete();
+  waiter.join();
+  EXPECT_EQ(got, std::nullopt);
+}
+
+TEST(WorkPool, PopOrPrepWakesSleepersToRetryPrepWhenAnEdgeSettles) {
+  // mark_complete with works still outstanding must wake a sleeping
+  // pop_or_prep so it can re-try its hook: a settled edge is new
+  // preparation input even though the stack did not grow.
+  WorkPool pool({0, 1}, 2);
+  ASSERT_EQ(pool.try_pop(), 0);
+  ASSERT_EQ(pool.try_pop(), 1);
+  std::atomic<int> preps{0};
+  std::optional<std::int64_t> got = 123;
+  std::thread waiter([&] {
+    got = pool.pop_or_prep([&] {
+      ++preps;
+      return false;  // nothing preppable yet: sleep
+    });
+  });
+  const auto wait_for_preps = [&](int at_least) {
+    for (int i = 0; i < 2000 && preps.load() < at_least; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return preps.load();
+  };
+  ASSERT_GE(wait_for_preps(1), 1);  // hook ran once, waiter now asleep
+  pool.mark_complete();             // edge 0 settles; 1 still outstanding
+  EXPECT_GE(wait_for_preps(2), 2);  // hook re-tried after the wake
+  pool.mark_complete();
+  waiter.join();
+  EXPECT_EQ(got, std::nullopt);
 }
 
 TEST(WorkPool, ConcurrentDrainProcessesEveryItemExactlyOnce) {
