@@ -12,7 +12,11 @@
 // CI-level's pool but spends the depth tail preparing the next depth's
 // work list, so at high thread counts (t >= 8, where the tail is the
 // dominant idle source) it should match or beat CI-level and clearly
-// beat edge-level.
+// beat edge-level. The sharded column is edge-level with data placement
+// decided by variable ownership (one contiguous shard per thread); on a
+// single socket it should track edge-level closely — its payoff is the
+// NUMA-pinning follow-on, and the column is here to watch for regressions
+// in the partition machinery itself.
 #include <cstdio>
 
 #include "bench_util/reporting.hpp"
@@ -40,6 +44,8 @@ EngineRunConfig scheme_config(const std::string& scheme, int threads,
     config.group_size = 8;
     config.eager_group_stop = true;
   }
+  // The sharded scheme keeps its auto defaults (one contiguous shard per
+  // thread) — the configuration the NUMA-pinning follow-on would pin.
   return config;
 }
 
@@ -81,7 +87,8 @@ int main(int argc, char** argv) {
       "sample-level needs atomics and has tiny per-thread workloads.\n");
 
   TablePrinter table({"Data set", "threads", "CI-level(s)", "edge-level(s)",
-                      "sample-level(s)", "hybrid(s)", "async(s)"});
+                      "sample-level(s)", "hybrid(s)", "async(s)",
+                      "sharded(s)"});
 
   for (const std::string& name : networks) {
     Count samples = args.get_int("samples");
@@ -105,11 +112,15 @@ int main(int argc, char** argv) {
       const double async_time =
           run_skeleton_best(workload, scheme_config("async", t, builder))
               .seconds;
+      const double sharded_time =
+          run_skeleton_best(workload, scheme_config("sharded", t, builder))
+              .seconds;
       table.add_row({name, std::to_string(t), TablePrinter::num(ci_time, 4),
                      TablePrinter::num(edge_time, 4),
                      TablePrinter::num(sample_time, 4),
                      TablePrinter::num(hybrid_time, 4),
-                     TablePrinter::num(async_time, 4)});
+                     TablePrinter::num(async_time, 4),
+                     TablePrinter::num(sharded_time, 4)});
     }
   }
 

@@ -40,6 +40,13 @@ int main(int argc, char** argv) {
                 "auto");
   args.add_flag("threads", "worker threads (0 = all)", "0");
   args.add_flag("gs", "work-pool group size", "6");
+  args.add_flag("shards",
+                "variable shards for --engine sharded (0 = one per thread)",
+                "0");
+  args.add_flag("shard-partition",
+                "variable->shard rule for --engine sharded "
+                "(contiguous/round-robin)",
+                "contiguous");
   args.add_flag("alpha", "G2 significance level", "0.05");
   args.add_flag("max-depth", "conditioning-set cap (-1 = unlimited)", "-1");
   args.add_flag("dot", "write learned CPDAG to this DOT file", "");
@@ -78,8 +85,18 @@ int main(int argc, char** argv) {
   }
   options.num_threads = static_cast<int>(args.get_int("threads"));
   options.group_size = static_cast<std::int32_t>(args.get_int("gs"));
+  options.shard_count = static_cast<std::int32_t>(args.get_int("shards"));
+  options.shard_partition = args.get("shard-partition");
   options.alpha = args.get_double("alpha");
   options.max_depth = static_cast<std::int32_t>(args.get_int("max-depth"));
+  try {
+    // Fail fast with the offending value (shard counts, partition rules,
+    // alpha, ...) instead of surfacing mid-run from the driver.
+    options.validate();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "structure_tool: %s\n", error.what());
+    return 1;
+  }
   if (options.engine == EngineKind::kNaiveSequential) {
     input.data.ensure_layout(DataLayout::kBoth);
   }

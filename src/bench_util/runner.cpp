@@ -85,6 +85,8 @@ EngineRunResult run_skeleton(const Workload& workload,
   options.alpha = config.alpha;
   options.max_table_cells = config.max_table_cells;
   options.table_builder = config.table_builder;
+  options.shard_count = config.shard_count;
+  options.shard_partition = config.shard_partition;
 
   const WallTimer timer;
   SkeletonResult skeleton =

@@ -33,6 +33,10 @@ struct EngineRunConfig {
   bool sample_parallel = false;
   /// Extension: first-accept early stop inside a gs-group (see PcOptions).
   bool eager_group_stop = false;
+  /// Sharded-engine knobs (see PcOptions::shard_count/shard_partition);
+  /// ignored by every other engine.
+  std::int32_t shard_count = 0;
+  std::string shard_partition = PcOptions{}.shard_partition;
 };
 
 struct EngineRunResult {

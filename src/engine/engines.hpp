@@ -41,4 +41,10 @@ namespace fastbns {
 /// driver through take_prepared_depth_works.
 [[nodiscard]] std::unique_ptr<SkeletonEngine> make_async_engine();
 
+/// Sharded variable-partition extension: variables partition into shards
+/// (contiguous ranges or round-robin), each shard's thread-group runs the
+/// edges whose lower endpoint it owns against shard-local clones, and the
+/// commit barrier merges removals — bit-identical to edge-parallel.
+[[nodiscard]] std::unique_ptr<SkeletonEngine> make_sharded_engine();
+
 }  // namespace fastbns

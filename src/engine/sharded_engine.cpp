@@ -1,0 +1,168 @@
+// The sharded variable-partition engine: edge-level parallelism with
+// data placement decided by variable ownership.
+//
+// Variables are partitioned into shards (contiguous id ranges by default,
+// round-robin optionally — PcOptions::shard_partition), and every
+// undirected edge belongs to the shard owning its lower endpoint. Each
+// shard is served by its own thread-group (threads dealt round-robin;
+// with fewer threads than shards a thread time-shares several shards, a
+// shard never spans groups), running every depth's tests for its edges —
+// depth 0's marginals included, so a variable's columns are streamed by
+// the same group from the first test of the run to the last — against
+// shard-local CiTest clones, and therefore shard-local scratch arenas,
+// since a clone owns its workspaces. The depth ends at the commit
+// barrier: the parallel region joins, every shard's removal decisions sit
+// in the works' outcome slots, and the driver merges them into the graph
+// exactly as it does for every other engine.
+//
+// Result identity: each work is processed whole by exactly one thread, in
+// canonical rank order with first-accept early stop — precisely the
+// edge-parallel engine's per-work semantics — so the partition changes
+// only *which* thread touches which data, never an outcome or a test
+// count. This is the stepping stone the roadmap names for NUMA pinning
+// (pin a shard's thread-group and its dataset slice to one domain) and
+// MPI-style distributed sharding (a shard's work list is already the
+// per-rank message).
+#include <algorithm>
+#include <optional>
+
+#include "common/omp_utils.hpp"
+#include "engine/engine_common.hpp"
+#include "engine/engines.hpp"
+#include "engine/skeleton_engine.hpp"
+
+namespace fastbns {
+namespace {
+
+/// One unit of a depth's static schedule: rank `rank` of shard `shard`'s
+/// thread-group, which owns the works at positions rank, rank + g,
+/// rank + 2g, ... of the shard's list (g = group size).
+struct ShardTask {
+  std::int32_t shard = 0;
+  int rank = 0;
+};
+
+class ShardedEngine final : public SkeletonEngine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sharded(var-partition)";
+  }
+
+  void prepare_run() override {
+    shard_tests_.clear();
+    plan_.reset();
+  }
+
+  std::int64_t run_depth(std::vector<EdgeWork>& works, std::int32_t depth,
+                         const CiTest& prototype,
+                         const PcOptions& options) override {
+    const int threads = hardware_threads();
+    // The partition is built once per run, from the first depth's works
+    // (depth 0's complete graph covers every variable) — never re-drawn
+    // from a later depth's shrinking work list, because ownership that
+    // re-homes as variables settle would defeat the placement this
+    // engine exists to provide. The endpoint scan below only guards the
+    // invariant for non-driver callers: a work naming a variable outside
+    // the plan's domain forces a rebuild over the larger domain.
+    VarId num_vars = plan_.has_value() ? plan_->shards.num_vars() : 0;
+    for (const EdgeWork& work : works) {
+      num_vars = std::max(num_vars, std::max(work.x, work.y) + 1);
+    }
+    if (!plan_.has_value() || num_vars > plan_->shards.num_vars()) {
+      build_plan(num_vars, threads, options);
+    }
+    const RunPlan& plan = *plan_;
+    const std::vector<std::vector<std::int64_t>> shard_works =
+        shard_work_indices(works, plan.shards);
+
+    // Shard-local clone pools: shard s's thread-group works exclusively
+    // against shard_tests_[s]'s clones (one per rank), so an edge's
+    // tables are only ever counted through its owning shard's workspaces
+    // — this is the engine's single clone pool, reused across depths.
+    const auto shard_count = static_cast<std::size_t>(plan.shards.shard_count());
+    if (shard_tests_.size() != shard_count) {
+      shard_tests_ = std::vector<ThreadLocalTests>(shard_count);
+    }
+    std::vector<std::vector<std::unique_ptr<CiTest>>*> shard_clones(
+        shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shard_clones[s] = &shard_tests_[s].acquire(
+          prototype, static_cast<std::size_t>(plan.team_sizes[s]));
+    }
+
+    std::int64_t tests = 0;
+#pragma omp parallel for schedule(static, 1) reduction(+ : tests)
+    for (std::int64_t i = 0;
+         i < static_cast<std::int64_t>(plan.tasks.size()); ++i) {
+      const ShardTask task = plan.tasks[static_cast<std::size_t>(i)];
+      const std::vector<std::int64_t>& indices =
+          shard_works[static_cast<std::size_t>(task.shard)];
+      const auto group = static_cast<std::size_t>(
+          plan.team_sizes[static_cast<std::size_t>(task.shard)]);
+      CiTest& test = *(*shard_clones[static_cast<std::size_t>(task.shard)])
+                          [static_cast<std::size_t>(task.rank)];
+      for (std::size_t p = static_cast<std::size_t>(task.rank);
+           p < indices.size(); p += group) {
+        EdgeWork& work = works[static_cast<std::size_t>(indices[p])];
+        if (work.total_tests() == 0) continue;
+        // The task owns `work` exclusively (disjoint strides of disjoint
+        // shard lists): no atomics on its fields, same as every engine.
+        tests += process_work_tests_early_stop(work, depth,
+                                               work.total_tests(), test,
+                                               /*use_group_protocol=*/true);
+      }
+    }
+    // The implicit join above is the commit barrier: all shards' removal
+    // sets are now in the works vector, merged by the driver's
+    // commit_depth like any other engine's.
+    return tests;
+  }
+
+ private:
+  /// Everything about a run that does not depend on the depth: the
+  /// variable->shard map, the thread-group sizes, and the (shard, rank)
+  /// task schedule. Built once per run; only the per-depth work lists
+  /// vary.
+  struct RunPlan {
+    VariableShards shards;
+    std::vector<int> team_sizes;
+    std::vector<ShardTask> tasks;
+  };
+
+  void build_plan(VarId num_vars, int threads, const PcOptions& options) {
+    const std::int32_t shard_count =
+        resolve_shard_count(options.shard_count, threads);
+    RunPlan plan{VariableShards(
+                     num_vars, shard_count,
+                     shard_partition_from_string(options.shard_partition)),
+                 shard_team_sizes(shard_count, threads),
+                 {}};
+    // Rank-major task list: every shard's rank-0 slot first, then the
+    // rank-1 slots of the larger groups, and so on. With T >= S threads
+    // the schedule(static, 1) deal gives each thread exactly one task;
+    // with T < S a thread serves shards s, s + T, ... in turn.
+    plan.tasks.reserve(static_cast<std::size_t>(std::max(threads, shard_count)));
+    const int max_team =
+        *std::max_element(plan.team_sizes.begin(), plan.team_sizes.end());
+    for (int rank = 0; rank < max_team; ++rank) {
+      for (std::int32_t s = 0; s < shard_count; ++s) {
+        if (rank < plan.team_sizes[static_cast<std::size_t>(s)]) {
+          plan.tasks.push_back({s, rank});
+        }
+      }
+    }
+    plan_.emplace(std::move(plan));
+  }
+
+  /// One clone cache per shard, sized to the shard's thread-group.
+  std::vector<ThreadLocalTests> shard_tests_;
+  std::optional<RunPlan> plan_;
+};
+
+}  // namespace
+
+std::unique_ptr<SkeletonEngine> make_sharded_engine() {
+  return std::make_unique<ShardedEngine>();
+}
+
+}  // namespace fastbns

@@ -4,28 +4,53 @@
 #include <stdexcept>
 #include <string>
 
+#include "pc/edge_work.hpp"
 #include "stats/table_builder.hpp"
 
 namespace fastbns {
 
+// Every rejection message carries the offending value: a validation error
+// surfacing from a config file or a sweep script is useless when it names
+// the field but not what the caller actually passed.
 void PcOptions::validate() const {
   if (group_size < 1) {
-    throw std::invalid_argument("PcOptions::group_size must be >= 1");
+    throw std::invalid_argument("PcOptions::group_size must be >= 1, got " +
+                                std::to_string(group_size));
   }
   if (!(alpha > 0.0) || !(alpha < 1.0)) {
-    throw std::invalid_argument("PcOptions::alpha must be in (0, 1)");
+    throw std::invalid_argument("PcOptions::alpha must be in (0, 1), got " +
+                                std::to_string(alpha));
   }
   if (max_depth < -1) {
-    throw std::invalid_argument("PcOptions::max_depth must be >= -1");
+    throw std::invalid_argument("PcOptions::max_depth must be >= -1, got " +
+                                std::to_string(max_depth));
   }
   if (num_threads < 0) {
-    throw std::invalid_argument("PcOptions::num_threads must be >= 0");
+    throw std::invalid_argument("PcOptions::num_threads must be >= 0, got " +
+                                std::to_string(num_threads));
   }
   if (num_threads > kMaxThreads) {
     throw std::invalid_argument(
-        "PcOptions::num_threads exceeds kMaxThreads (" +
-        std::to_string(kMaxThreads) + "); this is almost certainly a typo");
+        "PcOptions::num_threads is " + std::to_string(num_threads) +
+        ", exceeding kMaxThreads (" + std::to_string(kMaxThreads) +
+        "); this is almost certainly a typo");
   }
+  if (shard_count < 0) {
+    throw std::invalid_argument(
+        "PcOptions::shard_count must be >= 0 (0 = one shard per worker "
+        "thread), got " +
+        std::to_string(shard_count));
+  }
+  if (shard_count > kMaxShards) {
+    throw std::invalid_argument(
+        "PcOptions::shard_count is " + std::to_string(shard_count) +
+        ", exceeding kMaxShards (" + std::to_string(kMaxShards) +
+        "); this is almost certainly a typo");
+  }
+  // Resolves the rule name, throwing the known-rules message (with the
+  // offending value) for anything unknown — same contract as engines and
+  // table builders.
+  (void)shard_partition_from_string(shard_partition);
   const std::vector<std::string> builders = list_table_builders();
   if (std::find(builders.begin(), builders.end(), table_builder) ==
       builders.end()) {
@@ -39,9 +64,11 @@ void PcOptions::validate() const {
   }
   if (max_table_cells < 4) {
     throw std::invalid_argument(
-        "PcOptions::max_table_cells must be >= 4: a smaller cap cannot hold "
-        "even the 2x2 marginal table of two binary variables, so every CI "
-        "test would be skipped and no edge ever removed");
+        "PcOptions::max_table_cells must be >= 4, got " +
+        std::to_string(max_table_cells) +
+        ": a smaller cap cannot hold even the 2x2 marginal table of two "
+        "binary variables, so every CI test would be skipped and no edge "
+        "ever removed");
   }
   // The engine-dependent combination rule (max_table_cells vs the
   // effective thread count, for engines that build tables

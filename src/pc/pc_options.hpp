@@ -34,6 +34,13 @@ enum class EngineKind : std::uint8_t {
   /// depth's work list for already-settled edges instead of spinning —
   /// the depth barrier shrinks to the truly last straggler.
   kAsync,
+  /// Sharded variable-partition extension: variables are partitioned into
+  /// shards (contiguous id ranges or round-robin), each shard's
+  /// thread-group runs the depth's tests for the edges whose lower
+  /// endpoint it owns against shard-local test clones, and the commit
+  /// barrier merges removals per depth — the data-placement-aware
+  /// stepping stone toward NUMA pinning and distributed sharding.
+  kSharded,
 };
 
 /// Canonical engine name as registered in the EngineRegistry (defined in
@@ -81,21 +88,34 @@ struct PcOptions {
   /// learn_structure and the bench runner, exactly like engines are
   /// selected by registry name.
   std::string table_builder = "auto";
+  /// Variable shards of the sharded engine (kSharded only): 0 = auto (one
+  /// shard per worker thread). Shards may outnumber threads (a thread
+  /// then serves several shards) or variables (trailing shards own no
+  /// variables); both degenerate gracefully.
+  std::int32_t shard_count = 0;
+  /// Variable→shard partition rule of the sharded engine: "contiguous"
+  /// (balanced id ranges — the data-locality default) or "round-robin"
+  /// (v mod shards — balances when adjacency correlates with id order).
+  std::string shard_partition = "contiguous";
 
   /// Largest accepted num_threads; far beyond any machine this targets,
   /// so a mistyped thread count fails here instead of oversubscribing.
   static constexpr int kMaxThreads = 4096;
+  /// Largest accepted shard_count, for the same reason.
+  static constexpr std::int32_t kMaxShards = 4096;
 
   /// Throws std::invalid_argument when any field is out of range:
   /// group_size >= 1, alpha in (0, 1), max_depth >= -1, 0 <= num_threads
-  /// <= kMaxThreads, table_builder a known kernel name, and
-  /// max_table_cells >= 4 (a smaller cap cannot hold
-  /// even the 2x2 marginal table of two binary variables, so every test
-  /// would be skipped and no edge ever removed). Self-contained field
-  /// checks only; the engine-dependent max_table_cells/threads
-  /// combination rule is enforced by the skeleton driver once the engine
-  /// is resolved (see learn_skeleton) — both fail up front instead of
-  /// mid-run inside an engine.
+  /// <= kMaxThreads, 0 <= shard_count <= kMaxShards, shard_partition a
+  /// known rule, table_builder a known kernel name, and max_table_cells
+  /// >= 4 (a smaller cap cannot hold even the 2x2 marginal table of two
+  /// binary variables, so every test would be skipped and no edge ever
+  /// removed). Every rejection message names the offending value, not
+  /// just the field. Self-contained field checks only; the
+  /// engine-dependent max_table_cells/threads combination rule is
+  /// enforced by the skeleton driver once the engine is resolved (see
+  /// learn_skeleton) — both fail up front instead of mid-run inside an
+  /// engine.
   void validate() const;
 };
 

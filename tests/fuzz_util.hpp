@@ -1,0 +1,146 @@
+// Shared machinery of the differential fuzz harness (test_engine_fuzz.cpp
+// and docs/TESTING.md): seeded random problem instances, a canonical
+// fingerprint of a skeleton run (adjacency + sepsets + removal depths),
+// and a first-divergence reporter that turns a mismatch into a
+// reproducible one-liner (seed, engine pair, offending edge).
+//
+// Everything here is deterministic per seed: the instance generator
+// derives the network shape, cardinalities and sample count from the seed
+// alone, so a failure message's seed is a complete reproducer.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "network/forward_sampler.hpp"
+#include "network/random_network.hpp"
+#include "pc/skeleton.hpp"
+
+namespace fastbns {
+namespace fuzz {
+
+struct FuzzInstance {
+  BayesianNetwork network;
+  DiscreteDataset data;
+};
+
+/// Deterministic random instance for `seed`: a DAG of 10–20 nodes with
+/// ~1.4x as many edges (cardinalities 2–4), forward-sampled to 600–1400
+/// rows. Small enough that a full engine x builder sweep over ten seeds
+/// stays in test-suite time; varied enough that depths 0–3 and both
+/// accept/reject tails are exercised.
+inline FuzzInstance make_instance(std::uint64_t seed) {
+  RandomNetworkConfig config;
+  config.num_nodes = static_cast<VarId>(10 + seed % 11);
+  config.num_edges = config.num_nodes + static_cast<std::int64_t>(
+                                            (2 + seed % 5) * config.num_nodes /
+                                            5);
+  config.max_parents = 4;
+  config.min_cardinality = 2;
+  config.max_cardinality = 4;
+  config.seed = 1000 + seed;
+  BayesianNetwork network = generate_random_network(config);
+  Rng rng(2000 + seed);
+  const Count samples = static_cast<Count>(600 + 200 * (seed % 5));
+  DiscreteDataset data =
+      forward_sample(network, samples, rng, DataLayout::kBoth);
+  return FuzzInstance{std::move(network), std::move(data)};
+}
+
+/// Canonical outcome of a skeleton run. The removal depth of a separated
+/// pair equals its sepset's size (PC-stable removes an edge at the depth
+/// matching the accepting conditioning set), so pinning sepsets pins
+/// removal depths too — the fingerprint still carries the derived depth
+/// explicitly so divergence messages can name it.
+struct SkeletonFingerprint {
+  /// Surviving adjacency, ascending (u < v) pairs.
+  std::vector<std::pair<VarId, VarId>> edges;
+  /// (u, v, sepset) for every separated pair, ascending.
+  std::vector<std::pair<std::pair<VarId, VarId>, std::vector<VarId>>> sepsets;
+
+  bool operator==(const SkeletonFingerprint&) const = default;
+};
+
+inline SkeletonFingerprint fingerprint(const SkeletonResult& result,
+                                       VarId num_vars) {
+  SkeletonFingerprint fp;
+  fp.edges = result.graph.edges();
+  std::sort(fp.edges.begin(), fp.edges.end());
+  for (VarId u = 0; u < num_vars; ++u) {
+    for (VarId v = u + 1; v < num_vars; ++v) {
+      const std::vector<VarId>* sepset = result.sepsets.find(u, v);
+      if (sepset != nullptr) fp.sepsets.push_back({{u, v}, *sepset});
+    }
+  }
+  return fp;
+}
+
+inline std::string ids_to_string(const std::vector<VarId>& ids) {
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) out << ' ';
+    out << ids[i];
+  }
+  out << '}';
+  return out.str();
+}
+
+/// Human-readable first divergence between two fingerprints over the same
+/// variable set: the lexicographically first pair whose adjacency,
+/// sepset presence, sepset value (and hence removal depth) differ. Empty
+/// when the fingerprints match.
+inline std::string describe_divergence(const SkeletonFingerprint& expected,
+                                       const SkeletonFingerprint& actual,
+                                       VarId num_vars) {
+  const auto has_edge = [](const SkeletonFingerprint& fp, VarId u, VarId v) {
+    return std::binary_search(fp.edges.begin(), fp.edges.end(),
+                              std::make_pair(u, v));
+  };
+  const auto find_sepset =
+      [](const SkeletonFingerprint& fp, VarId u,
+         VarId v) -> const std::vector<VarId>* {
+    for (const auto& [pair, sepset] : fp.sepsets) {
+      if (pair == std::make_pair(u, v)) return &sepset;
+    }
+    return nullptr;
+  };
+  std::ostringstream out;
+  for (VarId u = 0; u < num_vars; ++u) {
+    for (VarId v = u + 1; v < num_vars; ++v) {
+      const bool expected_edge = has_edge(expected, u, v);
+      const bool actual_edge = has_edge(actual, u, v);
+      if (expected_edge != actual_edge) {
+        out << "first divergent edge (" << u << ", " << v << "): expected "
+            << (expected_edge ? "present" : "removed") << ", got "
+            << (actual_edge ? "present" : "removed");
+        return out.str();
+      }
+      const std::vector<VarId>* expected_sepset = find_sepset(expected, u, v);
+      const std::vector<VarId>* actual_sepset = find_sepset(actual, u, v);
+      if ((expected_sepset == nullptr) != (actual_sepset == nullptr)) {
+        out << "first divergent edge (" << u << ", " << v << "): sepset "
+            << (expected_sepset != nullptr ? "expected but missing"
+                                           : "recorded but not expected");
+        return out.str();
+      }
+      if (expected_sepset != nullptr && *expected_sepset != *actual_sepset) {
+        out << "first divergent edge (" << u << ", " << v << "): sepset "
+            << ids_to_string(*expected_sepset) << " (removal depth "
+            << expected_sepset->size() << ") vs "
+            << ids_to_string(*actual_sepset) << " (removal depth "
+            << actual_sepset->size() << ")";
+        return out.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace fuzz
+}  // namespace fastbns

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "graph/dag.hpp"
 #include "stats/oracle_test.hpp"
@@ -170,6 +172,98 @@ TEST(MaterializeConditioningSets, LimitGuard) {
   const auto works = build_depth_works(g, 3, true);
   EXPECT_THROW(materialize_conditioning_sets(works[0], 3, /*limit=*/10),
                std::runtime_error);
+}
+
+TEST(VariableShards, ContiguousPartitionIsBalancedAndExhaustive) {
+  // 10 variables over 3 shards: balanced ranges 4/3/3, every variable
+  // owned by exactly one shard, ids ascending within a shard.
+  const VariableShards shards(10, 3, ShardPartition::kContiguous);
+  EXPECT_EQ(shards.shard_count(), 3);
+  EXPECT_EQ(shards.num_vars(), 10);
+  std::vector<int> sizes(3, 0);
+  std::int32_t previous = 0;
+  for (VarId v = 0; v < 10; ++v) {
+    const std::int32_t s = shards.shard_of(v);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 3);
+    EXPECT_GE(s, previous) << "contiguous ranges must be monotone in id";
+    previous = s;
+    ++sizes[static_cast<std::size_t>(s)];
+  }
+  EXPECT_EQ(sizes, (std::vector<int>{4, 3, 3}));
+}
+
+TEST(VariableShards, RoundRobinPartitionCyclesIds) {
+  const VariableShards shards(7, 3, ShardPartition::kRoundRobin);
+  for (VarId v = 0; v < 7; ++v) {
+    EXPECT_EQ(shards.shard_of(v), v % 3) << v;
+  }
+}
+
+TEST(VariableShards, MoreShardsThanVariablesLeavesTrailingShardsEmpty) {
+  for (const ShardPartition rule :
+       {ShardPartition::kContiguous, ShardPartition::kRoundRobin}) {
+    const VariableShards shards(3, 8, rule);
+    std::vector<int> sizes(8, 0);
+    for (VarId v = 0; v < 3; ++v) {
+      ++sizes[static_cast<std::size_t>(shards.shard_of(v))];
+    }
+    EXPECT_EQ(sizes[0] + sizes[1] + sizes[2], 3);
+    for (std::size_t s = 3; s < 8; ++s) EXPECT_EQ(sizes[s], 0) << s;
+  }
+}
+
+TEST(VariableShards, RejectsNonPositiveShardCounts) {
+  EXPECT_THROW(VariableShards(5, 0, ShardPartition::kContiguous),
+               std::invalid_argument);
+  EXPECT_THROW(VariableShards(5, -2, ShardPartition::kRoundRobin),
+               std::invalid_argument);
+}
+
+TEST(ShardPartitionNames, RoundTripAndUnknownNamesFailWithTheValue) {
+  for (const std::string& name : list_shard_partitions()) {
+    EXPECT_EQ(std::string(to_string(shard_partition_from_string(name))), name);
+  }
+  try {
+    (void)shard_partition_from_string("diagonal");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("diagonal"), std::string::npos);
+    EXPECT_NE(message.find("contiguous"), std::string::npos);
+    EXPECT_NE(message.find("round-robin"), std::string::npos);
+  }
+}
+
+TEST(ShardWorkIndices, GroupsByLowerEndpointAscendingAndKeepsTestlessWorks) {
+  // small_graph edges: (0,1) (0,2) (1,2) (2,3) (3,4); at depth 1 the work
+  // for (3,4) has pending tests via candidates of 3; every work lands in
+  // the shard of its lower endpoint regardless of test counts.
+  const auto works = build_depth_works(small_graph(), 1, true);
+  ASSERT_EQ(works.size(), 5u);
+  const VariableShards shards(5, 2, ShardPartition::kContiguous);  // 0-2 | 3-4
+  const auto by_shard = shard_work_indices(works, shards);
+  ASSERT_EQ(by_shard.size(), 2u);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    total += by_shard[s].size();
+    EXPECT_TRUE(std::is_sorted(by_shard[s].begin(), by_shard[s].end())) << s;
+    for (const std::int64_t index : by_shard[s]) {
+      const EdgeWork& work = works[static_cast<std::size_t>(index)];
+      EXPECT_EQ(shards.shard_of(std::min(work.x, work.y)),
+                static_cast<std::int32_t>(s))
+          << "work (" << work.x << ", " << work.y << ")";
+    }
+  }
+  EXPECT_EQ(total, works.size());  // nothing dropped, nothing duplicated
+  // Ungrouped lists put both directions of an edge in one shard: the
+  // (4, 3) direction still belongs to the shard owning variable 3.
+  const auto ungrouped = build_depth_works(small_graph(), 1, false);
+  const auto ungrouped_by_shard = shard_work_indices(ungrouped, shards);
+  for (const std::int64_t index : ungrouped_by_shard[1]) {
+    const EdgeWork& work = ungrouped[static_cast<std::size_t>(index)];
+    EXPECT_EQ(std::min(work.x, work.y), 3);
+  }
 }
 
 }  // namespace

@@ -16,13 +16,13 @@ namespace {
 
 TEST(EngineRegistry, ListsTheBuiltinEnginesSorted) {
   const std::vector<std::string> names = list_engines();
-  ASSERT_GE(names.size(), 7u);
+  ASSERT_GE(names.size(), 8u);
   // list_engines() is the stable, sorted order CLI help enumerates.
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   for (const char* expected :
        {"naive-seq", "fastbns-seq", "edge-parallel", "sample-parallel",
         "fastbns-par(ci-level)", "hybrid(edge+sample)",
-        "async(depth-overlap)"}) {
+        "async(depth-overlap)", "sharded(var-partition)"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -32,11 +32,12 @@ TEST(EngineRegistry, ListsTheBuiltinEnginesSorted) {
   // sorts.
   const std::vector<std::string> registration_order =
       EngineRegistry{}.names();
-  ASSERT_EQ(registration_order.size(), 7u);
+  ASSERT_EQ(registration_order.size(), 8u);
   EXPECT_EQ(registration_order[0], "naive-seq");
   EXPECT_EQ(registration_order[4], "fastbns-par(ci-level)");
   EXPECT_EQ(registration_order[5], "hybrid(edge+sample)");
   EXPECT_EQ(registration_order[6], "async(depth-overlap)");
+  EXPECT_EQ(registration_order[7], "sharded(var-partition)");
 }
 
 TEST(EngineRegistry, CanonicalNamesRoundTrip) {
@@ -49,7 +50,8 @@ TEST(EngineRegistry, KindsRoundTripThroughNames) {
   for (const EngineKind kind :
        {EngineKind::kNaiveSequential, EngineKind::kFastSequential,
         EngineKind::kEdgeParallel, EngineKind::kSampleParallel,
-        EngineKind::kCiParallel, EngineKind::kHybrid, EngineKind::kAsync}) {
+        EngineKind::kCiParallel, EngineKind::kHybrid, EngineKind::kAsync,
+        EngineKind::kSharded}) {
     EXPECT_EQ(engine_from_string(to_string(kind)), kind);
   }
 }
@@ -65,6 +67,8 @@ TEST(EngineRegistry, AliasesResolve) {
   EXPECT_EQ(engine_from_string("auto"), EngineKind::kHybrid);
   EXPECT_EQ(engine_from_string("async"), EngineKind::kAsync);
   EXPECT_EQ(engine_from_string("overlap"), EngineKind::kAsync);
+  EXPECT_EQ(engine_from_string("sharded"), EngineKind::kSharded);
+  EXPECT_EQ(engine_from_string("shard"), EngineKind::kSharded);
 }
 
 TEST(EngineRegistry, UnknownNameThrowsListingKnownEngines) {

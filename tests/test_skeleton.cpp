@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "graph/dag.hpp"
 #include "stats/oracle_test.hpp"
 
@@ -98,6 +101,56 @@ TEST(Skeleton, InvalidGroupSizeThrows) {
   PcOptions options;
   options.group_size = 0;
   EXPECT_THROW(learn_skeleton(3, oracle, options), std::invalid_argument);
+}
+
+TEST(Skeleton, ValidateMessagesNameTheOffendingValue) {
+  // Every rejection must carry the value the caller actually passed — a
+  // validation error surfacing from a sweep script that names only the
+  // field sends the user back to a debugger for a typo.
+  const auto rejection_message = [](const PcOptions& options) {
+    try {
+      options.validate();
+    } catch (const std::invalid_argument& error) {
+      return std::string(error.what());
+    }
+    return std::string();
+  };
+  const auto expect_mentions = [&](const PcOptions& options,
+                                   const std::string& value) {
+    const std::string message = rejection_message(options);
+    ASSERT_FALSE(message.empty()) << "expected a rejection naming " << value;
+    EXPECT_NE(message.find(value), std::string::npos) << message;
+  };
+  PcOptions options;
+  options.group_size = -7;
+  expect_mentions(options, "-7");
+  options = {};
+  options.alpha = 1.5;
+  expect_mentions(options, "1.5");
+  options = {};
+  options.max_depth = -9;
+  expect_mentions(options, "-9");
+  options = {};
+  options.num_threads = -3;
+  expect_mentions(options, "-3");
+  options = {};
+  options.num_threads = PcOptions::kMaxThreads + 1;
+  expect_mentions(options, std::to_string(PcOptions::kMaxThreads + 1));
+  options = {};
+  options.shard_count = -4;
+  expect_mentions(options, "-4");
+  options = {};
+  options.shard_count = PcOptions::kMaxShards + 2;
+  expect_mentions(options, std::to_string(PcOptions::kMaxShards + 2));
+  options = {};
+  options.shard_partition = "diagonal";
+  expect_mentions(options, "diagonal");
+  options = {};
+  options.table_builder = "vectorised";
+  expect_mentions(options, "vectorised");
+  options = {};
+  options.max_table_cells = 3;
+  expect_mentions(options, "3");
 }
 
 TEST(Skeleton, ValidateRejectsNonsensicalOptionsUpFront) {

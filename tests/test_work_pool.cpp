@@ -172,6 +172,86 @@ TEST(WorkPool, PopOrPrepWakesSleepersToRetryPrepWhenAnEdgeSettles) {
   EXPECT_EQ(got, std::nullopt);
 }
 
+TEST(WorkPool, ContendedPopOrPrepTinyDepthsNoLostWakeupsNoDuplicatePreps) {
+  // Contention stress for pop_or_prep: many threads fight over pools far
+  // smaller than the team (tiny depths), so almost every pop lands in the
+  // dry tail — the regime where a lost wakeup would deadlock a sleeper
+  // and a racy prep gate would prepare an edge twice. Each round models
+  // the async engine's tail: an item is popped, briefly held (forcing the
+  // others dry), pushed back once and then completed; a completed item
+  // becomes preparation input that exactly one prep hook may claim.
+  //
+  // The assertions: every item delivered to one holder at a time (no
+  // duplicate delivery), visited exactly twice, prepared exactly once
+  // after settling, and every thread's pop_or_prep returns nullopt
+  // (threads joining at all is the no-lost-wakeup check — a sleeper the
+  // completion notify misses would hang the test into the ctest timeout).
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 150;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::int64_t items = 1 + round % 3;  // depths of 1–3 edges
+    std::vector<std::int64_t> initial(static_cast<std::size_t>(items));
+    for (std::int64_t i = 0; i < items; ++i) initial[static_cast<std::size_t>(i)] = i;
+    WorkPool pool(std::move(initial), items);
+
+    std::vector<std::atomic<bool>> held(static_cast<std::size_t>(items));
+    std::vector<std::atomic<int>> visits(static_cast<std::size_t>(items));
+    std::vector<std::atomic<bool>> settled(static_cast<std::size_t>(items));
+    std::vector<std::atomic<int>> preps(static_cast<std::size_t>(items));
+    std::atomic<bool> duplicate_delivery{false};
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        const WorkPool::PrepHook prep = [&] {
+          // Claim one settled-but-unprepared edge, like the async
+          // engine's next-depth preparation; the per-edge counter is the
+          // duplicate-prep detector.
+          for (std::int64_t i = 0; i < items; ++i) {
+            const auto index = static_cast<std::size_t>(i);
+            if (!settled[index].load(std::memory_order_acquire)) continue;
+            if (preps[index].fetch_add(1, std::memory_order_acq_rel) == 0) {
+              return true;  // claimed: report progress, retry for more
+            }
+            preps[index].fetch_sub(1, std::memory_order_acq_rel);
+          }
+          return false;  // nothing claimable: sleep until the pool moves
+        };
+        while (true) {
+          const auto popped = pool.pop_or_prep(prep);
+          if (!popped.has_value()) break;  // depth complete
+          const auto index = static_cast<std::size_t>(*popped);
+          if (held[index].exchange(true)) duplicate_delivery = true;
+          const int visit = visits[index].fetch_add(1) + 1;
+          std::this_thread::yield();  // hold the edge: everyone else is dry
+          held[index].store(false);
+          if (visit == 1) {
+            pool.push(*popped);
+          } else {
+            settled[index].store(true, std::memory_order_release);
+            pool.mark_complete();
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+
+    EXPECT_FALSE(duplicate_delivery.load()) << "round " << round;
+    EXPECT_TRUE(pool.all_complete()) << "round " << round;
+    for (std::int64_t i = 0; i < items; ++i) {
+      const auto index = static_cast<std::size_t>(i);
+      EXPECT_EQ(visits[index].load(), 2)
+          << "round " << round << " item " << i;
+      // Settled edges are preparation input for the threads still inside
+      // pop_or_prep; whether one got to claim before the depth drained is
+      // timing, but a double claim is a bug at any timing.
+      EXPECT_LE(preps[index].load(), 1)
+          << "round " << round << " item " << i << " prepared twice";
+    }
+  }
+}
+
 TEST(WorkPool, ConcurrentDrainProcessesEveryItemExactlyOnce) {
   constexpr std::int64_t kItems = 2000;
   std::vector<std::int64_t> initial(kItems);
