@@ -9,11 +9,14 @@
 
 #include "common/args.hpp"
 #include "common/csv_writer.hpp"
+#include "common/omp_utils.hpp"
 #include "dataset/dataset_io.hpp"
+#include "engine/engine_common.hpp"
 #include "engine/engine_registry.hpp"
 #include "graph/graphviz.hpp"
 #include "pc/pc_stable.hpp"
 #include "stats/table_builder.hpp"
+#include "topology/placement.hpp"
 
 namespace {
 
@@ -47,6 +50,10 @@ int main(int argc, char** argv) {
                 "variable->shard rule for --engine sharded "
                 "(contiguous/round-robin)",
                 "contiguous");
+  args.add_flag("numa",
+                "NUMA placement policy (auto/off/forced; auto pins shard "
+                "thread-groups only on multi-domain topologies)",
+                "auto");
   args.add_flag("alpha", "G2 significance level", "0.05");
   args.add_flag("max-depth", "conditioning-set cap (-1 = unlimited)", "-1");
   args.add_flag("dot", "write learned CPDAG to this DOT file", "");
@@ -87,6 +94,7 @@ int main(int argc, char** argv) {
   options.group_size = static_cast<std::int32_t>(args.get_int("gs"));
   options.shard_count = static_cast<std::int32_t>(args.get_int("shards"));
   options.shard_partition = args.get("shard-partition");
+  options.numa_policy = args.get("numa");
   options.alpha = args.get_double("alpha");
   options.max_depth = static_cast<std::int32_t>(args.get_int("max-depth"));
   try {
@@ -99,6 +107,21 @@ int main(int argc, char** argv) {
   }
   if (options.engine == EngineKind::kNaiveSequential) {
     input.data.ensure_layout(DataLayout::kBoth);
+  }
+
+  // Echo the resolved NUMA placement before the run, computed from the
+  // same single sources of truth the sharded engine uses
+  // (resolve_shard_count + plan_shard_placement), so the printed
+  // shard→domain map is exactly the one the run acts on.
+  if (options.engine == EngineKind::kSharded) {
+    const int threads =
+        options.num_threads > 0 ? options.num_threads : hardware_threads();
+    const ShardPlacement placement = plan_shard_placement(
+        numa_policy_from_string(options.numa_policy),
+        resolve_shard_count(options.shard_count, threads),
+        NumaTopology::detect());
+    std::printf("numa policy %s: %s\n", options.numa_policy.c_str(),
+                placement.describe().c_str());
   }
 
   const PcStableResult result = learn_structure(input.data, options);

@@ -3,8 +3,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "common/csv_writer.hpp"
+#include "common/omp_utils.hpp"
+#include "topology/numa_topology.hpp"
 
 namespace fastbns {
 namespace {
@@ -73,7 +76,39 @@ void append_json_cell(std::string& out, const std::string& cell) {
   append_json_string(out, cell);
 }
 
+/// set_bench_pinning_policy state; "unset" until a bench declares one.
+std::string& bench_pinning_policy() {
+  static std::string policy = "unset";
+  return policy;
+}
+
 }  // namespace
+
+void set_bench_pinning_policy(const std::string& policy) {
+  bench_pinning_policy() = policy;
+}
+
+std::string bench_context_json() {
+  const NumaTopology topology = NumaTopology::detect();
+  std::string out = "{\"numa_nodes\": ";
+  out += std::to_string(topology.num_domains());
+  out += ", \"cpus_per_node\": [";
+  const std::vector<NumaDomain>& domains = topology.domains();
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    if (d > 0) out += ", ";
+    out += std::to_string(domains[d].cpus.size());
+  }
+  out += "], \"physical_cpus\": ";
+  out += topology.cpus_are_physical() ? "true" : "false";
+  out += ", \"omp_max_threads\": ";
+  out += std::to_string(hardware_threads());
+  out += ", \"omp_binding_env\": ";
+  out += omp_binding_env_active() ? "true" : "false";
+  out += ", \"pinning_policy\": ";
+  append_json_string(out, bench_pinning_policy());
+  out += '}';
+  return out;
+}
 
 std::string bench_json(const std::string& title, const std::string& stem,
                        const TablePrinter& table) {
@@ -81,6 +116,8 @@ std::string bench_json(const std::string& title, const std::string& stem,
   append_json_string(out, stem);
   out += ",\n  \"title\": ";
   append_json_string(out, title);
+  out += ",\n  \"context\": ";
+  out += bench_context_json();
   out += ",\n  \"headers\": [";
   const std::vector<std::string>& headers = table.headers();
   for (std::size_t i = 0; i < headers.size(); ++i) {

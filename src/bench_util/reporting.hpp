@@ -17,9 +17,28 @@ void emit_table(const std::string& title, const std::string& stem,
 
 /// The JSON document emit_table writes: one object per data row keyed by
 /// header, cells emitted as numbers when they parse as one —
-/// {"bench": stem, "title": ..., "headers": [...], "rows": [{...}]}.
+/// {"bench": stem, "title": ..., "context": {...}, "headers": [...],
+/// "rows": [{...}]}. The context block (bench_context_json) records the
+/// machine the numbers were taken on.
 [[nodiscard]] std::string bench_json(const std::string& title,
                                      const std::string& stem,
                                      const TablePrinter& table);
+
+/// The machine-context object embedded in every BENCH_*.json: NUMA node
+/// count and per-node cpu counts as detected at call time (honouring the
+/// FASTBNS_NUMA override, so simulated-topology runs are labelled as
+/// such), whether the node cpu ids are physical, the OpenMP default
+/// thread count, whether OMP_PROC_BIND/OMP_PLACES binding is active, and
+/// the pinning policy the bench declared via set_bench_pinning_policy.
+/// A bench number without its topology is unreproducible — two runs of
+/// bench_numa_placement on different FASTBNS_NUMA settings must be
+/// distinguishable from the JSON alone.
+[[nodiscard]] std::string bench_context_json();
+
+/// Declares the placement policy in force for subsequent emit_table /
+/// bench_json calls ("auto", "off", "forced", or the default "unset"
+/// when the bench never resolved one). Process-global, like the result
+/// directory convention.
+void set_bench_pinning_policy(const std::string& policy);
 
 }  // namespace fastbns

@@ -87,6 +87,7 @@ EngineRunResult run_skeleton(const Workload& workload,
   options.table_builder = config.table_builder;
   options.shard_count = config.shard_count;
   options.shard_partition = config.shard_partition;
+  options.numa_policy = config.numa_policy;
 
   const WallTimer timer;
   SkeletonResult skeleton =

@@ -37,6 +37,9 @@ struct EngineRunConfig {
   /// ignored by every other engine.
   std::int32_t shard_count = 0;
   std::string shard_partition = PcOptions{}.shard_partition;
+  /// NUMA placement policy (see PcOptions::numa_policy): "auto", "off",
+  /// or "forced". Consumed by the sharded and hybrid engines.
+  std::string numa_policy = PcOptions{}.numa_policy;
 };
 
 struct EngineRunResult {

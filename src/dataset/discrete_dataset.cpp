@@ -80,6 +80,23 @@ std::span<const DataValue> DiscreteDataset::column(VarId var) const {
           static_cast<std::size_t>(num_samples_)};
 }
 
+std::span<const std::byte> DiscreteDataset::column_bytes(
+    VarId v) const noexcept {
+  if (has_codes8(v)) {
+    // Padded rows included: the pass is page-granular and the padding
+    // shares pages with the samples.
+    return std::as_bytes(std::span<const std::uint8_t>(
+        codes8_.data() + static_cast<std::size_t>(v) * codes8_stride_,
+        codes8_stride_));
+  }
+  if (!cols_.empty()) {
+    return std::as_bytes(std::span<const DataValue>(
+        cols_.data() + static_cast<std::size_t>(v) * num_samples_,
+        static_cast<std::size_t>(num_samples_)));
+  }
+  return {};
+}
+
 std::span<const DataValue> DiscreteDataset::row(Count sample) const {
   if (rows_.empty()) {
     throw std::logic_error("DiscreteDataset::row: no row-major buffer");

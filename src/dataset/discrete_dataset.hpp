@@ -7,6 +7,7 @@
 // benches can ablate the choice; algorithms request the view they need.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -79,6 +80,15 @@ class DiscreteDataset {
     return {codes8_.data() + static_cast<std::size_t>(v) * codes8_stride_,
             static_cast<std::size_t>(num_samples_)};
   }
+
+  /// Read-only bytes of the buffer a CI test streams for `var`: the
+  /// packed codes8 column when the variable has one (the hot-path
+  /// mirror, padded rows included so page-granular passes cover the
+  /// whole slice), the column-major value column otherwise, empty when
+  /// neither is materialized. This is the NUMA first-touch surface: a
+  /// placement pass prefaults these pages from the thread-group that
+  /// owns the variable's shard before depth 0 runs.
+  [[nodiscard]] std::span<const std::byte> column_bytes(VarId v) const noexcept;
 
   /// Contiguous per-sample values; requires a row-major buffer.
   [[nodiscard]] std::span<const DataValue> row(Count sample) const;

@@ -22,6 +22,7 @@
 #include "engine/engines.hpp"
 #include "engine/skeleton_engine.hpp"
 #include "perfmodel/workload_model.hpp"
+#include "topology/placement.hpp"
 
 namespace fastbns {
 namespace {
@@ -79,6 +80,28 @@ class HybridEngine final : public ClonePoolEngine {
         builder_throughput_scale(prototype.table_builder_name(), depth);
     CacheModelParams cache;
     cache.depth = depth;
+    // Locality extension: under a multi-domain topology (unless
+    // numa_policy=off) the cost of an edge whose columns live mostly on
+    // other domains is inflated by the remote-DRAM multiplier, biasing
+    // the straggler routing toward the edges that are expensive *on this
+    // machine*, not just analytically. The variable→domain map mirrors
+    // the contiguous first-touch layout the sharded engine establishes;
+    // the heavy route runs on all threads (exec domain unknowable), so
+    // the model takes each edge's lower-endpoint home as the executing
+    // domain — the shard-owner convention.
+    std::vector<std::int32_t> var_domains;
+    if (numa_policy_from_string(options.numa_policy) != NumaPolicy::kOff) {
+      const NumaTopology topology = NumaTopology::detect();
+      if (topology.num_domains() > 1) {
+        VarId num_vars = 0;
+        for (const EdgeWork& work : works) {
+          num_vars = std::max(num_vars, std::max(work.x, work.y) + 1);
+        }
+        var_domains =
+            contiguous_var_domains(num_vars, topology.num_domains());
+        cache.remote_access_multiplier = kRemoteAccessMultiplier;
+      }
+    }
     double depth_total_cost = 0.0;
     for (EdgeWork& work : works) {
       EdgeWorkload workload;
@@ -90,7 +113,14 @@ class HybridEngine final : public ClonePoolEngine {
           std::max<std::int64_t>(prototype.workload_states(work.y), 1);
       workload.mean_z_states = mean_candidate_states(work, prototype);
       workload.builder_scale = builder_scale;
-      work.predicted_cost = predict_edge_cost(workload, cache);
+      const VarId home = std::min(work.x, work.y);
+      const double remote_fraction =
+          var_domains.empty()
+              ? 0.0
+              : edge_remote_fraction(
+                    work.x, work.y, depth, var_domains,
+                    var_domains[static_cast<std::size_t>(home)]);
+      work.predicted_cost = predict_edge_cost(workload, cache, remote_fraction);
       work.sample_parallel_route = false;
       depth_total_cost += work.predicted_cost;
     }
@@ -135,7 +165,6 @@ class HybridEngine final : public ClonePoolEngine {
                                             kLightBatchSize, test);
       }
     }
-    (void)options;
     return tests;
   }
 };

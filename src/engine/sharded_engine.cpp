@@ -15,14 +15,28 @@
 // in the works' outcome slots, and the driver merges them into the graph
 // exactly as it does for every other engine.
 //
+// NUMA placement (PcOptions::numa_policy, topology/placement.hpp) builds
+// on the fixed partition: when active, each shard is assigned a domain,
+// every (shard, rank) task pins its thread to the domain's cpus for the
+// duration of the depth (ScopedThreadAffinity — restored at task end so
+// the process mask is never permanently narrowed), each slot's CiTest
+// clone is created *inside* the pinned region by the thread that will
+// use it (so its workspaces and scratch arenas are first-touched on the
+// right domain), and a one-time pass before depth 0's tests prefaults
+// each shard's dataset column slices from the shard's own thread-group.
+// Under a first-touch kernel policy this keeps a run's steady-state
+// streaming domain-local; on simulated topologies (FASTBNS_NUMA=DxC) the
+// cpu ids are synthetic, pinning no-ops, and the placement logic still
+// runs in full — the CI-testable path. Placement never changes results,
+// only where threads and pages live.
+//
 // Result identity: each work is processed whole by exactly one thread, in
 // canonical rank order with first-accept early stop — precisely the
 // edge-parallel engine's per-work semantics — so the partition changes
 // only *which* thread touches which data, never an outcome or a test
-// count. This is the stepping stone the roadmap names for NUMA pinning
-// (pin a shard's thread-group and its dataset slice to one domain) and
-// MPI-style distributed sharding (a shard's work list is already the
-// per-rank message).
+// count. This is the stepping stone the roadmap names for MPI-style
+// distributed sharding (a shard's work list is already the per-rank
+// message).
 #include <algorithm>
 #include <optional>
 
@@ -30,6 +44,7 @@
 #include "engine/engine_common.hpp"
 #include "engine/engines.hpp"
 #include "engine/skeleton_engine.hpp"
+#include "topology/placement.hpp"
 
 namespace fastbns {
 namespace {
@@ -49,8 +64,9 @@ class ShardedEngine final : public SkeletonEngine {
   }
 
   void prepare_run() override {
-    shard_tests_.clear();
+    slot_tests_.clear();
     plan_.reset();
+    placed_data_ = false;
   }
 
   std::int64_t run_depth(std::vector<EdgeWork>& works, std::int32_t depth,
@@ -75,32 +91,49 @@ class ShardedEngine final : public SkeletonEngine {
     const std::vector<std::vector<std::int64_t>> shard_works =
         shard_work_indices(works, plan.shards);
 
-    // Shard-local clone pools: shard s's thread-group works exclusively
-    // against shard_tests_[s]'s clones (one per rank), so an edge's
-    // tables are only ever counted through its owning shard's workspaces
-    // — this is the engine's single clone pool, reused across depths.
-    const auto shard_count = static_cast<std::size_t>(plan.shards.shard_count());
-    if (shard_tests_.size() != shard_count) {
-      shard_tests_ = std::vector<ThreadLocalTests>(shard_count);
+    // Slot-local clone pools: slot i (the i-th ShardTask) holds exactly
+    // one clone, acquired by the thread that executes the slot. With the
+    // schedule(static, 1) deal over a task list that is stable across
+    // depths, the same thread serves the same slot every depth, so the
+    // cache still amortizes cloning across depths — and under placement
+    // the clone's workspaces are first-touched by their pinned owner.
+    if (slot_tests_.size() != plan.tasks.size()) {
+      slot_tests_ = std::vector<ThreadLocalTests>(plan.tasks.size());
     }
-    std::vector<std::vector<std::unique_ptr<CiTest>>*> shard_clones(
-        shard_count);
-    for (std::size_t s = 0; s < shard_count; ++s) {
-      shard_clones[s] = &shard_tests_[s].acquire(
-          prototype, static_cast<std::size_t>(plan.team_sizes[s]));
-    }
+    const bool pin =
+        plan.placement.active && plan.placement.topology.cpus_are_physical();
 
     std::int64_t tests = 0;
 #pragma omp parallel for schedule(static, 1) reduction(+ : tests)
     for (std::int64_t i = 0;
          i < static_cast<std::int64_t>(plan.tasks.size()); ++i) {
       const ShardTask task = plan.tasks[static_cast<std::size_t>(i)];
+      const auto domain = static_cast<std::size_t>(
+          plan.placement.shard_domain[static_cast<std::size_t>(task.shard)]);
+      // Pin first, allocate after: everything the slot creates below —
+      // the clone, its scratch arenas, the first-touch page faults — is
+      // attributed to the pinned domain. The saved mask is restored when
+      // the task ends, so neither later depths' schedules nor the rest
+      // of the process inherit the narrowed affinity.
+      std::optional<ScopedThreadAffinity> affinity;
+      if (pin) {
+        affinity.emplace(plan.placement.topology.domains()[domain].cpus);
+      }
+      CiTest& test = *slot_tests_[static_cast<std::size_t>(i)]
+                          .acquire(prototype, 1)
+                          .front();
+      // One-time dataset placement, before any counting: rank r of the
+      // shard's group prefaults columns r, r + g, ... of the shard's
+      // variables, so the pass itself is parallel inside the group and
+      // every page of a shard's slice is faulted by a thread pinned to
+      // the shard's domain.
+      if (plan.placement.active && !placed_data_) {
+        first_touch_shard_columns(plan, task, prototype);
+      }
       const std::vector<std::int64_t>& indices =
           shard_works[static_cast<std::size_t>(task.shard)];
       const auto group = static_cast<std::size_t>(
           plan.team_sizes[static_cast<std::size_t>(task.shard)]);
-      CiTest& test = *(*shard_clones[static_cast<std::size_t>(task.shard)])
-                          [static_cast<std::size_t>(task.rank)];
       for (std::size_t p = static_cast<std::size_t>(task.rank);
            p < indices.size(); p += group) {
         EdgeWork& work = works[static_cast<std::size_t>(indices[p])];
@@ -112,6 +145,7 @@ class ShardedEngine final : public SkeletonEngine {
                                                /*use_group_protocol=*/true);
       }
     }
+    placed_data_ = true;
     // The implicit join above is the commit barrier: all shards' removal
     // sets are now in the works vector, merged by the driver's
     // commit_depth like any other engine's.
@@ -120,13 +154,13 @@ class ShardedEngine final : public SkeletonEngine {
 
  private:
   /// Everything about a run that does not depend on the depth: the
-  /// variable->shard map, the thread-group sizes, and the (shard, rank)
-  /// task schedule. Built once per run; only the per-depth work lists
-  /// vary.
+  /// variable->shard map, the thread-group sizes, the (shard, rank) task
+  /// schedule, and the shard->domain placement.
   struct RunPlan {
     VariableShards shards;
     std::vector<int> team_sizes;
     std::vector<ShardTask> tasks;
+    ShardPlacement placement;
   };
 
   void build_plan(VarId num_vars, int threads, const PcOptions& options) {
@@ -136,7 +170,15 @@ class ShardedEngine final : public SkeletonEngine {
                      num_vars, shard_count,
                      shard_partition_from_string(options.shard_partition)),
                  shard_team_sizes(shard_count, threads),
-                 {}};
+                 {},
+                 plan_shard_placement(
+                     numa_policy_from_string(options.numa_policy),
+                     shard_count, NumaTopology::detect())};
+    if (plan.placement.active) {
+      // Engine-level pinning and OMP_PROC_BIND/OMP_PLACES fight over the
+      // same masks; warn once so a silently no-oping pin is explainable.
+      warn_if_omp_binding_conflicts("sharded engine");
+    }
     // Rank-major task list: every shard's rank-0 slot first, then the
     // rank-1 slots of the larger groups, and so on. With T >= S threads
     // the schedule(static, 1) deal gives each thread exactly one task;
@@ -152,11 +194,37 @@ class ShardedEngine final : public SkeletonEngine {
       }
     }
     plan_.emplace(std::move(plan));
+    placed_data_ = false;
   }
 
-  /// One clone cache per shard, sized to the shard's thread-group.
-  std::vector<ThreadLocalTests> shard_tests_;
+  /// Rank `task.rank`'s share of the first-touch pass over `task.shard`'s
+  /// variables: prefault the dataset bytes each owned variable's tests
+  /// stream. Read-only (prefault_readonly), so already-resident pages are
+  /// merely walked — the pass places pages only where the allocator has
+  /// not committed them yet, which is exactly the fresh-dataset case the
+  /// engine is handed in practice.
+  static void first_touch_shard_columns(const RunPlan& plan,
+                                        const ShardTask& task,
+                                        const CiTest& prototype) {
+    const auto group =
+        plan.team_sizes[static_cast<std::size_t>(task.shard)];
+    int slot = 0;
+    for (VarId v = 0; v < plan.shards.num_vars(); ++v) {
+      if (plan.shards.shard_of(v) != task.shard) continue;
+      if (slot++ % group != task.rank) continue;
+      const std::span<const std::byte> bytes =
+          prototype.workload_column_bytes(v);
+      if (!bytes.empty()) prefault_readonly(bytes.data(), bytes.size());
+    }
+  }
+
+  /// One clone cache per schedule slot (ShardTask), populated inside the
+  /// parallel region by the slot's own thread.
+  std::vector<ThreadLocalTests> slot_tests_;
   std::optional<RunPlan> plan_;
+  /// Whether the first-touch pass already ran this run (it runs inside
+  /// depth 0's parallel region, once).
+  bool placed_data_ = false;
 };
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "pc/edge_work.hpp"
 #include "stats/table_builder.hpp"
+#include "topology/placement.hpp"
 
 namespace fastbns {
 
@@ -51,6 +52,7 @@ void PcOptions::validate() const {
   // offending value) for anything unknown — same contract as engines and
   // table builders.
   (void)shard_partition_from_string(shard_partition);
+  (void)numa_policy_from_string(numa_policy);
   const std::vector<std::string> builders = list_table_builders();
   if (std::find(builders.begin(), builders.end(), table_builder) ==
       builders.end()) {

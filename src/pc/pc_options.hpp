@@ -97,6 +97,15 @@ struct PcOptions {
   /// (balanced id ranges — the data-locality default) or "round-robin"
   /// (v mod shards — balances when adjacency correlates with id order).
   std::string shard_partition = "contiguous";
+  /// NUMA placement policy (topology/placement.hpp): "auto" pins shard
+  /// thread-groups and first-touches shard column slices only when the
+  /// detected topology (or its FASTBNS_NUMA override) has more than one
+  /// domain; "off" never does; "forced" always does — the tests/CI
+  /// setting that exercises the machinery under simulated topologies.
+  /// Consumed by the sharded engine (pinning + placement) and the hybrid
+  /// engine (locality-extended cost model); placement never changes
+  /// results, only where threads and pages live.
+  std::string numa_policy = "auto";
 
   /// Largest accepted num_threads; far beyond any machine this targets,
   /// so a mistyped thread count fails here instead of oversubscribing.
@@ -107,7 +116,8 @@ struct PcOptions {
   /// Throws std::invalid_argument when any field is out of range:
   /// group_size >= 1, alpha in (0, 1), max_depth >= -1, 0 <= num_threads
   /// <= kMaxThreads, 0 <= shard_count <= kMaxShards, shard_partition a
-  /// known rule, table_builder a known kernel name, and max_table_cells
+  /// known rule, numa_policy a known policy (auto/off/forced),
+  /// table_builder a known kernel name, and max_table_cells
   /// >= 4 (a smaller cap cannot hold even the 2x2 marginal table of two
   /// binary variables, so every test would be skipped and no edge ever
   /// removed). Every rejection message names the offending value, not

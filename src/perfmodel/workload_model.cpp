@@ -1,5 +1,6 @@
 #include "perfmodel/workload_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/simd_dispatch.hpp"
@@ -37,15 +38,44 @@ double predict_table_cells(const EdgeWorkload& workload) {
 }
 
 double predict_edge_cost(const EdgeWorkload& workload,
-                         const CacheModelParams& cache) {
+                         const CacheModelParams& cache,
+                         double remote_fraction) {
   if (workload.tests == 0) return 0.0;
   const double streamed = static_cast<double>(workload.samples) *
                           (static_cast<double>(workload.depth) + 2.0);
   const double scale =
       workload.builder_scale > 0.0 ? workload.builder_scale : 1.0;
-  const double per_test = streamed / (cache_speedup(cache) * scale) +
+  // Only the streamed columns can be remote; the contingency table is
+  // thread-local workspace and stays at local cost. Clamped so a caller
+  // passing a fraction outside [0, 1] (or a sub-1 multiplier) can never
+  // produce a negative or deflated-below-local streaming term.
+  const double fraction = std::clamp(remote_fraction, 0.0, 1.0);
+  const double multiplier = std::max(cache.remote_access_multiplier, 1.0);
+  const double locality = 1.0 + fraction * (multiplier - 1.0);
+  const double per_test = streamed * locality / (cache_speedup(cache) * scale) +
                           predict_table_cells(workload);
   return static_cast<double>(workload.tests) * per_test;
+}
+
+double edge_remote_fraction(VarId x, VarId y, std::int32_t depth,
+                            std::span<const std::int32_t> var_domain,
+                            std::int32_t exec_domain) {
+  if (var_domain.empty() || depth < 0) return 0.0;
+  const auto size = static_cast<std::int64_t>(var_domain.size());
+  const auto is_remote = [&](VarId v) {
+    return v >= 0 && v < size &&
+           var_domain[static_cast<std::size_t>(v)] != exec_domain;
+  };
+  std::int64_t remote_vars = 0;
+  for (std::int64_t v = 0; v < size; ++v) {
+    if (var_domain[static_cast<std::size_t>(v)] != exec_domain) ++remote_vars;
+  }
+  const double remote_share =
+      static_cast<double>(remote_vars) / static_cast<double>(size);
+  const double remote_columns = (is_remote(x) ? 1.0 : 0.0) +
+                                (is_remote(y) ? 1.0 : 0.0) +
+                                static_cast<double>(depth) * remote_share;
+  return remote_columns / (static_cast<double>(depth) + 2.0);
 }
 
 bool route_edge_to_sample_parallel(double edge_cost, double depth_total_cost,

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "common/types.hpp"
@@ -59,13 +60,40 @@ inline constexpr double kAvx2BuilderScale = 2.2;
                                               std::int32_t depth);
 
 /// Predicted cost of the edge's remaining tests, in effective streamed
-/// values: tests * (m * (d + 2) / (S_cache * builder_scale) + expected
-/// table cells), with S_cache the Section IV-D cache speedup of the
-/// column-major layout, builder_scale the counting kernel's throughput
-/// constant, and the cell term covering zeroing + marginalization of the
-/// table (statistic-layer work no kernel accelerates).
+/// values: tests * (m * (d + 2) * L / (S_cache * builder_scale) +
+/// expected table cells), with S_cache the Section IV-D cache speedup of
+/// the column-major layout, builder_scale the counting kernel's
+/// throughput constant, and the cell term covering zeroing +
+/// marginalization of the table (statistic-layer work no kernel
+/// accelerates). L = 1 + remote_fraction * (remote_access_multiplier -
+/// 1) is the locality extension: `remote_fraction` is the share of the
+/// d + 2 streamed columns whose pages live on another NUMA domain than
+/// the executing thread (edge_remote_fraction), and it inflates only the
+/// streaming term — the contingency table itself is thread-local
+/// workspace. The defaults (remote_fraction = 0, multiplier = 1)
+/// reproduce the uniform-memory model bit-for-bit.
 [[nodiscard]] double predict_edge_cost(const EdgeWorkload& workload,
-                                       const CacheModelParams& cache);
+                                       const CacheModelParams& cache,
+                                       double remote_fraction = 0.0);
+
+/// Default calibration of CacheModelParams::remote_access_multiplier for
+/// cost *ranking* under active NUMA placement: remote streaming costed
+/// at ~1.6x local, the coarse one-hop DRAM penalty of contemporary
+/// two-socket boxes. Routing only compares costs, so the exact value
+/// matters far less than being > 1.
+inline constexpr double kRemoteAccessMultiplier = 1.6;
+
+/// Share of the d + 2 value columns one test of edge (x, y) streams that
+/// live outside `exec_domain`, per the variable→domain map `var_domain`
+/// (contiguous_var_domains, or any per-variable home assignment):
+/// endpoints contribute their own homes, and each of the d conditioning
+/// variables is approximated by the map-wide remote share (candidates
+/// are drawn from the shrinking neighbourhood, which the model does not
+/// track per-edge). Variables outside the map count as local; an empty
+/// map or negative depth yields 0.
+[[nodiscard]] double edge_remote_fraction(
+    VarId x, VarId y, std::int32_t depth,
+    std::span<const std::int32_t> var_domain, std::int32_t exec_domain);
 
 /// Expected contingency-table cells of one test of this edge:
 /// |X| * |Y| * mean_z_states^d.

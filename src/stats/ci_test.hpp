@@ -13,6 +13,9 @@
 #include <span>
 #include <string_view>
 
+// (std::byte comes from <cstddef>; spans of it carry the raw column
+// buffers placement passes touch.)
+
 #include "common/types.hpp"
 
 namespace fastbns {
@@ -69,6 +72,19 @@ class CiTest {
   [[nodiscard]] virtual std::int64_t workload_states(VarId v) const noexcept {
     (void)v;
     return 0;
+  }
+
+  /// Read-only bytes of the value column a test of `v` streams (the
+  /// packed codes8 column when materialized, the value column otherwise);
+  /// empty for data-free tests (the oracle). NUMA placement passes
+  /// prefault these pages from the thread-group that owns the variable's
+  /// shard before depth 0 (topology/placement.hpp), so a run's
+  /// steady-state streaming stays domain-local under a first-touch
+  /// policy.
+  [[nodiscard]] virtual std::span<const std::byte> workload_column_bytes(
+      VarId v) const noexcept {
+    (void)v;
+    return {};
   }
 
   /// The per-table cell cap this test enforces, 0 when it enforces none

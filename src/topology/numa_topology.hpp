@@ -1,0 +1,131 @@
+// NUMA topology detection and thread pinning.
+//
+// Multi-socket boxes break the uniform-memory-cost assumption of the
+// Section IV-D cache model: a contingency build streaming columns that
+// another socket's controller owns pays the interconnect on every miss.
+// The sharded engine's fixed variable→shard map exists to exploit this —
+// pin each shard's thread-group to one domain and first-touch the shard's
+// column slices from it, and a run's steady-state traffic stays local.
+// This header is the detection + pinning half of that plan; the
+// shard→domain assignment lives in topology/placement.hpp.
+//
+// Detection order (NumaTopology::detect()):
+//  1. FASTBNS_NUMA environment override — the tests/CI hook:
+//       "off"    force a single domain (placement becomes a no-op);
+//       "<D>"    split the process's *actual* cpu affinity mask into D
+//                balanced domains (clamped to the cpu count), so pinning
+//                is real sched_setaffinity even on a single socket;
+//       "<D>x<C>" simulate D domains of C synthetic cpus each — the
+//                two-domain model CI runs on single-socket runners;
+//                synthetic cpu ids are never passed to the kernel, so
+//                pinning no-ops while placement logic runs in full.
+//     A malformed value warns and falls back to real detection.
+//  2. sysfs parse of /sys/devices/system/node/node<k>/cpulist.
+//  3. Clean single-node fallback (one domain holding the affinity mask).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fastbns {
+
+struct NumaDomain {
+  std::int32_t id = 0;
+  /// Logical cpu ids, ascending. Synthetic (not pinnable) when the
+  /// owning topology says !cpus_are_physical().
+  std::vector<int> cpus;
+};
+
+class NumaTopology {
+ public:
+  /// Single-node topology over the process's affinity mask.
+  NumaTopology();
+
+  /// Detection entry point; see the header comment for the order. Never
+  /// throws — every failure path degrades to the single-node fallback.
+  [[nodiscard]] static NumaTopology detect();
+
+  /// Parses a sysfs node directory (node<k>/cpulist entries). Zero
+  /// parseable nodes — missing directory, no node<k> subdirs, or
+  /// malformed cpulist files — returns the single-node fallback; a
+  /// malformed file never throws past this boundary. Exposed (with the
+  /// directory parameter) so tests drive it against fake-sysfs fixtures.
+  [[nodiscard]] static NumaTopology from_sysfs(const std::string& node_dir);
+
+  /// One domain holding `cpus` (empty = the affinity mask); physical.
+  [[nodiscard]] static NumaTopology single_node(std::vector<int> cpus = {});
+
+  /// D domains of C synthetic cpus each (the "<D>x<C>" override form).
+  /// Throws std::invalid_argument when either is < 1.
+  [[nodiscard]] static NumaTopology simulated(std::int32_t domains,
+                                              int cpus_per_domain);
+
+  /// Splits the affinity mask into `domains` balanced physical domains,
+  /// clamped to the cpu count (a 1-cpu box yields 1 domain). Throws
+  /// std::invalid_argument when domains < 1.
+  [[nodiscard]] static NumaTopology split_affinity(std::int32_t domains);
+
+  [[nodiscard]] std::int32_t num_domains() const noexcept {
+    return static_cast<std::int32_t>(domains_.size());
+  }
+  [[nodiscard]] const std::vector<NumaDomain>& domains() const noexcept {
+    return domains_;
+  }
+  /// Whether the domains' cpu ids name real kernel cpus (sysfs or an
+  /// affinity split) — pinning only acts on physical topologies.
+  [[nodiscard]] bool cpus_are_physical() const noexcept { return physical_; }
+
+  /// Compact one-line form for logs and the structure_tool echo, e.g.
+  /// "2 nodes (4+4 cpus)" or "2 simulated nodes (2+2 cpus)".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  NumaTopology(std::vector<NumaDomain> domains, bool physical);
+
+  std::vector<NumaDomain> domains_;
+  bool physical_ = true;
+};
+
+/// Parses a sysfs cpulist ("0-3,8,10-11"; trailing whitespace/newline
+/// tolerated) into ascending cpu ids. Throws std::invalid_argument on
+/// malformed input (empty, non-numeric, descending ranges).
+[[nodiscard]] std::vector<int> parse_cpulist(std::string_view text);
+
+/// The process's current cpu affinity mask, ascending; falls back to
+/// {0, ..., hardware_threads() - 1} where the mask is unreadable.
+[[nodiscard]] std::vector<int> current_affinity_cpus();
+
+/// Pins the calling thread to the intersection of `cpus` with its current
+/// affinity mask via sched_setaffinity. Returns false — leaving the
+/// affinity untouched — when the intersection is empty (restricted
+/// cpusets), the list is empty, or the syscall is unavailable/fails: a
+/// box where pinning cannot work degrades to a no-op, never an error.
+bool pin_current_thread(const std::vector<int>& cpus);
+
+/// RAII pin: saves the calling thread's affinity, pins to `cpus`, and
+/// restores the saved mask on destruction. pinned() reports whether the
+/// pin actually took effect (same no-op conditions as
+/// pin_current_thread).
+class ScopedThreadAffinity {
+ public:
+  explicit ScopedThreadAffinity(const std::vector<int>& cpus);
+  ~ScopedThreadAffinity();
+  ScopedThreadAffinity(const ScopedThreadAffinity&) = delete;
+  ScopedThreadAffinity& operator=(const ScopedThreadAffinity&) = delete;
+
+  [[nodiscard]] bool pinned() const noexcept { return pinned_; }
+
+ private:
+  std::vector<int> saved_;
+  bool pinned_ = false;
+};
+
+/// First-touch helper: reads one byte per page of [data, data + size) so
+/// the pages are faulted in (and, under a first-touch NUMA policy,
+/// allocated) by the *calling* thread. Returns the number of pages
+/// touched. Read-only — safe on shared buffers.
+std::size_t prefault_readonly(const void* data, std::size_t size);
+
+}  // namespace fastbns

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -177,6 +178,56 @@ TEST(EngineEquivalence, ShardedIdenticalAcrossShardCountsAndPartitions) {
       }
     }
   }
+}
+
+TEST(EngineEquivalence, NumaForcedPlacementIsResultIdentical) {
+  // Forced NUMA placement turns on the full machinery even on the
+  // single-socket CI box: the shard->domain deal, per-task thread pins
+  // (real sched_setaffinity under the "2" affinity-split form, no-ops
+  // under the synthetic "2x2" form — both swept here), and the one-time
+  // first-touch prefault of each shard's column slices. None of it may
+  // change a bit of the result, for the sharded engine or for the hybrid
+  // engine's locality-extended cost routing.
+  static const SkeletonResult reference = reference_result();
+  const VarId n = fixture().data.num_vars();
+  for (const char* topology : {"2", "2x2"}) {
+    setenv("FASTBNS_NUMA", topology, 1);
+    for (const char* engine : {"sharded", "hybrid"}) {
+      for (const char* policy : {"auto", "off", "forced"}) {
+        for (const std::int32_t shards : {2, 5}) {
+          for (const char* partition : {"contiguous", "round-robin"}) {
+            PcOptions options;
+            options.engine = engine_from_string(engine);
+            options.engine_name = engine;
+            options.num_threads = 2;
+            options.shard_count = shards;
+            options.shard_partition = partition;
+            options.numa_policy = policy;
+            const DiscreteCiTest test(fixture().data, {});
+            const SkeletonResult result = learn_skeleton(n, test, options);
+            const std::string label = std::string("FASTBNS_NUMA=") +
+                                      topology + " " + engine + " numa=" +
+                                      policy + " shards=" +
+                                      std::to_string(shards) + "/" + partition;
+            EXPECT_TRUE(result.graph == reference.graph) << label;
+            for (VarId u = 0; u < n; ++u) {
+              for (VarId v = u + 1; v < n; ++v) {
+                const auto* expected = reference.sepsets.find(u, v);
+                const auto* actual = result.sepsets.find(u, v);
+                ASSERT_EQ(expected == nullptr, actual == nullptr)
+                    << label << ": " << u << "," << v;
+                if (expected != nullptr) {
+                  EXPECT_EQ(*expected, *actual)
+                      << label << ": " << u << "," << v;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  unsetenv("FASTBNS_NUMA");
 }
 
 TEST(EngineEquivalence, ShardedTestCountMatchesEdgeParallelAtAnyShardCount) {

@@ -84,6 +84,10 @@ TEST(EngineFuzz, EveryEngineEveryBuilderMatchesTheSequentialReference) {
     const auto shard_count = static_cast<std::int32_t>(1 + seed % 4);
     const char* shard_partition =
         seed % 2 == 0 ? "contiguous" : "round-robin";
+    // NUMA placement swaps thread pinning and first-touch in and out
+    // (and, under FASTBNS_NUMA, the shard->domain deal) — none of which
+    // may perturb a single bit of the result.
+    const char* numa_policy = seed % 2 == 0 ? "auto" : "forced";
 
     for (const std::string& engine : engines) {
       for (const std::string& builder : builders) {
@@ -94,6 +98,7 @@ TEST(EngineFuzz, EveryEngineEveryBuilderMatchesTheSequentialReference) {
         options.group_size = gs;
         options.shard_count = shard_count;
         options.shard_partition = shard_partition;
+        options.numa_policy = numa_policy;
         options.table_builder = builder;
         CiTestOptions test_options;
         test_options.sample_parallel =
@@ -107,7 +112,7 @@ TEST(EngineFuzz, EveryEngineEveryBuilderMatchesTheSequentialReference) {
                       << " engine pair fastbns-seq(scalar) vs " << engine
                       << "(" << builder << ")"
                       << " gs=" << gs << " shards=" << shard_count << "/"
-                      << shard_partition << ": "
+                      << shard_partition << " numa=" << numa_policy << ": "
                       << fuzz::describe_divergence(reference, actual, n);
       }
     }

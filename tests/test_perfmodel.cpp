@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "perfmodel/workload_model.hpp"
 #include "stats/simd_dispatch.hpp"
 
@@ -171,6 +174,76 @@ TEST(WorkloadModel, BuilderScaleDeflatesOnlyTheStreamingTerm) {
       static_cast<double>(workload.tests) * predict_table_cells(workload);
   EXPECT_GT(simd_cost, cells_only);
   EXPECT_LT(scalar_cost - cells_only, 2.0 * (simd_cost - cells_only) + 1e-9);
+}
+
+TEST(WorkloadModel, DefaultLocalityReproducesTheUniformModelExactly) {
+  // The locality extension must be invisible until switched on: with the
+  // default multiplier (1.0) every remote fraction — and with fraction 0
+  // every multiplier — reproduces the uniform-memory cost bit-for-bit.
+  EdgeWorkload workload;
+  workload.tests = 7;
+  workload.samples = 4321;
+  workload.depth = 2;
+  workload.xy_states = 6;
+  workload.mean_z_states = 2.5;
+  CacheModelParams cache;
+  cache.depth = workload.depth;
+  const double uniform = predict_edge_cost(workload, cache);
+  for (const double fraction : {0.0, 0.25, 1.0}) {
+    EXPECT_DOUBLE_EQ(predict_edge_cost(workload, cache, fraction), uniform);
+  }
+  cache.remote_access_multiplier = 1.6;
+  EXPECT_DOUBLE_EQ(predict_edge_cost(workload, cache, 0.0), uniform);
+  // Sub-unit multipliers are clamped to 1, never a remote *discount*.
+  cache.remote_access_multiplier = 0.5;
+  EXPECT_DOUBLE_EQ(predict_edge_cost(workload, cache, 1.0), uniform);
+}
+
+TEST(WorkloadModel, RemoteAccessesInflateOnlyTheStreamingTerm) {
+  EdgeWorkload workload;
+  workload.tests = 10;
+  workload.samples = 5000;
+  workload.depth = 2;
+  workload.xy_states = 4;
+  workload.mean_z_states = 3.0;
+  CacheModelParams cache;
+  cache.depth = workload.depth;
+  const double local_cost = predict_edge_cost(workload, cache);
+  cache.remote_access_multiplier = 2.0;
+  const double remote_cost = predict_edge_cost(workload, cache, 1.0);
+  EXPECT_GT(remote_cost, local_cost);
+  // The cell term (zeroing + marginalization of thread-local tables)
+  // never pays the interconnect: the inflation must equal the multiplier
+  // applied to the streaming share alone.
+  const double cells =
+      static_cast<double>(workload.tests) * predict_table_cells(workload);
+  EXPECT_NEAR(remote_cost - cells, 2.0 * (local_cost - cells), 1e-9);
+  // Half-remote edges pay half the surcharge; out-of-range fractions
+  // clamp to [0, 1].
+  const double half = predict_edge_cost(workload, cache, 0.5);
+  EXPECT_NEAR(half - cells, 1.5 * (local_cost - cells), 1e-9);
+  EXPECT_DOUBLE_EQ(predict_edge_cost(workload, cache, 7.0), remote_cost);
+  EXPECT_DOUBLE_EQ(predict_edge_cost(workload, cache, -3.0), local_cost);
+}
+
+TEST(WorkloadModel, EdgeRemoteFractionCountsTheStreamedColumns) {
+  // 6 variables split 3/3 across two domains.
+  const std::vector<std::int32_t> domains = {0, 0, 0, 1, 1, 1};
+  // Depth 0: only the two endpoint columns stream.
+  EXPECT_DOUBLE_EQ(edge_remote_fraction(0, 1, 0, domains, 0), 0.0);
+  EXPECT_DOUBLE_EQ(edge_remote_fraction(0, 3, 0, domains, 0), 0.5);
+  EXPECT_DOUBLE_EQ(edge_remote_fraction(3, 4, 0, domains, 0), 1.0);
+  // Depth d adds d conditioning columns at the map-wide remote share
+  // (here 1/2): local endpoints at depth 2 cost (0 + 0 + 2 * 0.5) / 4.
+  EXPECT_DOUBLE_EQ(edge_remote_fraction(0, 1, 2, domains, 0), 0.25);
+  EXPECT_DOUBLE_EQ(edge_remote_fraction(3, 4, 2, domains, 1), 0.25);
+  // From the other domain the same edge flips.
+  EXPECT_DOUBLE_EQ(edge_remote_fraction(0, 1, 2, domains, 1), 0.75);
+  // Degenerate inputs never contribute: empty maps, negative depths and
+  // out-of-map variables are all local.
+  EXPECT_DOUBLE_EQ(edge_remote_fraction(0, 1, 2, {}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(edge_remote_fraction(0, 1, -1, domains, 1), 0.0);
+  EXPECT_DOUBLE_EQ(edge_remote_fraction(97, 98, 0, domains, 0), 0.0);
 }
 
 TEST(WorkloadModel, BuilderThroughputConstantsAreOrdered) {

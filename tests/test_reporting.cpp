@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 namespace fastbns {
@@ -77,6 +78,41 @@ TEST(BenchJson, MalformedStringsAnywhereStayValidJson) {
   del_table.add_row({std::string("x\x7fy")});
   EXPECT_NE(bench_json("t", "s", del_table).find("x\x7fy"),
             std::string::npos);
+}
+
+TEST(BenchJson, MachineContextBlockIsEmbeddedInEveryBenchJson) {
+  // Satellite contract: every BENCH_*.json carries the machine context a
+  // perf number is meaningless without — node count, per-node cpus,
+  // whether those cpus are pinnable, and the declared pinning policy.
+  TablePrinter table({"col"});
+  table.add_row({"1"});
+  const std::string json = bench_json("t", "s", table);
+  EXPECT_NE(json.find("\"context\": {"), std::string::npos);
+  for (const char* key :
+       {"\"numa_nodes\":", "\"cpus_per_node\":", "\"physical_cpus\":",
+        "\"omp_max_threads\":", "\"omp_binding_env\":",
+        "\"pinning_policy\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(BenchJson, ContextReflectsTheSimulatedTopologyAndPinningPolicy) {
+  // FASTBNS_NUMA drives the context block through the same detection the
+  // engines use, so a simulated-topology bench run is honest about it:
+  // 2 synthetic nodes of 3 cpus, not pinnable.
+  setenv("FASTBNS_NUMA", "2x3", 1);
+  set_bench_pinning_policy("forced-vs-off");
+  const std::string context = bench_context_json();
+  unsetenv("FASTBNS_NUMA");
+  set_bench_pinning_policy("unset");
+  EXPECT_NE(context.find("\"numa_nodes\": 2"), std::string::npos) << context;
+  EXPECT_NE(context.find("\"cpus_per_node\": [3, 3]"), std::string::npos)
+      << context;
+  EXPECT_NE(context.find("\"physical_cpus\": false"), std::string::npos)
+      << context;
+  EXPECT_NE(context.find("\"pinning_policy\": \"forced-vs-off\""),
+            std::string::npos)
+      << context;
 }
 
 }  // namespace
