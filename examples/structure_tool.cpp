@@ -13,6 +13,7 @@
 #include "dataset/dataset_io.hpp"
 #include "engine/engine_common.hpp"
 #include "engine/engine_registry.hpp"
+#include "engine/process_engine.hpp"
 #include "graph/graphviz.hpp"
 #include "pc/pc_stable.hpp"
 #include "stats/table_builder.hpp"
@@ -20,11 +21,24 @@
 
 namespace {
 
+// The engine listing is generated from the registry — names *and*
+// aliases — so a newly registered engine can never drift out of the
+// usage string.
 std::string engine_help() {
-  std::string help = "skeleton engine (or an alias like ci/edge/seq):";
+  std::string help = "skeleton engine, by canonical name or alias:";
   for (const std::string& name : fastbns::list_engines()) {
+    const fastbns::EngineInfo* info =
+        fastbns::EngineRegistry::instance().find(name);
     help += ' ';
     help += name;
+    if (info != nullptr && !info->aliases.empty()) {
+      help += " (";
+      for (std::size_t i = 0; i < info->aliases.size(); ++i) {
+        if (i > 0) help += '/';
+        help += info->aliases[i];
+      }
+      help += ')';
+    }
   }
   return help;
 }
@@ -54,6 +68,14 @@ int main(int argc, char** argv) {
                 "NUMA placement policy (auto/off/forced; auto pins shard "
                 "thread-groups only on multi-domain topologies)",
                 "auto");
+  args.add_flag("ranks",
+                "forked worker ranks for --engine process (0 = auto: two "
+                "ranks, one on a single-cpu box)",
+                "0");
+  args.add_flag("rank-threads",
+                "threads inside each rank for --engine process (0 = auto: "
+                "thread budget / ranks)",
+                "0");
   args.add_flag("alpha", "G2 significance level", "0.05");
   args.add_flag("max-depth", "conditioning-set cap (-1 = unlimited)", "-1");
   args.add_flag("dot", "write learned CPDAG to this DOT file", "");
@@ -95,6 +117,9 @@ int main(int argc, char** argv) {
   options.shard_count = static_cast<std::int32_t>(args.get_int("shards"));
   options.shard_partition = args.get("shard-partition");
   options.numa_policy = args.get("numa");
+  options.rank_count = static_cast<std::int32_t>(args.get_int("ranks"));
+  options.rank_threads =
+      static_cast<std::int32_t>(args.get_int("rank-threads"));
   options.alpha = args.get_double("alpha");
   options.max_depth = static_cast<std::int32_t>(args.get_int("max-depth"));
   try {
@@ -122,6 +147,19 @@ int main(int argc, char** argv) {
         NumaTopology::detect());
     std::printf("numa policy %s: %s\n", options.numa_policy.c_str(),
                 placement.describe().c_str());
+  }
+  // Same echo for the process engine, whose ranks reuse the shard
+  // placement plan verbatim (ranks are shards), plus the resolved
+  // rank/thread split the forked group will actually run with.
+  if (options.engine == EngineKind::kProcess) {
+    const std::int32_t ranks = resolve_rank_count(options.rank_count);
+    const ShardPlacement placement = plan_shard_placement(
+        numa_policy_from_string(options.numa_policy), ranks,
+        NumaTopology::detect());
+    std::printf("process ranks: %d x %d threads; numa policy %s: %s\n", ranks,
+                resolve_rank_threads(options.rank_threads, ranks,
+                                     options.num_threads),
+                options.numa_policy.c_str(), placement.describe().c_str());
   }
 
   const PcStableResult result = learn_structure(input.data, options);

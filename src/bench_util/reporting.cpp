@@ -82,10 +82,27 @@ std::string& bench_pinning_policy() {
   return policy;
 }
 
+/// set_bench_rank_context state; single-process until a bench declares
+/// a rank sweep.
+int& bench_rank_count() {
+  static int ranks = 0;
+  return ranks;
+}
+
+std::string& bench_ipc_transport() {
+  static std::string transport = "none";
+  return transport;
+}
+
 }  // namespace
 
 void set_bench_pinning_policy(const std::string& policy) {
   bench_pinning_policy() = policy;
+}
+
+void set_bench_rank_context(int rank_count, const std::string& transport) {
+  bench_rank_count() = rank_count;
+  bench_ipc_transport() = transport;
 }
 
 std::string bench_context_json() {
@@ -106,6 +123,10 @@ std::string bench_context_json() {
   out += omp_binding_env_active() ? "true" : "false";
   out += ", \"pinning_policy\": ";
   append_json_string(out, bench_pinning_policy());
+  out += ", \"rank_count\": ";
+  out += std::to_string(bench_rank_count());
+  out += ", \"ipc_transport\": ";
+  append_json_string(out, bench_ipc_transport());
   out += '}';
   return out;
 }

@@ -29,10 +29,11 @@ void emit_table(const std::string& title, const std::string& stem,
 /// FASTBNS_NUMA override, so simulated-topology runs are labelled as
 /// such), whether the node cpu ids are physical, the OpenMP default
 /// thread count, whether OMP_PROC_BIND/OMP_PLACES binding is active, and
-/// the pinning policy the bench declared via set_bench_pinning_policy.
-/// A bench number without its topology is unreproducible — two runs of
-/// bench_numa_placement on different FASTBNS_NUMA settings must be
-/// distinguishable from the JSON alone.
+/// the pinning policy the bench declared via set_bench_pinning_policy,
+/// and the worker-rank count + IPC transport declared via
+/// set_bench_rank_context. A bench number without its topology is
+/// unreproducible — two runs of bench_numa_placement on different
+/// FASTBNS_NUMA settings must be distinguishable from the JSON alone.
 [[nodiscard]] std::string bench_context_json();
 
 /// Declares the placement policy in force for subsequent emit_table /
@@ -40,5 +41,14 @@ void emit_table(const std::string& title, const std::string& stem,
 /// when the bench never resolved one). Process-global, like the result
 /// directory convention.
 void set_bench_pinning_policy(const std::string& policy);
+
+/// Declares the multi-process configuration for subsequent emit_table /
+/// bench_json calls: the largest worker-rank count the bench swept
+/// (0 = single-process, the default) and the IPC transport the ranks
+/// exchanged removal sets over ("none" when single-process; the process
+/// engine's is "fork+pipe+shm"). Emitted as the context block's
+/// `rank_count` / `ipc_transport` fields so a BENCH_*.json records how
+/// it was produced. Process-global, like set_bench_pinning_policy.
+void set_bench_rank_context(int rank_count, const std::string& transport);
 
 }  // namespace fastbns

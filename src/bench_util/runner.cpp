@@ -1,7 +1,10 @@
 #include "bench_util/runner.hpp"
 
+#include <optional>
+
 #include "common/timer.hpp"
 #include "engine/engine_registry.hpp"
+#include "ipc/shared_dataset.hpp"
 #include "stats/discrete_ci_test.hpp"
 
 namespace fastbns {
@@ -72,7 +75,16 @@ EngineRunResult run_skeleton(const Workload& workload,
   test_options.use_row_major = config.row_major;
   test_options.sample_parallel = config.sample_parallel;
   test_options.table_builder = config.table_builder;
-  const DiscreteCiTest test(workload.data, test_options);
+  // Mirror learn_structure: the process engine's ranks stream the
+  // dataset out of one MAP_SHARED segment, so the bench measures the
+  // same data path production runs use.
+  std::optional<SharedDatasetSegment> shared;
+  const DiscreteDataset* data = &workload.data;
+  if (config.engine == EngineKind::kProcess) {
+    shared.emplace(SharedDatasetSegment::create(workload.data));
+    data = &shared->view();
+  }
+  const DiscreteCiTest test(*data, test_options);
 
   PcOptions options;
   options.engine = config.engine;
@@ -88,10 +100,11 @@ EngineRunResult run_skeleton(const Workload& workload,
   options.shard_count = config.shard_count;
   options.shard_partition = config.shard_partition;
   options.numa_policy = config.numa_policy;
+  options.rank_count = config.rank_count;
+  options.rank_threads = config.rank_threads;
 
   const WallTimer timer;
-  SkeletonResult skeleton =
-      learn_skeleton(workload.data.num_vars(), test, options);
+  SkeletonResult skeleton = learn_skeleton(data->num_vars(), test, options);
   EngineRunResult result;
   result.seconds = timer.seconds();
   result.ci_tests = skeleton.total_ci_tests;

@@ -35,19 +35,68 @@ DiscreteDataset::DiscreteDataset(VarId num_vars, Count num_samples,
   }
 }
 
+DiscreteDataset::DiscreteDataset(VarId num_vars, Count num_samples,
+                                 std::vector<std::int32_t> cardinalities,
+                                 const ExternalDataBuffers& buffers)
+    : num_vars_(num_vars),
+      num_samples_(num_samples),
+      cardinalities_(std::move(cardinalities)),
+      layout_(DataLayout::kColumnMajor),
+      ext_(buffers) {
+  if (static_cast<VarId>(cardinalities_.size()) != num_vars) {
+    throw std::invalid_argument(
+        "DiscreteDataset: cardinalities size must equal num_vars");
+  }
+  codes8_stride_ = (static_cast<std::size_t>(num_samples) + kCodes8Pad - 1) /
+                   kCodes8Pad * kCodes8Pad;
+  const auto total =
+      static_cast<std::size_t>(num_vars) * static_cast<std::size_t>(num_samples);
+  const auto check = []<typename T>(std::span<const T> buffer,
+                                    std::size_t expected, const char* which) {
+    if (!buffer.empty() && buffer.size() != expected) {
+      throw std::invalid_argument(
+          "DiscreteDataset: external " + std::string(which) + " buffer has " +
+          std::to_string(buffer.size()) + " values, expected " +
+          std::to_string(expected));
+    }
+  };
+  check(std::span<const DataValue>(ext_.rows), total, "rows");
+  check(std::span<const DataValue>(ext_.cols), total, "cols");
+  check(std::span<const std::uint8_t>(ext_.codes8),
+        static_cast<std::size_t>(num_vars) * codes8_stride_, "codes8");
+  if (ext_.rows.empty() && ext_.cols.empty()) {
+    throw std::invalid_argument(
+        "DiscreteDataset: external buffers must include at least one value "
+        "layout (rows and cols are both empty)");
+  }
+  if (!ext_.codes8.empty() && ext_.cols.empty()) {
+    throw std::invalid_argument(
+        "DiscreteDataset: an external codes8 mirror requires the "
+        "column-major buffer it mirrors");
+  }
+  if (ext_.cols.empty()) {
+    layout_ = DataLayout::kRowMajor;
+  } else if (!ext_.rows.empty()) {
+    layout_ = DataLayout::kBoth;
+  }
+}
+
 void DiscreteDataset::set(Count sample, VarId var, DataValue value) noexcept {
   assert(sample >= 0 && sample < num_samples_ && var >= 0 && var < num_vars_);
-  if (!rows_.empty()) {
-    rows_[static_cast<std::size_t>(sample) * num_vars_ + var] = value;
+  const std::span<DataValue> rows = rows_span_mut();
+  if (!rows.empty()) {
+    rows[static_cast<std::size_t>(sample) * num_vars_ + var] = value;
   }
-  if (!cols_.empty()) {
-    cols_[static_cast<std::size_t>(var) * num_samples_ + sample] = value;
+  const std::span<DataValue> cols = cols_span_mut();
+  if (!cols.empty()) {
+    cols[static_cast<std::size_t>(var) * num_samples_ + sample] = value;
   }
   if (has_codes8(var)) {
     const std::int32_t card = cardinalities_[var];
     const auto clamped =
         value >= card ? static_cast<std::uint8_t>(card - 1) : value;
-    codes8_[static_cast<std::size_t>(var) * codes8_stride_ + sample] = clamped;
+    codes8_span_mut()[static_cast<std::size_t>(var) * codes8_stride_ + sample] =
+        clamped;
   }
 }
 
@@ -66,18 +115,20 @@ void DiscreteDataset::materialize_codes8() {
 
 DataValue DiscreteDataset::value(Count sample, VarId var) const noexcept {
   assert(sample >= 0 && sample < num_samples_ && var >= 0 && var < num_vars_);
-  if (!cols_.empty()) {
-    return cols_[static_cast<std::size_t>(var) * num_samples_ + sample];
+  const std::span<const DataValue> cols = cols_span();
+  if (!cols.empty()) {
+    return cols[static_cast<std::size_t>(var) * num_samples_ + sample];
   }
-  return rows_[static_cast<std::size_t>(sample) * num_vars_ + var];
+  return rows_span()[static_cast<std::size_t>(sample) * num_vars_ + var];
 }
 
 std::span<const DataValue> DiscreteDataset::column(VarId var) const {
-  if (cols_.empty()) {
+  const std::span<const DataValue> cols = cols_span();
+  if (cols.empty()) {
     throw std::logic_error("DiscreteDataset::column: no column-major buffer");
   }
-  return {cols_.data() + static_cast<std::size_t>(var) * num_samples_,
-          static_cast<std::size_t>(num_samples_)};
+  return cols.subspan(static_cast<std::size_t>(var) * num_samples_,
+                      static_cast<std::size_t>(num_samples_));
 }
 
 std::span<const std::byte> DiscreteDataset::column_bytes(
@@ -85,24 +136,25 @@ std::span<const std::byte> DiscreteDataset::column_bytes(
   if (has_codes8(v)) {
     // Padded rows included: the pass is page-granular and the padding
     // shares pages with the samples.
-    return std::as_bytes(std::span<const std::uint8_t>(
-        codes8_.data() + static_cast<std::size_t>(v) * codes8_stride_,
-        codes8_stride_));
+    return std::as_bytes(codes8_span().subspan(
+        static_cast<std::size_t>(v) * codes8_stride_, codes8_stride_));
   }
-  if (!cols_.empty()) {
-    return std::as_bytes(std::span<const DataValue>(
-        cols_.data() + static_cast<std::size_t>(v) * num_samples_,
-        static_cast<std::size_t>(num_samples_)));
+  const std::span<const DataValue> cols = cols_span();
+  if (!cols.empty()) {
+    return std::as_bytes(
+        cols.subspan(static_cast<std::size_t>(v) * num_samples_,
+                     static_cast<std::size_t>(num_samples_)));
   }
   return {};
 }
 
 std::span<const DataValue> DiscreteDataset::row(Count sample) const {
-  if (rows_.empty()) {
+  const std::span<const DataValue> rows = rows_span();
+  if (rows.empty()) {
     throw std::logic_error("DiscreteDataset::row: no row-major buffer");
   }
-  return {rows_.data() + static_cast<std::size_t>(sample) * num_vars_,
-          static_cast<std::size_t>(num_vars_)};
+  return rows.subspan(static_cast<std::size_t>(sample) * num_vars_,
+                      static_cast<std::size_t>(num_vars_));
 }
 
 void DiscreteDataset::ensure_layout(DataLayout layout) {
@@ -112,28 +164,35 @@ void DiscreteDataset::ensure_layout(DataLayout layout) {
       layout == DataLayout::kRowMajor || layout == DataLayout::kBoth;
   const bool want_cols =
       layout == DataLayout::kColumnMajor || layout == DataLayout::kBoth;
-  if (want_rows && rows_.empty()) {
+  // A missing layout is materialized into *owned* storage — external
+  // buffers are never grown or replaced; they keep serving the layout
+  // they came with (rows_span/cols_span prefer owned only where owned
+  // exists, and owned and external never cover the same layout).
+  if (want_rows && !has_row_major()) {
+    const std::span<const DataValue> cols = cols_span();
     rows_.resize(total);
     for (Count s = 0; s < num_samples_; ++s) {
       for (VarId v = 0; v < num_vars_; ++v) {
         rows_[static_cast<std::size_t>(s) * num_vars_ + v] =
-            cols_[static_cast<std::size_t>(v) * num_samples_ + s];
+            cols[static_cast<std::size_t>(v) * num_samples_ + s];
       }
     }
-    layout_ = cols_.empty() ? DataLayout::kRowMajor : DataLayout::kBoth;
+    layout_ = has_column_major() ? DataLayout::kBoth : DataLayout::kRowMajor;
   }
-  if (want_cols && cols_.empty()) {
+  if (want_cols && !has_column_major()) {
+    const std::span<const DataValue> rows = rows_span();
     cols_.resize(total);
     for (Count s = 0; s < num_samples_; ++s) {
       for (VarId v = 0; v < num_vars_; ++v) {
         cols_[static_cast<std::size_t>(v) * num_samples_ + s] =
-            rows_[static_cast<std::size_t>(s) * num_vars_ + v];
+            rows[static_cast<std::size_t>(s) * num_vars_ + v];
       }
     }
-    layout_ = rows_.empty() ? DataLayout::kColumnMajor : DataLayout::kBoth;
-    // The packed mirror rides with the column-major buffer.
-    if (codes8_.empty()) materialize_codes8();
+    layout_ = has_row_major() ? DataLayout::kBoth : DataLayout::kColumnMajor;
   }
+  // The packed mirror rides with the column-major buffer — including an
+  // external cols-only view, whose mirror is then owned.
+  if (has_column_major() && codes8_span().empty()) materialize_codes8();
 }
 
 bool DiscreteDataset::values_in_range() const noexcept {

@@ -23,12 +23,36 @@ enum class DataLayout : std::uint8_t {
   kBoth,         ///< keep both copies (layout ablation benches)
 };
 
+/// External storage for the construct-over-external-buffer path: value
+/// buffers the dataset *views* instead of owning — typically slices of a
+/// MAP_SHARED segment (ipc/shared_dataset.hpp) every forked rank maps
+/// once. Empty spans mean "this layout is not materialized externally";
+/// at least one of rows/cols must be non-empty, and codes8 (when given)
+/// must accompany cols, mirroring the owned-storage rule.
+struct ExternalDataBuffers {
+  std::span<DataValue> rows{};          ///< m*n sample-major values
+  std::span<DataValue> cols{};          ///< n*m variable-major values
+  std::span<std::uint8_t> codes8{};     ///< n * padded-stride packed codes
+};
+
 class DiscreteDataset {
  public:
   /// Zero-initialized dataset; fill with set().
   DiscreteDataset(VarId num_vars, Count num_samples,
                   std::vector<std::int32_t> cardinalities,
                   DataLayout layout = DataLayout::kColumnMajor);
+
+  /// View over caller-owned buffers (see ExternalDataBuffers): no value
+  /// storage is allocated and the buffers must outlive the dataset. set()
+  /// writes through; ensure_layout materializes a *missing* layout into
+  /// owned storage without touching the external buffers. Copies of an
+  /// external-view dataset share the external buffers (the spans are
+  /// copied, not the bytes) — exactly the semantics the multi-process
+  /// engine wants for its shared segment. Throws std::invalid_argument
+  /// when a non-empty span's size disagrees with the dimensions.
+  DiscreteDataset(VarId num_vars, Count num_samples,
+                  std::vector<std::int32_t> cardinalities,
+                  const ExternalDataBuffers& buffers);
 
   [[nodiscard]] VarId num_vars() const noexcept { return num_vars_; }
   [[nodiscard]] Count num_samples() const noexcept { return num_samples_; }
@@ -39,8 +63,12 @@ class DiscreteDataset {
     return cardinalities_;
   }
   [[nodiscard]] DataLayout layout() const noexcept { return layout_; }
-  [[nodiscard]] bool has_column_major() const noexcept { return !cols_.empty(); }
-  [[nodiscard]] bool has_row_major() const noexcept { return !rows_.empty(); }
+  [[nodiscard]] bool has_column_major() const noexcept {
+    return !cols_span().empty();
+  }
+  [[nodiscard]] bool has_row_major() const noexcept {
+    return !rows_span().empty();
+  }
 
   /// Writes to every materialized layout.
   void set(Count sample, VarId var, DataValue value) noexcept;
@@ -63,7 +91,7 @@ class DiscreteDataset {
   /// and the mirror is materialized (it accompanies the column-major
   /// buffer; row-major-only datasets never read packed codes).
   [[nodiscard]] bool has_codes8(VarId v) const noexcept {
-    return !codes8_.empty() && cardinalities_[v] >= 1 &&
+    return !codes8_span().empty() && cardinalities_[v] >= 1 &&
            cardinalities_[v] <= 255;
   }
 
@@ -77,7 +105,7 @@ class DiscreteDataset {
   /// gracefully fall back to column() / row().
   [[nodiscard]] std::span<const std::uint8_t> codes8(VarId v) const noexcept {
     if (!has_codes8(v)) return {};
-    return {codes8_.data() + static_cast<std::size_t>(v) * codes8_stride_,
+    return {codes8_span().data() + static_cast<std::size_t>(v) * codes8_stride_,
             static_cast<std::size_t>(num_samples_)};
   }
 
@@ -108,14 +136,43 @@ class DiscreteDataset {
   /// when the column-major layout appears after construction.
   void materialize_codes8();
 
+  // Active-buffer selection: owned storage when materialized, the
+  // external view otherwise. Owned wins so ensure_layout can materialize
+  // a layout the external buffers lack without aliasing confusion — and
+  // because a dataset never has both for the same layout (the external
+  // constructor allocates nothing). Keeping owned vectors and external
+  // spans in *separate* members keeps the default copy/move special
+  // members correct: vectors deep-copy, spans share, and neither ever
+  // points into the other.
+  [[nodiscard]] std::span<const DataValue> rows_span() const noexcept {
+    return rows_.empty() ? std::span<const DataValue>(ext_.rows) : rows_;
+  }
+  [[nodiscard]] std::span<const DataValue> cols_span() const noexcept {
+    return cols_.empty() ? std::span<const DataValue>(ext_.cols) : cols_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> codes8_span() const noexcept {
+    return codes8_.empty() ? std::span<const std::uint8_t>(ext_.codes8)
+                           : codes8_;
+  }
+  [[nodiscard]] std::span<DataValue> rows_span_mut() noexcept {
+    return rows_.empty() ? ext_.rows : std::span<DataValue>(rows_);
+  }
+  [[nodiscard]] std::span<DataValue> cols_span_mut() noexcept {
+    return cols_.empty() ? ext_.cols : std::span<DataValue>(cols_);
+  }
+  [[nodiscard]] std::span<std::uint8_t> codes8_span_mut() noexcept {
+    return codes8_.empty() ? ext_.codes8 : std::span<std::uint8_t>(codes8_);
+  }
+
   VarId num_vars_;
   Count num_samples_;
   std::vector<std::int32_t> cardinalities_;
   DataLayout layout_;
-  std::vector<DataValue> rows_;  ///< m*n when materialized
-  std::vector<DataValue> cols_;  ///< n*m when materialized
+  std::vector<DataValue> rows_;  ///< m*n when materialized (owned)
+  std::vector<DataValue> cols_;  ///< n*m when materialized (owned)
   std::size_t codes8_stride_ = 0;     ///< samples rounded up to kCodes8Pad
-  std::vector<std::uint8_t> codes8_;  ///< n * codes8_stride_, clamped codes
+  std::vector<std::uint8_t> codes8_;  ///< n * codes8_stride_, clamped (owned)
+  ExternalDataBuffers ext_;  ///< caller-owned views (shm segments)
 };
 
 }  // namespace fastbns

@@ -75,6 +75,14 @@ EngineRegistry::EngineRegistry() {
                    "shard-local clones (contiguous or round-robin "
                    "partition; see PcOptions::shard_count)"},
                   make_sharded_engine);
+  register_engine({EngineKind::kProcess,
+                   "process(rank-partition)",
+                   {"process", "mpp"},
+                   "multi-process rank partition: forked worker ranks over "
+                   "a MAP_SHARED dataset segment, removal sets + sepsets "
+                   "allreduced over pipe frames at each depth barrier (see "
+                   "PcOptions::rank_count/rank_threads)"},
+                  make_process_engine);
 }
 
 EngineRegistry& EngineRegistry::instance() {

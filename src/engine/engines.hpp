@@ -47,4 +47,11 @@ namespace fastbns {
 /// commit barrier merges removals — bit-identical to edge-parallel.
 [[nodiscard]] std::unique_ptr<SkeletonEngine> make_sharded_engine();
 
+/// Multi-process rank-partition extension: forked worker ranks over a
+/// MAP_SHARED dataset segment, each owning the edges whose lower endpoint
+/// maps to its variable shard; the depth barrier is an allreduce of
+/// removal sets + sepsets over pipe frames (src/ipc/) — bit-identical to
+/// edge-parallel, supervised so a dead rank errors instead of hanging.
+[[nodiscard]] std::unique_ptr<SkeletonEngine> make_process_engine();
+
 }  // namespace fastbns

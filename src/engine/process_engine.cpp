@@ -1,0 +1,447 @@
+// The multi-process rank-partition engine: the sharded engine's variable
+// partition, with processes for shards and an explicit allreduce for the
+// commit barrier — the fork-based first step of the roadmap's distributed
+// (MPI-style) skeleton learning.
+//
+// Topology of a run:
+//  - The driver process (this engine) forks rank_count worker ranks at
+//    the first run_depth (never at construction — the registry probes a
+//    factory instance, which must stay fork-free). Each rank inherits
+//    the CiTest prototype copy-on-write and the dataset through the
+//    MAP_SHARED segment learn_structure mounts (ipc/shared_dataset.hpp):
+//    mapped once, zero copies per rank.
+//  - Every rank keeps a full replica of the skeleton graph and derives
+//    each depth's work list itself with the same build_depth_works the
+//    driver uses — identical inputs give identical lists, so a work is
+//    addressed across the process boundary by nothing more than its
+//    index (endpoint ids double-check every reply; a divergent replica
+//    is a protocol error, not silent corruption). Of that list a rank
+//    executes exactly the shard of edges whose lower endpoint maps to
+//    its variable range (VariableShards / shard_work_indices — ranks
+//    *are* shards here).
+//  - The per-depth commit barrier is an allreduce rooted at the driver:
+//    RUN_DEPTH(depth, previous depth's union removal set) goes out to
+//    every rank; each rank applies the removals to its replica, runs its
+//    shard, and replies with its removal set + sepsets + test count; the
+//    driver merges the replies into the works vector (the same outcome
+//    slots every engine fills) and carries the union forward to the next
+//    broadcast.
+//
+// Result identity: a rank runs each of its works whole, in canonical
+// rank order with first-accept early stop — the edge-parallel engine's
+// per-work semantics — so adjacency, sepsets, removal depths and
+// executed-test counts are bit-identical to the sequential reference at
+// any rank_count / rank_threads combination.
+//
+// fork() discipline (see also ipc/process_group.hpp): ranks never enter
+// an OpenMP parallel region — libgomp's team threads do not exist in the
+// child — so rank_threads parallelism is plain std::thread over
+// per-thread CiTest clones forced to serial table builds; ranks leave
+// through _exit, never the parent's atexit/gtest/sanitizer epilogue. A
+// rank that dies mid-depth surfaces as a RankDeathError from the
+// supervisor (EOF on its pipe — immediate) or, if it wedges alive, the
+// FASTBNS_RANK_TIMEOUT_MS deadline; never a hang.
+#include "engine/process_engine.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/omp_utils.hpp"
+#include "common/timer.hpp"
+#include "engine/engines.hpp"
+#include "ipc/process_group.hpp"
+#include "ipc/wire.hpp"
+#include "topology/placement.hpp"
+
+namespace fastbns {
+namespace {
+
+// Protocol tags. One command, two replies — the depth loop needs nothing
+// richer, and shutdown is the command pipe's EOF.
+constexpr std::uint32_t kTagRunDepth = 1;     ///< parent → rank
+constexpr std::uint32_t kTagDepthResult = 2;  ///< rank → parent
+constexpr std::uint32_t kTagError = 3;        ///< rank → parent (fatal)
+
+constexpr int kDefaultRankTimeoutMs = 120000;
+
+/// Strictly-parsed positive int from the environment; `fallback` when
+/// unset or malformed (a malformed timeout must not become timeout 0).
+int env_positive_int(const char* name, int fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == nullptr || *end != '\0' || value <= 0 || value > 1 << 30) {
+    return fallback;
+  }
+  return static_cast<int>(value);
+}
+
+/// Everything a rank needs beyond the COW-inherited prototype, fixed at
+/// spawn time in the parent (ranks parse nothing themselves).
+struct RankConfig {
+  int rank = 0;
+  VarId num_vars = 0;
+  std::int32_t rank_count = 1;
+  std::int32_t rank_threads = 1;
+  ShardPartition partition = ShardPartition::kContiguous;
+  /// Pin the rank to these cpus (its NUMA domain) when non-empty.
+  std::vector<int> pin_cpus;
+  /// First-touch the owned variables' column pages before depth 0.
+  bool prefault_columns = false;
+  /// Failure-injection hook (FASTBNS_PROCESS_DIE_AT_DEPTH="rank:depth"):
+  /// _exit without replying at this depth. -1 = never. Exists so the
+  /// supervisor's no-hang contract is testable end to end.
+  std::int32_t die_at_depth = -1;
+};
+
+/// Runs one rank's shard of a depth with `threads` std::threads (the
+/// calling thread serves stride 0). Works are disjoint across threads,
+/// so no synchronization beyond the joins. Rethrows the first worker
+/// exception after all joins.
+std::int64_t run_shard_works(std::vector<EdgeWork>& works,
+                             const std::vector<std::int64_t>& mine,
+                             std::int32_t depth,
+                             std::vector<std::unique_ptr<CiTest>>& clones) {
+  const auto threads = clones.size();
+  std::vector<std::int64_t> tests(threads, 0);
+  std::vector<std::exception_ptr> errors(threads);
+  const auto worker = [&](std::size_t t) {
+    try {
+      CiTest& test = *clones[t];
+      for (std::size_t p = t; p < mine.size(); p += threads) {
+        EdgeWork& work = works[static_cast<std::size_t>(mine[p])];
+        if (work.total_tests() == 0) continue;
+        tests[t] += process_work_tests_early_stop(work, depth,
+                                                  work.total_tests(), test,
+                                                  /*use_group_protocol=*/true);
+      }
+    } catch (...) {
+      errors[t] = std::current_exception();
+    }
+  };
+  std::vector<std::thread> team;
+  team.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) team.emplace_back(worker, t);
+  worker(0);
+  for (std::thread& thread : team) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  std::int64_t total = 0;
+  for (const std::int64_t count : tests) total += count;
+  return total;
+}
+
+/// The rank main loop (runs inside the forked process — no OpenMP, no
+/// gtest, exit only through the return value / _exit).
+int run_rank(const RankConfig& config, const CiTest& prototype, int command_fd,
+             int result_fd) {
+  try {
+    if (!config.pin_cpus.empty()) {
+      // Pin before any allocation or page fault: the clone workspaces
+      // and the first-touch pass below are then domain-local. Threads
+      // created later inherit this affinity.
+      pin_current_thread(config.pin_cpus);
+    }
+    UndirectedGraph replica = UndirectedGraph::complete(config.num_vars);
+    const VariableShards shards(config.num_vars, config.rank_count,
+                                config.partition);
+    std::vector<std::unique_ptr<CiTest>> clones;
+    bool placed = !config.prefault_columns;
+    Frame frame;
+    for (;;) {
+      if (read_frame(command_fd, frame, /*timeout_ms=*/-1) !=
+          FrameReadStatus::kOk) {
+        return 0;  // command pipe EOF: the parent shut the group down
+      }
+      if (frame.tag != kTagRunDepth) {
+        throw std::runtime_error("process engine rank: unexpected command tag " +
+                                 std::to_string(frame.tag));
+      }
+      WireReader reader(frame.payload);
+      const std::int32_t depth = reader.get_i32();
+      const bool grouped = reader.get_u8() != 0;
+      // The previous depth's union removal set — every rank's replica
+      // replays the same removal stream the driver committed, so every
+      // replica agrees with the driver's graph by induction.
+      const std::uint32_t removals = reader.get_u32();
+      for (std::uint32_t i = 0; i < removals; ++i) {
+        const VarId x = reader.get_i32();
+        const VarId y = reader.get_i32();
+        replica.remove_edge(x, y);
+      }
+      if (config.die_at_depth >= 0 && depth >= config.die_at_depth) {
+        ::_exit(42);  // injected mid-depth death; the parent must notice
+      }
+      const WallTimer compute_timer;
+      std::vector<EdgeWork> works = build_depth_works(replica, depth, grouped);
+      const std::vector<std::vector<std::int64_t>> by_rank =
+          shard_work_indices(works, shards);
+      const std::vector<std::int64_t>& mine =
+          by_rank[static_cast<std::size_t>(config.rank)];
+      if (!placed) {
+        // First-touch the owned variables' column slices from this
+        // (pinned) rank: on the MAP_SHARED segment the placement holds
+        // for every process at once.
+        for (VarId v = 0; v < shards.num_vars(); ++v) {
+          if (shards.shard_of(v) != config.rank) continue;
+          const std::span<const std::byte> bytes =
+              prototype.workload_column_bytes(v);
+          if (!bytes.empty()) prefault_readonly(bytes.data(), bytes.size());
+        }
+        placed = true;
+      }
+      if (clones.empty()) {
+        clones.reserve(static_cast<std::size_t>(config.rank_threads));
+        for (std::int32_t t = 0; t < config.rank_threads; ++t) {
+          clones.push_back(prototype.clone());
+          // Serial table builds, always: sample-parallel builds are
+          // OpenMP regions, and OpenMP must never run in a forked rank.
+          clones.back()->set_sample_parallel(false);
+        }
+      }
+      const std::int64_t tests = run_shard_works(works, mine, depth, clones);
+
+      WireWriter writer;
+      writer.put_i32(depth);
+      writer.put_i64(tests);
+      writer.put_i64(
+          static_cast<std::int64_t>(compute_timer.seconds() * 1e6));
+      std::uint32_t removed = 0;
+      for (const std::int64_t index : mine) {
+        if (works[static_cast<std::size_t>(index)].removed) ++removed;
+      }
+      writer.put_u32(removed);
+      for (const std::int64_t index : mine) {
+        const EdgeWork& work = works[static_cast<std::size_t>(index)];
+        if (!work.removed) continue;
+        writer.put_u64(static_cast<std::uint64_t>(index));
+        writer.put_i32(work.x);
+        writer.put_i32(work.y);
+        writer.put_vars(work.sepset);
+      }
+      if (!write_frame(result_fd, kTagDepthResult, writer.payload())) {
+        return 1;  // parent is gone; nothing left to report to
+      }
+    }
+  } catch (const std::exception& error) {
+    WireWriter writer;
+    writer.put_string(error.what());
+    (void)write_frame(result_fd, kTagError, writer.payload());
+    return 1;
+  }
+}
+
+class ProcessEngine final : public SkeletonEngine {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "process(rank-partition)";
+  }
+
+  void prepare_run() override {
+    group_.shutdown();
+    pending_removals_.clear();
+    depth_stats_.clear();
+  }
+
+  std::int64_t run_depth(std::vector<EdgeWork>& works, std::int32_t depth,
+                         const CiTest& prototype,
+                         const PcOptions& options) override {
+    const WallTimer depth_timer;
+    if (group_.empty()) spawn_ranks(works, prototype, options);
+
+    // Broadcast: this depth plus the previous depth's union removal set
+    // (the downward half of the allreduce).
+    const bool grouped = options.group_endpoints;
+    WireWriter writer;
+    writer.put_i32(depth);
+    writer.put_u8(grouped ? 1 : 0);
+    writer.put_u32(static_cast<std::uint32_t>(pending_removals_.size()));
+    for (const auto& [x, y] : pending_removals_) {
+      writer.put_i32(x);
+      writer.put_i32(y);
+    }
+    for (int rank = 0; rank < group_.rank_count(); ++rank) {
+      group_.send(rank, kTagRunDepth, writer.payload());
+    }
+    pending_removals_.clear();
+
+    // Gather + merge (the upward half). Ranks own disjoint shards, so
+    // merge order cannot change an outcome; reading them in rank order
+    // keeps the error attribution deterministic.
+    const WallTimer gather_timer;
+    std::int64_t total_tests = 0;
+    double max_rank_seconds = 0.0;
+    for (int rank = 0; rank < group_.rank_count(); ++rank) {
+      Frame frame = group_.receive(rank, timeout_ms_);
+      if (frame.tag == kTagError) {
+        WireReader reader(frame.payload);
+        const std::string message = reader.get_string();
+        group_.shutdown();
+        throw std::runtime_error("process engine: rank " +
+                                 std::to_string(rank) + " failed: " + message);
+      }
+      if (frame.tag != kTagDepthResult) {
+        group_.shutdown();
+        throw std::runtime_error(
+            "process engine: rank " + std::to_string(rank) +
+            " replied with unexpected tag " + std::to_string(frame.tag));
+      }
+      WireReader reader(frame.payload);
+      const std::int32_t reply_depth = reader.get_i32();
+      if (reply_depth != depth) {
+        group_.shutdown();
+        throw std::runtime_error(
+            "process engine: rank " + std::to_string(rank) + " answered depth " +
+            std::to_string(reply_depth) + " to a depth-" +
+            std::to_string(depth) + " command");
+      }
+      total_tests += reader.get_i64();
+      max_rank_seconds = std::max(
+          max_rank_seconds, static_cast<double>(reader.get_i64()) * 1e-6);
+      const std::uint32_t removed = reader.get_u32();
+      for (std::uint32_t i = 0; i < removed; ++i) {
+        const auto index = static_cast<std::size_t>(reader.get_u64());
+        const VarId x = reader.get_i32();
+        const VarId y = reader.get_i32();
+        std::vector<VarId> sepset = reader.get_vars();
+        // The index addresses the rank's replica-built list; it is only
+        // meaningful if that list matches the driver's. The endpoint
+        // check turns a divergent replica into a loud protocol error.
+        if (index >= works.size() || works[index].x != x ||
+            works[index].y != y) {
+          group_.shutdown();
+          throw std::runtime_error(
+              "process engine: rank " + std::to_string(rank) +
+              " removed work #" + std::to_string(index) + " (" +
+              std::to_string(x) + ", " + std::to_string(y) +
+              "), which does not match the driver's work list — replica "
+              "divergence");
+        }
+        works[index].removed = true;
+        works[index].sepset = std::move(sepset);
+        pending_removals_.emplace_back(x, y);
+      }
+    }
+    depth_stats_.push_back({depth, total_tests, depth_timer.seconds(),
+                            gather_timer.seconds(), max_rank_seconds});
+    return total_tests;
+  }
+
+  [[nodiscard]] const std::vector<ProcessDepthStats>& depth_stats()
+      const noexcept {
+    return depth_stats_;
+  }
+
+ private:
+  void spawn_ranks(const std::vector<EdgeWork>& works, const CiTest& prototype,
+                   const PcOptions& options) {
+    // The variable domain comes from the first depth's works — depth 0's
+    // complete graph covers every variable — exactly like the sharded
+    // engine's run plan.
+    VarId num_vars = 0;
+    for (const EdgeWork& work : works) {
+      num_vars = std::max(num_vars, std::max(work.x, work.y) + 1);
+    }
+    const std::int32_t rank_count = resolve_rank_count(options.rank_count);
+    const std::int32_t rank_threads = resolve_rank_threads(
+        options.rank_threads, rank_count, options.num_threads);
+    timeout_ms_ = env_positive_int("FASTBNS_RANK_TIMEOUT_MS",
+                                   kDefaultRankTimeoutMs);
+    const ShardPartition partition =
+        shard_partition_from_string(options.shard_partition);
+    // Rank→domain placement reuses the PR 6 shard plan verbatim: ranks
+    // are shards. Pinning needs physical cpu ids; first-touch follows
+    // the plan's active flag even on simulated topologies (the logic
+    // runs, the pin no-ops — the CI-testable path).
+    const ShardPlacement placement = plan_shard_placement(
+        numa_policy_from_string(options.numa_policy), rank_count,
+        NumaTopology::detect());
+    if (placement.active) {
+      warn_if_omp_binding_conflicts("process engine");
+    }
+    const bool pin =
+        placement.active && placement.topology.cpus_are_physical();
+
+    std::int32_t die_rank = -1;
+    std::int32_t die_depth = -1;
+    if (const char* spec = std::getenv("FASTBNS_PROCESS_DIE_AT_DEPTH")) {
+      // "rank:depth" — anything else is ignored (test-only hook).
+      int rank = -1;
+      int at = -1;
+      if (std::sscanf(spec, "%d:%d", &rank, &at) == 2 && rank >= 0 && at >= 0) {
+        die_rank = rank;
+        die_depth = at;
+      }
+    }
+
+    std::vector<RankConfig> configs(static_cast<std::size_t>(rank_count));
+    for (std::int32_t rank = 0; rank < rank_count; ++rank) {
+      RankConfig& config = configs[static_cast<std::size_t>(rank)];
+      config.rank = rank;
+      config.num_vars = num_vars;
+      config.rank_count = rank_count;
+      config.rank_threads = rank_threads;
+      config.partition = partition;
+      config.prefault_columns = placement.active;
+      if (pin) {
+        const auto domain = static_cast<std::size_t>(
+            placement.shard_domain[static_cast<std::size_t>(rank)]);
+        config.pin_cpus = placement.topology.domains()[domain].cpus;
+      }
+      if (rank == die_rank) config.die_at_depth = die_depth;
+    }
+    const CiTest* prototype_ptr = &prototype;
+    group_ = ProcessGroup::spawn(
+        rank_count,
+        [configs = std::move(configs), prototype_ptr](
+            int rank, int command_fd, int result_fd) {
+          return run_rank(configs[static_cast<std::size_t>(rank)],
+                          *prototype_ptr, command_fd, result_fd);
+        });
+  }
+
+  ProcessGroup group_;
+  int timeout_ms_ = kDefaultRankTimeoutMs;
+  /// The union removal set of the previous depth, pending broadcast with
+  /// the next RUN_DEPTH command.
+  std::vector<std::pair<VarId, VarId>> pending_removals_;
+  std::vector<ProcessDepthStats> depth_stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<SkeletonEngine> make_process_engine() {
+  return std::make_unique<ProcessEngine>();
+}
+
+const std::vector<ProcessDepthStats>* process_engine_depth_stats(
+    const SkeletonEngine& engine) {
+  const auto* process = dynamic_cast<const ProcessEngine*>(&engine);
+  return process == nullptr ? nullptr : &process->depth_stats();
+}
+
+std::int32_t resolve_rank_count(std::int32_t requested) noexcept {
+  if (requested > 0) return requested;
+  return std::max(1, std::min(2, hardware_threads()));
+}
+
+std::int32_t resolve_rank_threads(std::int32_t requested,
+                                  std::int32_t rank_count,
+                                  int num_threads) noexcept {
+  if (requested > 0) return requested;
+  const int budget = num_threads > 0 ? num_threads : hardware_threads();
+  return std::max(1, budget / std::max(1, rank_count));
+}
+
+}  // namespace fastbns

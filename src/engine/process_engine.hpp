@@ -1,0 +1,49 @@
+// Public surface of the multi-process engine beyond the SkeletonEngine
+// interface: rank-resolution helpers (shared with the structure_tool echo
+// and the bench sweep) and the per-depth barrier telemetry the
+// bench_process_ranks table reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/skeleton_engine.hpp"
+
+namespace fastbns {
+
+/// Per-depth telemetry of the last process-engine run, recorded on the
+/// driver side of the allreduce barrier.
+struct ProcessDepthStats {
+  std::int32_t depth = 0;
+  std::int64_t ci_tests = 0;
+  /// Whole run_depth wall time (broadcast + rank compute + gather).
+  double seconds = 0.0;
+  /// Allreduce barrier: commands written → last rank's removal set
+  /// merged. The parent does no CI work, so this is the depth's critical
+  /// path through the ranks plus the exchange itself.
+  double gather_seconds = 0.0;
+  /// Slowest rank's self-reported compute time for the depth;
+  /// gather_seconds - max_rank_seconds approximates the pure
+  /// serialization + pipe cost of the barrier.
+  double max_rank_seconds = 0.0;
+};
+
+/// The last run's per-depth stats when `engine` is a process engine,
+/// nullptr otherwise (benches dynamic-cast through this instead of
+/// depending on the concrete class).
+[[nodiscard]] const std::vector<ProcessDepthStats>* process_engine_depth_stats(
+    const SkeletonEngine& engine);
+
+/// Effective rank count: `requested` when positive, min(2, hardware
+/// threads) otherwise — multi-process by default, degenerating to one
+/// rank on a single-cpu box. Always >= 1.
+[[nodiscard]] std::int32_t resolve_rank_count(std::int32_t requested) noexcept;
+
+/// Effective threads inside each rank: `requested` when positive,
+/// otherwise the run's thread budget (num_threads, or all hardware
+/// threads when 0) split across `rank_count` ranks, at least 1.
+[[nodiscard]] std::int32_t resolve_rank_threads(std::int32_t requested,
+                                                std::int32_t rank_count,
+                                                int num_threads) noexcept;
+
+}  // namespace fastbns

@@ -1,0 +1,200 @@
+#include "ipc/process_group.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace fastbns {
+namespace {
+
+/// Writing to a rank that already died must surface as EPIPE on the
+/// write, not as a process-killing SIGPIPE. Installed once, before the
+/// first fork, so ranks inherit it too (they write to the parent's pipe
+/// and the parent can die first in teardown races).
+void ignore_sigpipe_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+void close_fd(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Non-throwing waitpid status probe: "exited with status 3", "killed by
+/// signal 9", or "still running" — the forensic detail a RankDeathError
+/// carries so a dead rank is diagnosable from the message alone.
+std::string describe_waitpid(pid_t pid) noexcept {
+  int status = 0;
+  const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+  if (reaped == pid) {
+    if (WIFEXITED(status)) {
+      return "exited with status " + std::to_string(WEXITSTATUS(status));
+    }
+    if (WIFSIGNALED(status)) {
+      return "killed by signal " + std::to_string(WTERMSIG(status));
+    }
+    return "terminated";
+  }
+  if (reaped == 0) return "still running (wedged or slow)";
+  return "already reaped";
+}
+
+}  // namespace
+
+ProcessGroup::~ProcessGroup() { shutdown(); }
+
+ProcessGroup::ProcessGroup(ProcessGroup&& other) noexcept
+    : ranks_(std::move(other.ranks_)) {
+  other.ranks_.clear();
+}
+
+ProcessGroup& ProcessGroup::operator=(ProcessGroup&& other) noexcept {
+  if (this != &other) {
+    shutdown();
+    ranks_ = std::move(other.ranks_);
+    other.ranks_.clear();
+  }
+  return *this;
+}
+
+ProcessGroup ProcessGroup::spawn(int rank_count, const RankMain& rank_main) {
+  if (rank_count < 1) {
+    throw std::runtime_error("ProcessGroup::spawn: rank_count must be >= 1, got " +
+                             std::to_string(rank_count));
+  }
+  ignore_sigpipe_once();
+  ProcessGroup group;
+  group.ranks_.reserve(static_cast<std::size_t>(rank_count));
+  for (int rank = 0; rank < rank_count; ++rank) {
+    int command_pipe[2] = {-1, -1};  // parent writes [1], rank reads [0]
+    int result_pipe[2] = {-1, -1};   // rank writes [1], parent reads [0]
+    if (::pipe(command_pipe) != 0) {
+      group.shutdown();
+      throw std::runtime_error("ProcessGroup::spawn: pipe() failed");
+    }
+    if (::pipe(result_pipe) != 0) {
+      ::close(command_pipe[0]);
+      ::close(command_pipe[1]);
+      group.shutdown();
+      throw std::runtime_error("ProcessGroup::spawn: pipe() failed");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(command_pipe[0]);
+      ::close(command_pipe[1]);
+      ::close(result_pipe[0]);
+      ::close(result_pipe[1]);
+      group.shutdown();
+      throw std::runtime_error("ProcessGroup::spawn: fork() failed");
+    }
+    if (pid == 0) {
+      // Rank side. Drop every fd that belongs to the parent or to the
+      // sibling ranks spawned before us: a rank holding a sibling's
+      // command write-end would keep that sibling alive past the
+      // parent's EOF-based shutdown.
+      ::close(command_pipe[1]);
+      ::close(result_pipe[0]);
+      for (const Rank& sibling : group.ranks_) {
+        ::close(sibling.command_fd);
+        ::close(sibling.result_fd);
+      }
+      int status = 1;
+      try {
+        status = rank_main(rank, command_pipe[0], result_pipe[1]);
+      } catch (...) {
+        status = 1;
+      }
+      // _exit, not exit: the rank shares the parent's atexit stack,
+      // gtest state and sanitizer hooks, none of which may run twice.
+      ::_exit(status);
+    }
+    // Parent side.
+    ::close(command_pipe[0]);
+    ::close(result_pipe[1]);
+    group.ranks_.push_back({pid, command_pipe[1], result_pipe[0]});
+  }
+  return group;
+}
+
+void ProcessGroup::send(int rank, std::uint32_t tag,
+                        std::span<const std::uint8_t> payload) {
+  Rank& target = ranks_.at(static_cast<std::size_t>(rank));
+  if (!write_frame(target.command_fd, tag, payload)) {
+    fail_rank(rank, "its command pipe broke mid-send — the rank " +
+                        describe_waitpid(target.pid));
+  }
+}
+
+Frame ProcessGroup::receive(int rank, int timeout_ms) {
+  Rank& source = ranks_.at(static_cast<std::size_t>(rank));
+  Frame frame;
+  switch (read_frame(source.result_fd, frame, timeout_ms)) {
+    case FrameReadStatus::kOk:
+      return frame;
+    case FrameReadStatus::kEof:
+      fail_rank(rank, "its result pipe closed before a reply — the rank " +
+                          describe_waitpid(source.pid));
+    case FrameReadStatus::kTimeout:
+      fail_rank(rank, "it sent no reply within " + std::to_string(timeout_ms) +
+                          " ms — the rank " + describe_waitpid(source.pid));
+  }
+  // Unreachable; fail_rank never returns.
+  throw RankDeathError(rank, "ProcessGroup::receive: unreachable");
+}
+
+void ProcessGroup::fail_rank(int rank, const std::string& reason) {
+  const std::string message =
+      "ProcessGroup: rank " + std::to_string(rank) + " failed: " + reason;
+  // One dead rank dooms the allreduce; tear the whole group down so the
+  // error propagates from a clean state (no half-alive ranks holding
+  // shared segments).
+  shutdown();
+  throw RankDeathError(rank, message);
+}
+
+void ProcessGroup::shutdown(int timeout_ms) noexcept {
+  if (ranks_.empty()) return;
+  // Phase 1: EOF every command pipe — a healthy rank's read loop ends and
+  // it _exit(0)s on its own.
+  for (Rank& rank : ranks_) {
+    close_fd(rank.command_fd);
+    close_fd(rank.result_fd);
+  }
+  // Phase 2: reap with a deadline.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  bool all_reaped = false;
+  while (!all_reaped && std::chrono::steady_clock::now() < deadline) {
+    all_reaped = true;
+    for (Rank& rank : ranks_) {
+      if (rank.pid < 0) continue;
+      const pid_t reaped = ::waitpid(rank.pid, nullptr, WNOHANG);
+      if (reaped == rank.pid || (reaped < 0 && errno == ECHILD)) {
+        rank.pid = -1;
+      } else {
+        all_reaped = false;
+      }
+    }
+    if (!all_reaped) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Phase 3: whatever ignored the EOF gets SIGKILL; the blocking reap
+  // after a SIGKILL cannot hang.
+  for (Rank& rank : ranks_) {
+    if (rank.pid < 0) continue;
+    ::kill(rank.pid, SIGKILL);
+    ::waitpid(rank.pid, nullptr, 0);
+    rank.pid = -1;
+  }
+  ranks_.clear();
+}
+
+}  // namespace fastbns

@@ -1,0 +1,103 @@
+// Fork-based worker-rank group with a waitpid supervisor.
+//
+// spawn() forks N ranks; each runs a caller-supplied function over a pair
+// of pipes (commands flow parent→rank, results rank→parent) and _exit()s
+// — never returning into the parent's atexit/test-framework machinery.
+// The parent talks to ranks through send()/receive(); every receive is
+// deadline-bounded, and a rank that dies (EOF on its pipe — detected by
+// the kernel immediately) or wedges (deadline expiry) produces a
+// RankDeathError naming the rank and its waitpid status after the whole
+// group is torn down. A dead rank therefore yields a clear error, never
+// a hang — the supervisor contract the multi-process engine relies on.
+//
+// fork() hazards this module owns:
+//  - SIGPIPE is ignored process-wide (once, at first spawn) so writing to
+//    a dead rank surfaces as EPIPE instead of killing the parent.
+//  - Ranks inherit the parent's entire address space copy-on-write: the
+//    CiTest prototype, and the dataset — which the engine places in a
+//    MAP_SHARED segment (ipc/shared_dataset.hpp) so not even COW copies
+//    are made.
+//  - Ranks must never enter an OpenMP parallel region: libgomp's thread
+//    team does not survive fork(). Rank functions use std::thread.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ipc/wire.hpp"
+
+namespace fastbns {
+
+/// A rank died or stopped responding; the group has already been torn
+/// down when this is thrown. rank() identifies the culprit.
+class RankDeathError : public std::runtime_error {
+ public:
+  RankDeathError(int rank, const std::string& message)
+      : std::runtime_error(message), rank_(rank) {}
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+class ProcessGroup {
+ public:
+  /// Runs inside the forked rank. `command_fd` carries parent→rank
+  /// frames, `result_fd` rank→parent. The returned int becomes the
+  /// rank's exit status. Must not touch OpenMP, gtest, or anything else
+  /// that assumes it survives to normal process exit.
+  using RankMain = std::function<int(int rank, int command_fd, int result_fd)>;
+
+  ProcessGroup() = default;
+  ~ProcessGroup();
+  ProcessGroup(ProcessGroup&& other) noexcept;
+  ProcessGroup& operator=(ProcessGroup&& other) noexcept;
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
+  /// Forks `rank_count` ranks, each running `rank_main` and then
+  /// _exit()ing with its return value. Throws std::runtime_error when a
+  /// pipe or fork fails (already-spawned ranks are torn down first).
+  [[nodiscard]] static ProcessGroup spawn(int rank_count,
+                                          const RankMain& rank_main);
+
+  [[nodiscard]] int rank_count() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return ranks_.empty(); }
+
+  /// Sends one frame to `rank`. Throws RankDeathError (after tearing the
+  /// group down) when the rank's pipe is broken — it died.
+  void send(int rank, std::uint32_t tag, std::span<const std::uint8_t> payload);
+
+  /// Receives one frame from `rank`, waiting at most `timeout_ms`
+  /// (negative = forever). Throws RankDeathError — naming the rank and
+  /// its exit status where waitpid can report one — on EOF or deadline
+  /// expiry, after tearing the group down.
+  [[nodiscard]] Frame receive(int rank, int timeout_ms);
+
+  /// Graceful teardown: closes the command pipes (ranks see EOF and
+  /// exit), reaps with a deadline, SIGKILLs and reaps whatever remains.
+  /// Safe to call repeatedly; the destructor calls it too.
+  void shutdown(int timeout_ms = 5000) noexcept;
+
+ private:
+  struct Rank {
+    pid_t pid = -1;
+    int command_fd = -1;  ///< parent writes commands here
+    int result_fd = -1;   ///< parent reads results here
+  };
+
+  /// Tears the group down and throws RankDeathError for `rank`.
+  [[noreturn]] void fail_rank(int rank, const std::string& reason);
+
+  std::vector<Rank> ranks_;
+};
+
+}  // namespace fastbns

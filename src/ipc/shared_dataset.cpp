@@ -1,0 +1,117 @@
+#include "ipc/shared_dataset.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace fastbns {
+namespace {
+
+/// Cache-line alignment for every buffer inside the segment, matching
+/// the alignment a fresh std::vector allocation effectively gets and the
+/// kCodes8Pad assumptions of the SIMD kernels.
+constexpr std::size_t kSegmentAlign = 64;
+
+std::size_t align_up(std::size_t size) noexcept {
+  return (size + kSegmentAlign - 1) / kSegmentAlign * kSegmentAlign;
+}
+
+}  // namespace
+
+SharedMemoryRegion::~SharedMemoryRegion() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+SharedMemoryRegion::SharedMemoryRegion(SharedMemoryRegion&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+SharedMemoryRegion& SharedMemoryRegion::operator=(
+    SharedMemoryRegion&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+SharedMemoryRegion SharedMemoryRegion::create(std::size_t size) {
+  SharedMemoryRegion region;
+  if (size == 0) return region;
+  // Anonymous (no backing file to clean up or leak a name for) and
+  // MAP_SHARED: every process forked after this call sees the same
+  // physical pages at the same address. Zero-initialized by the kernel.
+  void* data = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (data == MAP_FAILED) {
+    throw std::runtime_error(
+        "SharedMemoryRegion: mmap of " + std::to_string(size) +
+        " bytes failed");
+  }
+  region.data_ = data;
+  region.size_ = size;
+  return region;
+}
+
+SharedDatasetSegment SharedDatasetSegment::create(const DiscreteDataset& source) {
+  const auto n = static_cast<std::size_t>(source.num_vars());
+  const auto m = static_cast<std::size_t>(source.num_samples());
+  const std::size_t values = n * m;
+  const std::size_t stride =
+      (m + DiscreteDataset::kCodes8Pad - 1) / DiscreteDataset::kCodes8Pad *
+      DiscreteDataset::kCodes8Pad;
+  const bool with_cols = source.has_column_major();
+  const bool with_rows = source.has_row_major();
+  if (!with_cols && !with_rows) {
+    throw std::invalid_argument(
+        "SharedDatasetSegment: source dataset has no materialized layout");
+  }
+  // Segment layout (each buffer 64-byte aligned, trailing buffers only
+  // when the source materialized them):
+  //   [ column-major values  n*m ][ codes8 mirror  n*stride ][ rows m*n ]
+  const std::size_t cols_bytes = with_cols ? align_up(values) : 0;
+  const std::size_t codes_bytes = with_cols ? align_up(n * stride) : 0;
+  const std::size_t rows_bytes = with_rows ? align_up(values) : 0;
+
+  SharedDatasetSegment segment;
+  segment.region_ =
+      SharedMemoryRegion::create(cols_bytes + codes_bytes + rows_bytes);
+  std::byte* base = segment.region_.data();
+
+  ExternalDataBuffers buffers;
+  if (with_cols) {
+    auto* cols = reinterpret_cast<DataValue*>(base);
+    auto* codes = reinterpret_cast<std::uint8_t*>(base + cols_bytes);
+    for (VarId v = 0; v < source.num_vars(); ++v) {
+      const std::span<const DataValue> column = source.column(v);
+      std::memcpy(cols + static_cast<std::size_t>(v) * m, column.data(),
+                  column.size_bytes());
+      const std::span<const std::uint8_t> packed = source.codes8(v);
+      if (!packed.empty()) {
+        // Padding rows stay at the kernel's zero-fill, same as the owned
+        // mirror's zero-initialized tail.
+        std::memcpy(codes + static_cast<std::size_t>(v) * stride, packed.data(),
+                    packed.size_bytes());
+      }
+    }
+    buffers.cols = {cols, values};
+    buffers.codes8 = {codes, n * stride};
+  }
+  if (with_rows) {
+    auto* rows = reinterpret_cast<DataValue*>(base + cols_bytes + codes_bytes);
+    for (Count s = 0; s < source.num_samples(); ++s) {
+      const std::span<const DataValue> row = source.row(s);
+      std::memcpy(rows + static_cast<std::size_t>(s) * n, row.data(),
+                  row.size_bytes());
+    }
+    buffers.rows = {rows, values};
+  }
+  segment.view_.emplace(source.num_vars(), source.num_samples(),
+                        source.cardinalities(), buffers);
+  return segment;
+}
+
+}  // namespace fastbns

@@ -1,0 +1,72 @@
+// MAP_SHARED dataset segment for the multi-process engine.
+//
+// fork() already shares read-only pages copy-on-write, but COW sharing is
+// fragile (any stray write duplicates a page per rank) and says nothing
+// about placement. A SharedDatasetSegment makes the sharing explicit: one
+// anonymous MAP_SHARED mapping, created before the ranks fork, holding
+// the dataset's column-major values, packed codes8 mirror, and (when
+// materialized) row-major values. Every rank inherits the same mapping at
+// the same address — the dataset is mapped exactly once machine-wide,
+// zero copies per rank — and NUMA first-touch from a pinned rank places a
+// column slice's physical pages on that rank's domain for every process
+// at once. The segment exposes a DiscreteDataset view over the external
+// buffers (the construct-over-external-buffer path of
+// dataset/discrete_dataset.hpp), so CI tests built over the view stream
+// shm pages through the exact code paths they stream heap pages.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "dataset/discrete_dataset.hpp"
+
+namespace fastbns {
+
+/// Anonymous MAP_SHARED memory, zero-initialized; move-only RAII.
+class SharedMemoryRegion {
+ public:
+  SharedMemoryRegion() = default;
+  ~SharedMemoryRegion();
+  SharedMemoryRegion(SharedMemoryRegion&& other) noexcept;
+  SharedMemoryRegion& operator=(SharedMemoryRegion&& other) noexcept;
+  SharedMemoryRegion(const SharedMemoryRegion&) = delete;
+  SharedMemoryRegion& operator=(const SharedMemoryRegion&) = delete;
+
+  /// Throws std::runtime_error when mmap fails. size 0 yields empty().
+  [[nodiscard]] static SharedMemoryRegion create(std::size_t size);
+
+  [[nodiscard]] std::byte* data() const noexcept {
+    return static_cast<std::byte*>(data_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return data_ == nullptr; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// A dataset copied once into a SharedMemoryRegion, plus a
+/// DiscreteDataset view whose buffers live entirely in that region.
+/// Create it *before* forking ranks; the view (and the segment object
+/// itself, through the parent's COW heap) is then valid in every rank.
+class SharedDatasetSegment {
+ public:
+  /// Copies `source`'s materialized buffers into one shared region.
+  /// `source` must have at least one value layout (it always does by
+  /// construction).
+  [[nodiscard]] static SharedDatasetSegment create(const DiscreteDataset& source);
+
+  [[nodiscard]] const DiscreteDataset& view() const noexcept { return *view_; }
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return region_.size();
+  }
+
+ private:
+  SharedDatasetSegment() = default;
+
+  SharedMemoryRegion region_;
+  std::optional<DiscreteDataset> view_;
+};
+
+}  // namespace fastbns

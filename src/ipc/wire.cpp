@@ -1,0 +1,178 @@
+#include "ipc/wire.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace fastbns {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped at 0; -1 for "no deadline".
+int remaining_ms(bool has_deadline, SteadyClock::time_point deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SteadyClock::now());
+  return left.count() <= 0 ? 0 : static_cast<int>(left.count());
+}
+
+/// Reads exactly `size` bytes, polling with the shared deadline. kEof
+/// with `*got_any = true` means the writer died mid-record.
+FrameReadStatus read_exact(int fd, void* out, std::size_t size,
+                           bool has_deadline, SteadyClock::time_point deadline) {
+  auto* cursor = static_cast<std::uint8_t*>(out);
+  std::size_t done = 0;
+  while (done < size) {
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int wait = remaining_ms(has_deadline, deadline);
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return FrameReadStatus::kEof;
+    }
+    if (ready == 0) return FrameReadStatus::kTimeout;
+    // POLLHUP with readable bytes still buffered reports POLLIN too; a
+    // bare hangup (or error) with nothing to read is EOF.
+    if ((pfd.revents & POLLIN) == 0) return FrameReadStatus::kEof;
+    const ssize_t n = ::read(fd, cursor + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return FrameReadStatus::kEof;
+    }
+    if (n == 0) return FrameReadStatus::kEof;
+    done += static_cast<std::size_t>(n);
+  }
+  return FrameReadStatus::kOk;
+}
+
+}  // namespace
+
+void WireWriter::put_raw(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  bytes_.insert(bytes_.end(), bytes, bytes + size);
+}
+
+void WireWriter::put_vars(std::span<const VarId> vars) {
+  put_u32(static_cast<std::uint32_t>(vars.size()));
+  if (!vars.empty()) put_raw(vars.data(), vars.size() * sizeof(VarId));
+}
+
+void WireWriter::put_string(std::string_view text) {
+  put_u32(static_cast<std::uint32_t>(text.size()));
+  if (!text.empty()) put_raw(text.data(), text.size());
+}
+
+void WireReader::get_raw(void* out, std::size_t size) {
+  if (size > bytes_.size() - offset_) {
+    throw std::runtime_error(
+        "ipc: truncated frame payload (peer spoke a different protocol?)");
+  }
+  std::memcpy(out, bytes_.data() + offset_, size);
+  offset_ += size;
+}
+
+std::uint8_t WireReader::get_u8() {
+  std::uint8_t value = 0;
+  get_raw(&value, sizeof(value));
+  return value;
+}
+
+std::uint32_t WireReader::get_u32() {
+  std::uint32_t value = 0;
+  get_raw(&value, sizeof(value));
+  return value;
+}
+
+std::int32_t WireReader::get_i32() {
+  std::int32_t value = 0;
+  get_raw(&value, sizeof(value));
+  return value;
+}
+
+std::uint64_t WireReader::get_u64() {
+  std::uint64_t value = 0;
+  get_raw(&value, sizeof(value));
+  return value;
+}
+
+std::int64_t WireReader::get_i64() {
+  std::int64_t value = 0;
+  get_raw(&value, sizeof(value));
+  return value;
+}
+
+std::vector<VarId> WireReader::get_vars() {
+  const std::uint32_t count = get_u32();
+  if (static_cast<std::size_t>(count) * sizeof(VarId) >
+      bytes_.size() - offset_) {
+    throw std::runtime_error("ipc: truncated variable list in frame");
+  }
+  std::vector<VarId> vars(count);
+  if (count > 0) get_raw(vars.data(), vars.size() * sizeof(VarId));
+  return vars;
+}
+
+std::string WireReader::get_string() {
+  const std::uint32_t length = get_u32();
+  if (length > bytes_.size() - offset_) {
+    throw std::runtime_error("ipc: truncated string in frame");
+  }
+  std::string text(length, '\0');
+  if (length > 0) get_raw(text.data(), length);
+  return text;
+}
+
+bool write_frame(int fd, std::uint32_t tag,
+                 std::span<const std::uint8_t> payload) noexcept {
+  if (payload.size() > kMaxFramePayload) return false;
+  // Header and payload go out as separate write loops; pipes deliver
+  // byte streams, so the reader reassembles regardless of how the kernel
+  // slices them (payloads routinely exceed PIPE_BUF).
+  const std::uint32_t header[2] = {static_cast<std::uint32_t>(payload.size()),
+                                   tag};
+  const auto write_all = [fd](const void* data, std::size_t size) noexcept {
+    const auto* cursor = static_cast<const std::uint8_t*>(data);
+    std::size_t done = 0;
+    while (done < size) {
+      const ssize_t n = ::write(fd, cursor + done, size - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // EPIPE: the reading rank is gone
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  if (!write_all(header, sizeof(header))) return false;
+  return payload.empty() || write_all(payload.data(), payload.size());
+}
+
+FrameReadStatus read_frame(int fd, Frame& out, int timeout_ms) {
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  std::uint32_t header[2] = {0, 0};
+  FrameReadStatus status =
+      read_exact(fd, header, sizeof(header), has_deadline, deadline);
+  if (status != FrameReadStatus::kOk) return status;
+  if (header[0] > kMaxFramePayload) {
+    // A garbage length prefix is indistinguishable from a dead protocol;
+    // treat it as EOF so the supervisor tears the group down.
+    return FrameReadStatus::kEof;
+  }
+  out.tag = header[1];
+  out.payload.resize(header[0]);
+  if (header[0] == 0) return FrameReadStatus::kOk;
+  status = read_exact(fd, out.payload.data(), out.payload.size(), has_deadline,
+                      deadline);
+  return status;
+}
+
+}  // namespace fastbns

@@ -1,0 +1,101 @@
+// Length-prefixed message frames and a tiny binary wire format — the
+// transport vocabulary of the multi-process engine's allreduce barrier.
+//
+// A frame on the wire is [u32 payload length][u32 tag][payload bytes],
+// little-endian as the host writes them (both ends of a pipe are forks of
+// one process, so no byte-order negotiation is needed). The read side is
+// poll()-driven with a deadline so a dead or wedged peer yields a status,
+// never a hang; EOF on the pipe — the immediate kernel-level signal that
+// a rank died, long before any timeout — is its own status so supervisors
+// can report "rank exited" instead of "timed out".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastbns {
+
+/// Append-only payload builder. All integers are written in host byte
+/// order (frames never cross a machine boundary; ranks are forks).
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t value) { bytes_.push_back(value); }
+  void put_u32(std::uint32_t value) { put_raw(&value, sizeof(value)); }
+  void put_i32(std::int32_t value) { put_raw(&value, sizeof(value)); }
+  void put_u64(std::uint64_t value) { put_raw(&value, sizeof(value)); }
+  void put_i64(std::int64_t value) { put_raw(&value, sizeof(value)); }
+
+  /// u32 count followed by the ids (VarId is int32).
+  void put_vars(std::span<const VarId> vars);
+  /// u32 length followed by the raw bytes.
+  void put_string(std::string_view text);
+
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept {
+    return bytes_;
+  }
+  void clear() noexcept { bytes_.clear(); }
+
+ private:
+  void put_raw(const void* data, std::size_t size);
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Cursor over a received payload. Every getter throws std::runtime_error
+/// on truncation — a short frame from a confused peer must surface as a
+/// protocol error, not as out-of-bounds reads.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::int32_t get_i32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] std::int64_t get_i64();
+  [[nodiscard]] std::vector<VarId> get_vars();
+  [[nodiscard]] std::string get_string();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+
+ private:
+  void get_raw(void* out, std::size_t size);
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+struct Frame {
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+enum class FrameReadStatus : std::uint8_t {
+  kOk,       ///< a complete frame landed in `out`
+  kEof,      ///< the peer closed its end (a forked rank exited)
+  kTimeout,  ///< the deadline expired with the frame incomplete
+};
+
+/// Writes one complete frame to `fd`, looping over short writes and EINTR.
+/// Returns false when the pipe is broken (the reader died — EPIPE, which
+/// requires SIGPIPE to be ignored; ProcessGroup::spawn arranges that) or
+/// any other write error occurs.
+bool write_frame(int fd, std::uint32_t tag,
+                 std::span<const std::uint8_t> payload) noexcept;
+
+/// Reads one complete frame from `fd` into `out`, waiting at most
+/// `timeout_ms` (negative = forever) across the whole frame. Partial
+/// frames followed by EOF report kEof (the writer died mid-frame).
+[[nodiscard]] FrameReadStatus read_frame(int fd, Frame& out, int timeout_ms);
+
+/// Caps a frame's payload at 1 GiB: a corrupt length prefix must fail the
+/// protocol, not attempt a 4 GiB allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+}  // namespace fastbns

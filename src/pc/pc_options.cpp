@@ -48,6 +48,31 @@ void PcOptions::validate() const {
         ", exceeding kMaxShards (" + std::to_string(kMaxShards) +
         "); this is almost certainly a typo");
   }
+  if (rank_count < 0) {
+    throw std::invalid_argument(
+        "PcOptions::rank_count must be >= 0 (0 = auto: two ranks, or one "
+        "on a single-cpu box), got " +
+        std::to_string(rank_count));
+  }
+  if (rank_count > kMaxRanks) {
+    throw std::invalid_argument(
+        "PcOptions::rank_count is " + std::to_string(rank_count) +
+        ", exceeding kMaxRanks (" + std::to_string(kMaxRanks) +
+        "); every rank is a forked process, so this is almost certainly "
+        "a typo");
+  }
+  if (rank_threads < 0) {
+    throw std::invalid_argument(
+        "PcOptions::rank_threads must be >= 0 (0 = auto: the thread "
+        "budget split across ranks), got " +
+        std::to_string(rank_threads));
+  }
+  if (rank_threads > kMaxThreads) {
+    throw std::invalid_argument(
+        "PcOptions::rank_threads is " + std::to_string(rank_threads) +
+        ", exceeding kMaxThreads (" + std::to_string(kMaxThreads) +
+        "); this is almost certainly a typo");
+  }
   // Resolves the rule name, throwing the known-rules message (with the
   // offending value) for anything unknown — same contract as engines and
   // table builders.

@@ -41,6 +41,13 @@ enum class EngineKind : std::uint8_t {
   /// barrier merges removals per depth — the data-placement-aware
   /// stepping stone toward NUMA pinning and distributed sharding.
   kSharded,
+  /// Multi-process rank-partition extension: the driver forks rank_count
+  /// worker processes over a MAP_SHARED dataset segment, each rank owns
+  /// the edges whose lower endpoint maps to its variable shard, and the
+  /// per-depth commit barrier becomes an allreduce of removal sets +
+  /// sepsets over length-prefixed pipe frames — the fork-based first step
+  /// of the roadmap's distributed (MPI-style) skeleton learning.
+  kProcess,
 };
 
 /// Canonical engine name as registered in the EngineRegistry (defined in
@@ -106,17 +113,33 @@ struct PcOptions {
   /// engine (locality-extended cost model); placement never changes
   /// results, only where threads and pages live.
   std::string numa_policy = "auto";
+  /// Worker ranks (forked processes) of the multi-process engine
+  /// (kProcess only): 0 = auto (min(2, hardware threads) — distributed by
+  /// default, degenerating to a single rank on a 1-cpu box). Ranks may
+  /// outnumber variables (trailing ranks own no edges); rank 1 is the
+  /// fork-supervised degenerate case the fuzz harness sweeps.
+  std::int32_t rank_count = 0;
+  /// Worker threads *inside* each rank (kProcess only): 0 = auto
+  /// (effective thread budget / rank_count, at least 1). Ranks use plain
+  /// std::thread teams — never OpenMP, whose runtime does not survive
+  /// fork() — so this is deliberately separate from num_threads.
+  std::int32_t rank_threads = 0;
 
   /// Largest accepted num_threads; far beyond any machine this targets,
   /// so a mistyped thread count fails here instead of oversubscribing.
   static constexpr int kMaxThreads = 4096;
   /// Largest accepted shard_count, for the same reason.
   static constexpr std::int32_t kMaxShards = 4096;
+  /// Largest accepted rank_count: every rank is a forked process, so the
+  /// cap is deliberately far below kMaxShards — 1024 ranks is already
+  /// beyond any single box this engine forks on.
+  static constexpr std::int32_t kMaxRanks = 1024;
 
   /// Throws std::invalid_argument when any field is out of range:
   /// group_size >= 1, alpha in (0, 1), max_depth >= -1, 0 <= num_threads
-  /// <= kMaxThreads, 0 <= shard_count <= kMaxShards, shard_partition a
-  /// known rule, numa_policy a known policy (auto/off/forced),
+  /// <= kMaxThreads, 0 <= shard_count <= kMaxShards, 0 <= rank_count <=
+  /// kMaxRanks, rank_threads likewise against kMaxThreads, shard_partition
+  /// a known rule, numa_policy a known policy (auto/off/forced),
   /// table_builder a known kernel name, and max_table_cells
   /// >= 4 (a smaller cap cannot hold even the 2x2 marginal table of two
   /// binary variables, so every test would be skipped and no edge ever

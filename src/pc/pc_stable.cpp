@@ -1,10 +1,12 @@
 #include "pc/pc_stable.hpp"
 
 #include <memory>
+#include <optional>
 
 #include "common/timer.hpp"
 #include "engine/engine_registry.hpp"
 #include "engine/skeleton_engine.hpp"
+#include "ipc/shared_dataset.hpp"
 #include "stats/discrete_ci_test.hpp"
 
 namespace fastbns {
@@ -36,8 +38,19 @@ PcStableResult learn_structure(const DiscreteDataset& data,
   test_options.max_cells = options.max_table_cells;
   test_options.table_builder = options.table_builder;
   test_options.sample_parallel = engine->wants_sample_parallel_test();
-  const DiscreteCiTest test(data, test_options);
-  return pc_stable(data.num_vars(), test, options, *engine);
+  // The multi-process engine forks worker ranks; mount the dataset in a
+  // MAP_SHARED segment first so every rank streams the same physical
+  // pages (mapped once, zero per-rank copies — not even COW duplicates)
+  // and a pinned rank's first-touch places pages for the whole group.
+  const EngineInfo* info = EngineRegistry::instance().find(engine->name());
+  std::optional<SharedDatasetSegment> shared;
+  const DiscreteDataset* active = &data;
+  if (info != nullptr && info->kind == EngineKind::kProcess) {
+    shared.emplace(SharedDatasetSegment::create(data));
+    active = &shared->view();
+  }
+  const DiscreteCiTest test(*active, test_options);
+  return pc_stable(active->num_vars(), test, options, *engine);
 }
 
 }  // namespace fastbns

@@ -88,6 +88,13 @@ TEST(EngineFuzz, EveryEngineEveryBuilderMatchesTheSequentialReference) {
     // (and, under FASTBNS_NUMA, the shard->domain deal) — none of which
     // may perturb a single bit of the result.
     const char* numa_policy = seed % 2 == 0 ? "auto" : "forced";
+    // The process engine forks this many worker ranks per configuration;
+    // cycling 1/2/4 (with a 1-or-2 thread team inside each) exercises
+    // the degenerate single-rank group, an even split, and more ranks
+    // than this instance has work per depth.
+    const std::int32_t rank_count[] = {1, 2, 4};
+    const auto ranks = rank_count[seed % 3];
+    const auto rank_threads = static_cast<std::int32_t>(1 + seed % 2);
 
     for (const std::string& engine : engines) {
       for (const std::string& builder : builders) {
@@ -99,6 +106,8 @@ TEST(EngineFuzz, EveryEngineEveryBuilderMatchesTheSequentialReference) {
         options.shard_count = shard_count;
         options.shard_partition = shard_partition;
         options.numa_policy = numa_policy;
+        options.rank_count = ranks;
+        options.rank_threads = rank_threads;
         options.table_builder = builder;
         CiTestOptions test_options;
         test_options.sample_parallel =
@@ -112,7 +121,8 @@ TEST(EngineFuzz, EveryEngineEveryBuilderMatchesTheSequentialReference) {
                       << " engine pair fastbns-seq(scalar) vs " << engine
                       << "(" << builder << ")"
                       << " gs=" << gs << " shards=" << shard_count << "/"
-                      << shard_partition << " numa=" << numa_policy << ": "
+                      << shard_partition << " numa=" << numa_policy
+                      << " ranks=" << ranks << "x" << rank_threads << ": "
                       << fuzz::describe_divergence(reference, actual, n);
       }
     }

@@ -16,13 +16,14 @@ namespace {
 
 TEST(EngineRegistry, ListsTheBuiltinEnginesSorted) {
   const std::vector<std::string> names = list_engines();
-  ASSERT_GE(names.size(), 8u);
+  ASSERT_GE(names.size(), 9u);
   // list_engines() is the stable, sorted order CLI help enumerates.
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   for (const char* expected :
        {"naive-seq", "fastbns-seq", "edge-parallel", "sample-parallel",
         "fastbns-par(ci-level)", "hybrid(edge+sample)",
-        "async(depth-overlap)", "sharded(var-partition)"}) {
+        "async(depth-overlap)", "sharded(var-partition)",
+        "process(rank-partition)"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -32,12 +33,13 @@ TEST(EngineRegistry, ListsTheBuiltinEnginesSorted) {
   // sorts.
   const std::vector<std::string> registration_order =
       EngineRegistry{}.names();
-  ASSERT_EQ(registration_order.size(), 8u);
+  ASSERT_EQ(registration_order.size(), 9u);
   EXPECT_EQ(registration_order[0], "naive-seq");
   EXPECT_EQ(registration_order[4], "fastbns-par(ci-level)");
   EXPECT_EQ(registration_order[5], "hybrid(edge+sample)");
   EXPECT_EQ(registration_order[6], "async(depth-overlap)");
   EXPECT_EQ(registration_order[7], "sharded(var-partition)");
+  EXPECT_EQ(registration_order[8], "process(rank-partition)");
 }
 
 TEST(EngineRegistry, CanonicalNamesRoundTrip) {
@@ -51,7 +53,7 @@ TEST(EngineRegistry, KindsRoundTripThroughNames) {
        {EngineKind::kNaiveSequential, EngineKind::kFastSequential,
         EngineKind::kEdgeParallel, EngineKind::kSampleParallel,
         EngineKind::kCiParallel, EngineKind::kHybrid, EngineKind::kAsync,
-        EngineKind::kSharded}) {
+        EngineKind::kSharded, EngineKind::kProcess}) {
     EXPECT_EQ(engine_from_string(to_string(kind)), kind);
   }
 }
@@ -69,6 +71,8 @@ TEST(EngineRegistry, AliasesResolve) {
   EXPECT_EQ(engine_from_string("overlap"), EngineKind::kAsync);
   EXPECT_EQ(engine_from_string("sharded"), EngineKind::kSharded);
   EXPECT_EQ(engine_from_string("shard"), EngineKind::kSharded);
+  EXPECT_EQ(engine_from_string("process"), EngineKind::kProcess);
+  EXPECT_EQ(engine_from_string("mpp"), EngineKind::kProcess);
 }
 
 TEST(EngineRegistry, UnknownNameThrowsListingKnownEngines) {

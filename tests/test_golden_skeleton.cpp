@@ -110,7 +110,7 @@ std::optional<std::string> read_file(const std::string& path) {
   return content.str();
 }
 
-std::string run_case(const GoldenCase& which) {
+std::string run_case(const GoldenCase& which, const PcOptions& engine_options) {
   const std::optional<BayesianNetwork> network =
       benchmark_network(which.network);
   if (!network.has_value()) {
@@ -120,14 +120,19 @@ std::string run_case(const GoldenCase& which) {
   Rng rng(which.data_seed);
   const DiscreteDataset data =
       forward_sample(*network, which.samples, rng, DataLayout::kColumnMajor);
-  PcOptions options;
-  options.engine = EngineKind::kFastSequential;
+  PcOptions options = engine_options;
   options.alpha = which.alpha;
   CiTestOptions test_options;
   test_options.alpha = which.alpha;
   const DiscreteCiTest test(data, test_options);
   const SkeletonResult result = learn_skeleton(data.num_vars(), test, options);
   return serialize(which, result, data.num_vars());
+}
+
+std::string run_case(const GoldenCase& which) {
+  PcOptions options;
+  options.engine = EngineKind::kFastSequential;
+  return run_case(which, options);
 }
 
 TEST(GoldenSkeleton, AlarmAndInsuranceMatchCommittedDigests) {
@@ -172,6 +177,36 @@ TEST(GoldenSkeleton, AlarmAndInsuranceMatchCommittedDigests) {
         break;
       }
     }
+  }
+}
+
+TEST(GoldenSkeleton, ProcessEngineReproducesTheCommittedDigests) {
+  // The distributed engine must agree not just with the in-process
+  // engines (the fuzz suite's job) but with the pinned artifacts
+  // themselves — a serialization reached through fork + allreduce, byte
+  // for byte. FASTBNS_GOLDEN_RANKS (default 2) sets the rank count so
+  // the CI process leg can sweep it.
+  std::int32_t ranks = 2;
+  if (const char* env = std::getenv("FASTBNS_GOLDEN_RANKS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    ASSERT_TRUE(end != env && *end == '\0' && parsed >= 1)
+        << "FASTBNS_GOLDEN_RANKS=\"" << env << "\" is not an integer >= 1";
+    ranks = static_cast<std::int32_t>(parsed);
+  }
+  PcOptions options;
+  options.engine = EngineKind::kProcess;
+  options.engine_name = "process(rank-partition)";
+  options.rank_count = ranks;
+  for (const GoldenCase& which : kCases) {
+    SCOPED_TRACE(std::string(which.file) + " ranks=" + std::to_string(ranks));
+    const std::string actual = run_case(which, options);
+    ASSERT_FALSE(actual.empty());
+    const std::optional<std::string> expected = read_file(golden_path(which));
+    ASSERT_TRUE(expected.has_value()) << "missing golden file "
+                                      << golden_path(which);
+    EXPECT_EQ(*expected, actual);
   }
 }
 

@@ -1,0 +1,262 @@
+// The multi-process engine's transport layer in isolation: wire
+// round-trips, frames across real pipes (including payloads far beyond
+// the pipe buffer), deadline-bounded reads that report EOF vs timeout
+// distinctly, the fork-based ProcessGroup supervisor (dead rank → clear
+// error, never a hang), and the MAP_SHARED dataset segment forked ranks
+// read without copies.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataset/discrete_dataset.hpp"
+#include "ipc/process_group.hpp"
+#include "ipc/shared_dataset.hpp"
+#include "ipc/wire.hpp"
+
+namespace fastbns {
+namespace {
+
+TEST(Wire, WriterReaderRoundTripAllTypes) {
+  WireWriter writer;
+  writer.put_u8(0xAB);
+  writer.put_u32(0xDEADBEEFu);
+  writer.put_i32(-12345);
+  writer.put_u64(0x0123456789ABCDEFull);
+  writer.put_i64(-9876543210ll);
+  const std::vector<VarId> vars = {3, 1, 4, 1, 5};
+  writer.put_vars(vars);
+  writer.put_string("sepset \"payload\"\n");
+
+  WireReader reader(writer.payload());
+  EXPECT_EQ(reader.get_u8(), 0xAB);
+  EXPECT_EQ(reader.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.get_i32(), -12345);
+  EXPECT_EQ(reader.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.get_i64(), -9876543210ll);
+  EXPECT_EQ(reader.get_vars(), vars);
+  EXPECT_EQ(reader.get_string(), "sepset \"payload\"\n");
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Wire, TruncatedPayloadThrowsInsteadOfReadingPastTheEnd) {
+  WireWriter writer;
+  writer.put_u32(7);
+  WireReader reader(writer.payload());
+  (void)reader.get_u32();
+  EXPECT_THROW((void)reader.get_u32(), std::runtime_error);
+  // A var list whose count claims more ids than the payload holds is the
+  // protocol-error shape a confused peer would actually produce.
+  WireWriter liar;
+  liar.put_u32(1000);  // count with no ids following
+  WireReader lied_to(liar.payload());
+  EXPECT_THROW((void)lied_to.get_vars(), std::runtime_error);
+}
+
+TEST(Wire, FramesCrossARealPipeIncludingBeyondPipeBuffer) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // 1 MiB payload: far beyond the 64 KiB default pipe capacity, so the
+  // writer must loop over short writes while the reader drains — the
+  // write side runs in a thread to avoid deadlocking the test itself.
+  std::vector<std::uint8_t> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  std::thread writer([&] {
+    EXPECT_TRUE(write_frame(fds[1], 42, big));
+    close(fds[1]);
+  });
+  Frame frame;
+  EXPECT_EQ(read_frame(fds[0], frame, /*timeout_ms=*/10000),
+            FrameReadStatus::kOk);
+  writer.join();
+  EXPECT_EQ(frame.tag, 42u);
+  EXPECT_EQ(frame.payload, big);
+  // The closed write end now reads as EOF, not a timeout.
+  EXPECT_EQ(read_frame(fds[0], frame, /*timeout_ms=*/10000),
+            FrameReadStatus::kEof);
+  close(fds[0]);
+}
+
+TEST(Wire, ReadFrameDistinguishesTimeoutFromEof) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  Frame frame;
+  // Nothing written, writer still alive: the deadline expires.
+  EXPECT_EQ(read_frame(fds[0], frame, /*timeout_ms=*/50),
+            FrameReadStatus::kTimeout);
+  // A partial frame followed by writer death is EOF (died mid-frame),
+  // not a hang waiting for the rest.
+  const std::uint32_t claimed_length = 1000;
+  ASSERT_EQ(write(fds[1], &claimed_length, sizeof(claimed_length)),
+            static_cast<ssize_t>(sizeof(claimed_length)));
+  close(fds[1]);
+  EXPECT_EQ(read_frame(fds[0], frame, /*timeout_ms=*/10000),
+            FrameReadStatus::kEof);
+  close(fds[0]);
+}
+
+TEST(Wire, GarbageLengthPrefixFailsInsteadOfAllocatingGigabytes) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const std::uint32_t garbage = 0xFFFFFFFFu;  // > kMaxFramePayload
+  ASSERT_EQ(write(fds[1], &garbage, sizeof(garbage)),
+            static_cast<ssize_t>(sizeof(garbage)));
+  Frame frame;
+  EXPECT_NE(read_frame(fds[0], frame, /*timeout_ms=*/1000),
+            FrameReadStatus::kOk);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(ProcessGroup, RanksEchoFramesAndShutDownCleanly) {
+  ProcessGroup group = ProcessGroup::spawn(
+      3, [](int rank, int command_fd, int result_fd) {
+        Frame frame;
+        while (read_frame(command_fd, frame, -1) == FrameReadStatus::kOk) {
+          WireWriter reply;
+          reply.put_i32(rank);
+          WireReader request(frame.payload);
+          reply.put_i32(request.get_i32() * 2);
+          if (!write_frame(result_fd, frame.tag + 1, reply.payload()))
+            return 1;
+        }
+        return 0;  // EOF on the command pipe is the shutdown signal
+      });
+  ASSERT_EQ(group.rank_count(), 3);
+  for (int round = 0; round < 3; ++round) {
+    for (int rank = 0; rank < group.rank_count(); ++rank) {
+      WireWriter command;
+      command.put_i32(10 * round + rank);
+      group.send(rank, /*tag=*/7, command.payload());
+    }
+    for (int rank = 0; rank < group.rank_count(); ++rank) {
+      Frame reply = group.receive(rank, /*timeout_ms=*/10000);
+      EXPECT_EQ(reply.tag, 8u);
+      WireReader reader(reply.payload);
+      EXPECT_EQ(reader.get_i32(), rank);
+      EXPECT_EQ(reader.get_i32(), 2 * (10 * round + rank));
+    }
+  }
+  group.shutdown();
+  EXPECT_TRUE(group.empty());
+  group.shutdown();  // idempotent
+}
+
+TEST(ProcessGroup, DeadRankYieldsAClearErrorNamingTheRankNotAHang) {
+  ProcessGroup group = ProcessGroup::spawn(
+      2, [](int rank, int command_fd, int result_fd) {
+        Frame frame;
+        if (read_frame(command_fd, frame, -1) != FrameReadStatus::kOk)
+          return 0;
+        if (rank == 1) return 17;  // dies instead of replying
+        WireWriter reply;
+        reply.put_i32(rank);
+        (void)write_frame(result_fd, 2, reply.payload());
+        // Keep the healthy rank alive until shutdown so the failure can
+        // only come from rank 1.
+        (void)read_frame(command_fd, frame, -1);
+        return 0;
+      });
+  for (int rank = 0; rank < 2; ++rank) {
+    group.send(rank, 1, {});
+  }
+  (void)group.receive(0, /*timeout_ms=*/10000);
+  try {
+    // The rank is already dead; EOF surfaces long before the deadline —
+    // a generous timeout here must NOT translate into a slow test.
+    (void)group.receive(1, /*timeout_ms=*/60000);
+    FAIL() << "expected RankDeathError";
+  } catch (const RankDeathError& error) {
+    EXPECT_EQ(error.rank(), 1);
+    const std::string message = error.what();
+    EXPECT_NE(message.find("rank 1"), std::string::npos) << message;
+    EXPECT_NE(message.find("17"), std::string::npos)
+        << "expected the waitpid exit status in: " << message;
+  }
+  // The whole group was torn down by the failure.
+  EXPECT_TRUE(group.empty());
+}
+
+TEST(SharedMemory, WritesInForkedRanksAreVisibleToTheParent) {
+  SharedMemoryRegion region = SharedMemoryRegion::create(64);
+  ASSERT_FALSE(region.empty());
+  std::byte* cells = region.data();
+  ProcessGroup group = ProcessGroup::spawn(
+      2, [cells](int rank, int command_fd, int result_fd) {
+        Frame frame;
+        if (read_frame(command_fd, frame, -1) != FrameReadStatus::kOk)
+          return 1;
+        // MAP_SHARED, not COW: this store must land in the parent's
+        // mapping too.
+        cells[rank] = static_cast<std::byte>(0x50 + rank);
+        return write_frame(result_fd, 2, {}) ? 0 : 1;
+      });
+  for (int rank = 0; rank < 2; ++rank) group.send(rank, 1, {});
+  for (int rank = 0; rank < 2; ++rank) {
+    (void)group.receive(rank, /*timeout_ms=*/10000);
+    EXPECT_EQ(cells[rank], static_cast<std::byte>(0x50 + rank));
+  }
+}
+
+TEST(SharedDataset, SegmentViewMatchesTheSourceValueForValue) {
+  const VarId n = 5;
+  const Count m = 97;  // deliberately not a multiple of kCodes8Pad
+  DiscreteDataset source(n, m, {2, 3, 4, 2, 3}, DataLayout::kBoth);
+  for (Count s = 0; s < m; ++s) {
+    for (VarId v = 0; v < n; ++v) {
+      source.set(s, v,
+                 static_cast<DataValue>((s * 31 + v * 7) %
+                                        source.cardinality(v)));
+    }
+  }
+  const SharedDatasetSegment segment = SharedDatasetSegment::create(source);
+  const DiscreteDataset& view = segment.view();
+  EXPECT_GT(segment.byte_size(), 0u);
+  ASSERT_EQ(view.num_vars(), n);
+  ASSERT_EQ(view.num_samples(), m);
+  EXPECT_EQ(view.cardinalities(), source.cardinalities());
+  EXPECT_EQ(view.has_column_major(), source.has_column_major());
+  EXPECT_EQ(view.has_row_major(), source.has_row_major());
+  for (Count s = 0; s < m; ++s) {
+    for (VarId v = 0; v < n; ++v) {
+      ASSERT_EQ(view.value(s, v), source.value(s, v)) << s << "," << v;
+    }
+  }
+  for (VarId v = 0; v < n; ++v) {
+    ASSERT_EQ(view.has_codes8(v), source.has_codes8(v)) << v;
+    const std::span<const std::uint8_t> expected = source.codes8(v);
+    const std::span<const std::uint8_t> actual = view.codes8(v);
+    ASSERT_EQ(actual.size(), expected.size()) << v;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i], expected[i]) << v << "@" << i;
+    }
+    // The first-touch surface the placement pass prefaults must exist
+    // for every variable in the view too.
+    EXPECT_FALSE(view.column_bytes(v).empty()) << v;
+  }
+  // Copies of the view share the shm buffers rather than deep-copying —
+  // the property that makes per-rank CiTest clones cheap.
+  const DiscreteDataset copy = view;
+  EXPECT_EQ(copy.column(0).data(), view.column(0).data());
+}
+
+TEST(SharedDataset, ColumnMajorOnlySourceYieldsColumnMajorOnlyView) {
+  DiscreteDataset source(3, 10, {2, 2, 2}, DataLayout::kColumnMajor);
+  for (Count s = 0; s < 10; ++s) {
+    for (VarId v = 0; v < 3; ++v) {
+      source.set(s, v, static_cast<DataValue>((s + v) % 2));
+    }
+  }
+  const SharedDatasetSegment segment = SharedDatasetSegment::create(source);
+  EXPECT_TRUE(segment.view().has_column_major());
+  EXPECT_FALSE(segment.view().has_row_major());
+  EXPECT_EQ(segment.view().value(9, 2), source.value(9, 2));
+}
+
+}  // namespace
+}  // namespace fastbns

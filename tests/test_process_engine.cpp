@@ -1,0 +1,216 @@
+// The multi-process engine against the library's central claim: forked
+// ranks exchanging removal sets over pipes must produce the bit-identical
+// skeleton (adjacency + sepsets + removal depths) and the identical
+// executed-test count the in-process engines produce — at every rank
+// count, including one rank and more ranks than useful. Plus the
+// supervisor contract (an injected rank death is a clear error naming the
+// rank, never a hang), child-exception propagation, the end-to-end
+// learn_structure path over the MAP_SHARED segment, and the rank/thread
+// resolution rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+#include "engine/engine_registry.hpp"
+#include "engine/process_engine.hpp"
+#include "fuzz_util.hpp"
+#include "network/forward_sampler.hpp"
+#include "network/standard_networks.hpp"
+#include "pc/pc_stable.hpp"
+#include "pc/skeleton.hpp"
+#include "stats/discrete_ci_test.hpp"
+
+namespace fastbns {
+namespace {
+
+PcOptions process_options(std::int32_t ranks, std::int32_t rank_threads = 1) {
+  PcOptions options;
+  options.engine = EngineKind::kProcess;
+  options.engine_name = "process(rank-partition)";
+  options.rank_count = ranks;
+  options.rank_threads = rank_threads;
+  return options;
+}
+
+TEST(ProcessEngine, MatchesTheSequentialReferenceAcrossRankCounts) {
+  // Three seeds x {1, 2, 4} ranks x {1, 2} threads-per-rank, each
+  // fingerprinted against fastbns-seq. One rank pins the degenerate
+  // group, four ranks exceed the work some shallow depths have — the
+  // allreduce must stay correct when a rank's shard is empty.
+  for (std::uint64_t seed : {0ull, 3ull, 7ull}) {
+    const fuzz::FuzzInstance instance = fuzz::make_instance(seed);
+    const VarId n = instance.data.num_vars();
+
+    PcOptions reference_options;
+    reference_options.engine = EngineKind::kFastSequential;
+    const DiscreteCiTest reference_test(instance.data, CiTestOptions{});
+    const fuzz::SkeletonFingerprint reference = fuzz::fingerprint(
+        learn_skeleton(n, reference_test, reference_options), n);
+
+    for (const std::int32_t ranks : {1, 2, 4}) {
+      for (const std::int32_t rank_threads : {1, 2}) {
+        const DiscreteCiTest test(instance.data, CiTestOptions{});
+        const fuzz::SkeletonFingerprint actual = fuzz::fingerprint(
+            learn_skeleton(n, test, process_options(ranks, rank_threads)), n);
+        EXPECT_TRUE(actual == reference)
+            << "seed=" << seed << " ranks=" << ranks << "x" << rank_threads
+            << ": " << fuzz::describe_divergence(reference, actual, n);
+      }
+    }
+  }
+}
+
+TEST(ProcessEngine, ExecutedTestCountsMatchTheReferenceAtEveryRankCount) {
+  // Stronger than result identity: the ranks must run exactly the tests
+  // the sequential engine runs (same works, same early stops), so the
+  // summed per-depth counters agree — the invariant that makes the
+  // paper-style CI-test tables comparable across engines.
+  const fuzz::FuzzInstance instance = fuzz::make_instance(11);
+  const VarId n = instance.data.num_vars();
+  PcOptions reference_options;
+  reference_options.engine = EngineKind::kFastSequential;
+  const DiscreteCiTest reference_test(instance.data, CiTestOptions{});
+  const SkeletonResult reference =
+      learn_skeleton(n, reference_test, reference_options);
+  for (const std::int32_t ranks : {1, 2, 3, 4}) {
+    const DiscreteCiTest test(instance.data, CiTestOptions{});
+    const SkeletonResult actual =
+        learn_skeleton(n, test, process_options(ranks));
+    EXPECT_EQ(actual.total_ci_tests, reference.total_ci_tests)
+        << "ranks=" << ranks;
+    ASSERT_EQ(actual.depth_stats.size(), reference.depth_stats.size())
+        << "ranks=" << ranks;
+    for (std::size_t d = 0; d < reference.depth_stats.size(); ++d) {
+      EXPECT_EQ(actual.depth_stats[d].ci_tests,
+                reference.depth_stats[d].ci_tests)
+          << "ranks=" << ranks << " depth=" << d;
+      EXPECT_EQ(actual.depth_stats[d].edges_removed,
+                reference.depth_stats[d].edges_removed)
+          << "ranks=" << ranks << " depth=" << d;
+    }
+  }
+}
+
+TEST(ProcessEngine, LearnStructureOverTheSharedSegmentMatchesSequential) {
+  // The end-to-end path production runs take: learn_structure places the
+  // dataset in a MAP_SHARED segment before building the CI test, forks
+  // the ranks, and orients the agreed skeleton. The CPDAG must match the
+  // sequential engine's edge for edge.
+  Rng rng(2024);
+  const auto network = benchmark_network("alarm");
+  ASSERT_TRUE(network.has_value());
+  const DiscreteDataset data =
+      forward_sample(*network, 1000, rng, DataLayout::kColumnMajor);
+
+  PcOptions sequential;
+  sequential.engine = EngineKind::kFastSequential;
+  const PcStableResult expected = learn_structure(data, sequential);
+  const PcStableResult actual = learn_structure(data, process_options(2, 2));
+
+  auto directed = actual.cpdag.directed_edges();
+  auto expected_directed = expected.cpdag.directed_edges();
+  std::sort(directed.begin(), directed.end());
+  std::sort(expected_directed.begin(), expected_directed.end());
+  EXPECT_EQ(directed, expected_directed);
+  auto undirected = actual.cpdag.undirected_edges();
+  auto expected_undirected = expected.cpdag.undirected_edges();
+  std::sort(undirected.begin(), undirected.end());
+  std::sort(expected_undirected.begin(), expected_undirected.end());
+  EXPECT_EQ(undirected, expected_undirected);
+  EXPECT_EQ(actual.skeleton.total_ci_tests, expected.skeleton.total_ci_tests);
+}
+
+TEST(ProcessEngine, InjectedRankDeathIsAClearErrorNamingTheRankNotAHang) {
+  // FASTBNS_PROCESS_DIE_AT_DEPTH=rank:depth makes that rank _exit(42)
+  // when the depth's command arrives — the deterministic stand-in for an
+  // OOM-killed or crashed worker. The driver must tear the group down
+  // and throw an error naming rank 1, well before any timeout.
+  setenv("FASTBNS_PROCESS_DIE_AT_DEPTH", "1:1", 1);
+  const fuzz::FuzzInstance instance = fuzz::make_instance(2);
+  const DiscreteCiTest test(instance.data, CiTestOptions{});
+  try {
+    (void)learn_skeleton(instance.data.num_vars(), test, process_options(2));
+    unsetenv("FASTBNS_PROCESS_DIE_AT_DEPTH");
+    FAIL() << "expected RankDeathError (is the instance reaching depth 1?)";
+  } catch (const std::runtime_error& error) {
+    unsetenv("FASTBNS_PROCESS_DIE_AT_DEPTH");
+    const std::string message = error.what();
+    EXPECT_NE(message.find("rank 1"), std::string::npos) << message;
+    EXPECT_NE(message.find("42"), std::string::npos)
+        << "expected the exit status in: " << message;
+  }
+}
+
+TEST(ProcessEngine, ChildExceptionsPropagateWithTheirMessage) {
+  // A CI test that throws inside a rank must surface in the parent as a
+  // runtime_error carrying the child's message — the kTagError path —
+  // not as a mysterious rank death.
+  class FailingTest final : public CiTest {
+   public:
+    CiResult test(VarId, VarId, std::span<const VarId>) override {
+      throw std::runtime_error("synthetic rank-side CI failure");
+    }
+    [[nodiscard]] std::unique_ptr<CiTest> clone() const override {
+      return std::make_unique<FailingTest>();
+    }
+  };
+  const FailingTest test;
+  try {
+    (void)learn_skeleton(8, test, process_options(2));
+    FAIL() << "expected the child's exception to propagate";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("synthetic rank-side CI failure"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ProcessEngine, RankResolutionRulesAreStable) {
+  EXPECT_EQ(resolve_rank_count(3), 3);
+  EXPECT_EQ(resolve_rank_count(1), 1);
+  // Auto: two ranks, or one on a single-cpu box — never zero.
+  const std::int32_t auto_ranks = resolve_rank_count(0);
+  EXPECT_GE(auto_ranks, 1);
+  EXPECT_LE(auto_ranks, 2);
+  EXPECT_EQ(resolve_rank_threads(5, 2, 0), 5);
+  // Explicit budget 8 over 4 ranks → 2 threads each; a budget smaller
+  // than the rank count still gives every rank one thread.
+  EXPECT_EQ(resolve_rank_threads(0, 4, 8), 2);
+  EXPECT_EQ(resolve_rank_threads(0, 8, 4), 1);
+}
+
+TEST(ProcessEngine, DepthStatsAccessorSeesOnlyProcessEngines) {
+  const auto process = EngineRegistry::instance().create("process");
+  ASSERT_NE(process, nullptr);
+  const auto sequential = EngineRegistry::instance().create("fastbns-seq");
+  EXPECT_EQ(process_engine_depth_stats(*sequential), nullptr);
+  // A fresh process engine has an empty (but present) stats vector; after
+  // a run it carries one entry per executed depth with the depth's test
+  // count.
+  const auto* empty_stats = process_engine_depth_stats(*process);
+  ASSERT_NE(empty_stats, nullptr);
+  EXPECT_TRUE(empty_stats->empty());
+  const fuzz::FuzzInstance instance = fuzz::make_instance(5);
+  const DiscreteCiTest test(instance.data, CiTestOptions{});
+  const SkeletonResult result = learn_skeleton(
+      instance.data.num_vars(), test, process_options(2), *process);
+  const auto* stats = process_engine_depth_stats(*process);
+  ASSERT_NE(stats, nullptr);
+  ASSERT_EQ(stats->size(), result.depth_stats.size());
+  std::int64_t total = 0;
+  for (std::size_t d = 0; d < stats->size(); ++d) {
+    EXPECT_EQ((*stats)[d].depth, result.depth_stats[d].depth);
+    EXPECT_EQ((*stats)[d].ci_tests, result.depth_stats[d].ci_tests);
+    EXPECT_GE((*stats)[d].seconds, (*stats)[d].gather_seconds);
+    total += (*stats)[d].ci_tests;
+  }
+  EXPECT_EQ(total, result.total_ci_tests);
+}
+
+}  // namespace
+}  // namespace fastbns

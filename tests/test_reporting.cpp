@@ -91,9 +91,26 @@ TEST(BenchJson, MachineContextBlockIsEmbeddedInEveryBenchJson) {
   for (const char* key :
        {"\"numa_nodes\":", "\"cpus_per_node\":", "\"physical_cpus\":",
         "\"omp_max_threads\":", "\"omp_binding_env\":",
-        "\"pinning_policy\":"}) {
+        "\"pinning_policy\":", "\"rank_count\":", "\"ipc_transport\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+}
+
+TEST(BenchJson, ContextReflectsTheDeclaredRankSweep) {
+  // A multi-process bench must be distinguishable from a single-process
+  // one by its JSON alone: rank_count/ipc_transport default to the
+  // single-process 0/"none" and follow set_bench_rank_context.
+  EXPECT_NE(bench_context_json().find(
+                "\"rank_count\": 0, \"ipc_transport\": \"none\""),
+            std::string::npos)
+      << bench_context_json();
+  set_bench_rank_context(4, "fork+pipe+shm");
+  const std::string context = bench_context_json();
+  set_bench_rank_context(0, "none");
+  EXPECT_NE(context.find("\"rank_count\": 4"), std::string::npos) << context;
+  EXPECT_NE(context.find("\"ipc_transport\": \"fork+pipe+shm\""),
+            std::string::npos)
+      << context;
 }
 
 TEST(BenchJson, ContextReflectsTheSimulatedTopologyAndPinningPolicy) {

@@ -146,6 +146,18 @@ TEST(Skeleton, ValidateMessagesNameTheOffendingValue) {
   options.shard_partition = "diagonal";
   expect_mentions(options, "diagonal");
   options = {};
+  options.rank_count = -5;
+  expect_mentions(options, "-5");
+  options = {};
+  options.rank_count = PcOptions::kMaxRanks + 3;
+  expect_mentions(options, std::to_string(PcOptions::kMaxRanks + 3));
+  options = {};
+  options.rank_threads = -6;
+  expect_mentions(options, "-6");
+  options = {};
+  options.rank_threads = PcOptions::kMaxThreads + 4;
+  expect_mentions(options, std::to_string(PcOptions::kMaxThreads + 4));
+  options = {};
   options.table_builder = "vectorised";
   expect_mentions(options, "vectorised");
   options = {};
