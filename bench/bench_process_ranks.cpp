@@ -36,12 +36,12 @@ constexpr const char* kAll = "-";  // Depth column value for whole-run rows
 void add_run_row(TablePrinter& table, const std::string& network,
                  const std::string& config, std::int32_t ranks,
                  std::int32_t rank_threads, const EngineRunResult& result,
-                 double seq_seconds) {
+                 double seq_seconds, const std::string& recovery_overhead) {
   table.add_row(
       {network, config, std::to_string(ranks), std::to_string(rank_threads),
        kAll, TablePrinter::num(result.seconds, 4), kAll, kAll,
        std::to_string(result.ci_tests), std::to_string(result.edges),
-       TablePrinter::num(seq_seconds / result.seconds, 2)});
+       TablePrinter::num(seq_seconds / result.seconds, 2), recovery_overhead});
 }
 
 }  // namespace
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"Network", "Config", "Ranks", "Threads/rank", "Depth",
                       "Seconds", "Gather s", "Max rank s", "CI tests",
-                      "Edges", "Speedup vs seq"});
+                      "Edges", "Speedup vs seq", "Recovery overhead"});
 
   for (const char* network : {"alarm", "insurance"}) {
     std::printf("[run] %s, %lld samples\n", network,
@@ -74,8 +74,9 @@ int main(int argc, char** argv) {
 
     const EngineRunResult seq =
         run_skeleton_best(workload, fastbns_seq_config());
-    add_run_row(table, network, "fastbns-seq", 0, 0, seq, seq.seconds);
+    add_run_row(table, network, "fastbns-seq", 0, 0, seq, seq.seconds, kAll);
 
+    EngineRunResult widest_clean;
     for (const std::int32_t ranks : rank_grid) {
       for (const std::int32_t rank_threads : rank_thread_grid) {
         EngineRunConfig config =
@@ -84,8 +85,40 @@ int main(int argc, char** argv) {
         config.rank_threads = rank_threads;
         const EngineRunResult result = run_skeleton_best(workload, config);
         add_run_row(table, network, "process", ranks, rank_threads, result,
-                    seq.seconds);
+                    seq.seconds, kAll);
+        if (ranks == rank_grid.back() &&
+            rank_threads == rank_thread_grid.back()) {
+          widest_clean = result;
+        }
       }
+    }
+
+    // Recovery overhead: the same widest configuration with a
+    // deterministic rank-1 death injected at depth 1 — the supervisor
+    // must respawn it, replay the committed removal log and re-run the
+    // dead rank's shard. `Recovery overhead` is faulted/clean wall time;
+    // the CI-test and edge columns prove the recovered run stays
+    // bit-identical to the fault-free one.
+    {
+      EngineRunConfig faulted = engine_config_from_name(
+          "process", rank_grid.back() * rank_thread_grid.back());
+      faulted.rank_count = rank_grid.back();
+      faulted.rank_threads = rank_thread_grid.back();
+      faulted.fault_schedule = "kill@rank=1,depth=1";
+      const EngineRunResult result = run_skeleton_best(workload, faulted);
+      if (result.ci_tests != seq.ci_tests || result.edges != seq.edges) {
+        std::fprintf(stderr,
+                     "recovered run diverged from fastbns-seq on %s: "
+                     "%lld/%lld tests, %lld/%lld edges\n",
+                     network, static_cast<long long>(result.ci_tests),
+                     static_cast<long long>(seq.ci_tests),
+                     static_cast<long long>(result.edges),
+                     static_cast<long long>(seq.edges));
+        return 1;
+      }
+      add_run_row(table, network, "process+kill@r1d1", rank_grid.back(),
+                  rank_thread_grid.back(), result, seq.seconds,
+                  TablePrinter::num(result.seconds / widest_clean.seconds, 2));
     }
 
     // Per-depth barrier decomposition at the widest configuration,
@@ -116,7 +149,7 @@ int main(int argc, char** argv) {
                      TablePrinter::num(depth.seconds, 4),
                      TablePrinter::num(depth.gather_seconds, 4),
                      TablePrinter::num(depth.max_rank_seconds, 4),
-                     std::to_string(depth.ci_tests), kAll, kAll});
+                     std::to_string(depth.ci_tests), kAll, kAll, kAll});
     }
   }
 

@@ -5,7 +5,9 @@
 //   ./structure_tool --data records.csv --engine ci --threads 4 \
 //                    --alpha 0.01 --dot out.dot
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/args.hpp"
 #include "common/csv_writer.hpp"
@@ -76,6 +78,14 @@ int main(int argc, char** argv) {
                 "threads inside each rank for --engine process (0 = auto: "
                 "thread budget / ranks)",
                 "0");
+  args.add_flag("max-rank-restarts",
+                "respawn budget per dead rank for --engine process before "
+                "its shard is re-partitioned onto survivors",
+                "1");
+  args.add_flag("fault-schedule",
+                "deterministic fault injection for --engine process, e.g. "
+                "\"kill@rank=1,depth=1;corrupt-frame@rank=0;seed=7\"",
+                "");
   args.add_flag("alpha", "G2 significance level", "0.05");
   args.add_flag("max-depth", "conditioning-set cap (-1 = unlimited)", "-1");
   args.add_flag("dot", "write learned CPDAG to this DOT file", "");
@@ -120,6 +130,9 @@ int main(int argc, char** argv) {
   options.rank_count = static_cast<std::int32_t>(args.get_int("ranks"));
   options.rank_threads =
       static_cast<std::int32_t>(args.get_int("rank-threads"));
+  options.max_rank_restarts =
+      static_cast<std::int32_t>(args.get_int("max-rank-restarts"));
+  options.fault_schedule = args.get("fault-schedule");
   options.alpha = args.get_double("alpha");
   options.max_depth = static_cast<std::int32_t>(args.get_int("max-depth"));
   try {
@@ -162,11 +175,34 @@ int main(int argc, char** argv) {
                 options.numa_policy.c_str(), placement.describe().c_str());
   }
 
-  const PcStableResult result = learn_structure(input.data, options);
+  // Hold the engine instance ourselves so post-run telemetry (recovery
+  // events from the fault-tolerant supervisor) survives the run.
+  const std::unique_ptr<SkeletonEngine> engine = [&] {
+    try {
+      return EngineRegistry::instance().create(options);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "structure_tool: %s\n", error.what());
+      std::exit(1);
+    }
+  }();
+  const PcStableResult result = learn_structure(input.data, options, *engine);
 
   std::printf("engine %s finished in %.3f s (%lld CI tests)\n",
               to_string(options.engine).c_str(), result.total_seconds,
               static_cast<long long>(result.skeleton.total_ci_tests));
+  // Surface every recovery the supervisor performed — a run that quietly
+  // survived a dead rank should say so, because the wall-clock cost of
+  // the respawn/replay is otherwise invisible in the depth table.
+  if (const std::vector<RecoveryEvent>* events =
+          process_engine_recovery_events(*engine);
+      events != nullptr && !events->empty()) {
+    std::printf("recovered from %zu fault(s):\n", events->size());
+    for (const RecoveryEvent& event : *events) {
+      std::printf("  depth %d rank %d: %s (%s)\n", event.depth, event.rank,
+                  std::string(to_string(event.action)).c_str(),
+                  event.detail.c_str());
+    }
+  }
   if (!args.get_bool("quiet")) {
     for (const DepthStats& depth : result.skeleton.depth_stats) {
       std::printf(

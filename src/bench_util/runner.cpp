@@ -102,6 +102,8 @@ EngineRunResult run_skeleton(const Workload& workload,
   options.numa_policy = config.numa_policy;
   options.rank_count = config.rank_count;
   options.rank_threads = config.rank_threads;
+  options.max_rank_restarts = config.max_rank_restarts;
+  options.fault_schedule = config.fault_schedule;
 
   const WallTimer timer;
   SkeletonResult skeleton = learn_skeleton(data->num_vars(), test, options);

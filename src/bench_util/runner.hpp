@@ -45,6 +45,12 @@ struct EngineRunConfig {
   /// by every other engine.
   std::int32_t rank_count = 0;
   std::int32_t rank_threads = 0;
+  /// Fault-tolerance knobs (see PcOptions::max_rank_restarts /
+  /// fault_schedule): the recovery-overhead rows inject deterministic
+  /// rank deaths and measure the respawn+replay cost against the clean
+  /// run at the same configuration.
+  std::int32_t max_rank_restarts = PcOptions{}.max_rank_restarts;
+  std::string fault_schedule;
 };
 
 struct EngineRunResult {

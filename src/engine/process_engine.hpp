@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/types.hpp"
 #include "engine/skeleton_engine.hpp"
 
 namespace fastbns {
@@ -26,12 +28,62 @@ struct ProcessDepthStats {
   /// gather_seconds - max_rank_seconds approximates the pure
   /// serialization + pipe cost of the barrier.
   double max_rank_seconds = 0.0;
+  /// Recovery events (retransmits, respawns, re-partitions, degrades)
+  /// the supervisor performed inside this depth; 0 on a clean depth.
+  std::int32_t recoveries = 0;
+};
+
+/// One committed allreduce batch of the removal/sepset log: everything
+/// the depth's RUN_DEPTH broadcast carried. The concatenation of all
+/// batches is the replayable checkpoint a respawned rank rebuilds its
+/// graph replica from — the depth barrier is an allreduce of removals,
+/// so the checkpoint is a byproduct of normal operation, not an extra
+/// serialization pass.
+struct DepthCheckpoint {
+  struct Removal {
+    VarId x = 0;
+    VarId y = 0;
+    std::vector<VarId> sepset;
+  };
+  /// The depth whose broadcast carried this batch (the removals were
+  /// committed at depth - 1; depth 0's batch is always empty).
+  std::int32_t depth = 0;
+  std::vector<Removal> removals;
+};
+
+/// What the supervisor did about a misbehaving rank, in escalation
+/// order. kRetransmit covers corrupt and timed-out frames the
+/// checksummed transport recovered without touching the rank.
+enum class RecoveryAction : std::uint8_t {
+  kRetransmit,   ///< asked the rank to resend a corrupt/late frame
+  kRespawn,      ///< forked a replacement and replayed the checkpoint
+  kRepartition,  ///< retired the rank; its shard went to the survivors
+  kDegrade,      ///< abandoned forked execution for the in-process engine
+};
+
+[[nodiscard]] std::string_view to_string(RecoveryAction action) noexcept;
+
+/// One supervisor intervention, in the order they happened.
+struct RecoveryEvent {
+  std::int32_t depth = 0;
+  std::int32_t rank = -1;
+  RecoveryAction action = RecoveryAction::kRetransmit;
+  /// Forensics: what failed and what the supervisor saw (waitpid status,
+  /// frame status, restart budget state).
+  std::string detail;
 };
 
 /// The last run's per-depth stats when `engine` is a process engine,
 /// nullptr otherwise (benches dynamic-cast through this instead of
 /// depending on the concrete class).
 [[nodiscard]] const std::vector<ProcessDepthStats>* process_engine_depth_stats(
+    const SkeletonEngine& engine);
+
+/// The last run's supervisor interventions when `engine` is a process
+/// engine, nullptr otherwise. Empty vector = a fault-free run. The
+/// structure_tool echoes these and the fault-injection tests assert on
+/// them; same dynamic-cast seam as process_engine_depth_stats.
+[[nodiscard]] const std::vector<RecoveryEvent>* process_engine_recovery_events(
     const SkeletonEngine& engine);
 
 /// Effective rank count: `requested` when positive, min(2, hardware

@@ -73,56 +73,119 @@ ProcessGroup ProcessGroup::spawn(int rank_count, const RankMain& rank_main) {
   }
   ignore_sigpipe_once();
   ProcessGroup group;
-  group.ranks_.reserve(static_cast<std::size_t>(rank_count));
+  group.ranks_.resize(static_cast<std::size_t>(rank_count));
   for (int rank = 0; rank < rank_count; ++rank) {
-    int command_pipe[2] = {-1, -1};  // parent writes [1], rank reads [0]
-    int result_pipe[2] = {-1, -1};   // rank writes [1], parent reads [0]
-    if (::pipe(command_pipe) != 0) {
+    try {
+      group.fork_into_slot(rank, rank_main);
+    } catch (...) {
       group.shutdown();
-      throw std::runtime_error("ProcessGroup::spawn: pipe() failed");
+      throw;
     }
-    if (::pipe(result_pipe) != 0) {
-      ::close(command_pipe[0]);
-      ::close(command_pipe[1]);
-      group.shutdown();
-      throw std::runtime_error("ProcessGroup::spawn: pipe() failed");
-    }
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(command_pipe[0]);
-      ::close(command_pipe[1]);
-      ::close(result_pipe[0]);
-      ::close(result_pipe[1]);
-      group.shutdown();
-      throw std::runtime_error("ProcessGroup::spawn: fork() failed");
-    }
-    if (pid == 0) {
-      // Rank side. Drop every fd that belongs to the parent or to the
-      // sibling ranks spawned before us: a rank holding a sibling's
-      // command write-end would keep that sibling alive past the
-      // parent's EOF-based shutdown.
-      ::close(command_pipe[1]);
-      ::close(result_pipe[0]);
-      for (const Rank& sibling : group.ranks_) {
-        ::close(sibling.command_fd);
-        ::close(sibling.result_fd);
-      }
-      int status = 1;
-      try {
-        status = rank_main(rank, command_pipe[0], result_pipe[1]);
-      } catch (...) {
-        status = 1;
-      }
-      // _exit, not exit: the rank shares the parent's atexit stack,
-      // gtest state and sanitizer hooks, none of which may run twice.
-      ::_exit(status);
-    }
-    // Parent side.
-    ::close(command_pipe[0]);
-    ::close(result_pipe[1]);
-    group.ranks_.push_back({pid, command_pipe[1], result_pipe[0]});
   }
   return group;
+}
+
+void ProcessGroup::fork_into_slot(int rank, const RankMain& rank_main) {
+  Rank& slot = ranks_.at(static_cast<std::size_t>(rank));
+  int command_pipe[2] = {-1, -1};  // parent writes [1], rank reads [0]
+  int result_pipe[2] = {-1, -1};   // rank writes [1], parent reads [0]
+  if (::pipe(command_pipe) != 0) {
+    throw std::runtime_error("ProcessGroup: pipe() failed for rank " +
+                             std::to_string(rank));
+  }
+  if (::pipe(result_pipe) != 0) {
+    ::close(command_pipe[0]);
+    ::close(command_pipe[1]);
+    throw std::runtime_error("ProcessGroup: pipe() failed for rank " +
+                             std::to_string(rank));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(command_pipe[0]);
+    ::close(command_pipe[1]);
+    ::close(result_pipe[0]);
+    ::close(result_pipe[1]);
+    throw std::runtime_error("ProcessGroup: fork() failed for rank " +
+                             std::to_string(rank));
+  }
+  if (pid == 0) {
+    // Rank side. Drop every fd that belongs to the parent or to the
+    // sibling ranks alive at fork time: a rank holding a sibling's
+    // command write-end would keep that sibling alive past the parent's
+    // EOF-based shutdown. (Respawned ranks inherit every current
+    // sibling's fds, so the loop covers the whole table, skipping the
+    // closed slots.)
+    ::close(command_pipe[1]);
+    ::close(result_pipe[0]);
+    for (const Rank& sibling : ranks_) {
+      if (sibling.command_fd >= 0) ::close(sibling.command_fd);
+      if (sibling.result_fd >= 0) ::close(sibling.result_fd);
+    }
+    int status = 1;
+    try {
+      status = rank_main(rank, command_pipe[0], result_pipe[1]);
+    } catch (...) {
+      status = 1;
+    }
+    // _exit, not exit: the rank shares the parent's atexit stack,
+    // gtest state and sanitizer hooks, none of which may run twice.
+    ::_exit(status);
+  }
+  // Parent side.
+  ::close(command_pipe[0]);
+  ::close(result_pipe[1]);
+  slot = {pid, command_pipe[1], result_pipe[0]};
+}
+
+void ProcessGroup::respawn(int rank, const RankMain& rank_main) {
+  ignore_sigpipe_once();
+  kill_rank(rank);  // idempotent on a dead slot; frees pipes + reaps
+  fork_into_slot(rank, rank_main);
+}
+
+void ProcessGroup::kill_rank(int rank) noexcept {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) return;
+  Rank& slot = ranks_[static_cast<std::size_t>(rank)];
+  close_fd(slot.command_fd);
+  close_fd(slot.result_fd);
+  if (slot.pid >= 0) {
+    // SIGKILL then a blocking reap: after a SIGKILL the reap cannot
+    // hang, and on a rank that already exited the kill is a no-op while
+    // the reap still collects the zombie.
+    ::kill(slot.pid, SIGKILL);
+    ::waitpid(slot.pid, nullptr, 0);
+    slot.pid = -1;
+  }
+}
+
+bool ProcessGroup::rank_open(int rank) const noexcept {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) return false;
+  const Rank& slot = ranks_[static_cast<std::size_t>(rank)];
+  return slot.command_fd >= 0 && slot.result_fd >= 0;
+}
+
+bool ProcessGroup::try_send(int rank, std::uint32_t tag,
+                            std::span<const std::uint8_t> payload) noexcept {
+  if (!rank_open(rank)) return false;
+  return write_frame(ranks_[static_cast<std::size_t>(rank)].command_fd, tag,
+                     payload);
+}
+
+FrameReadStatus ProcessGroup::try_receive(
+    int rank, Frame& out, int timeout_ms,
+    std::span<const std::uint32_t> allowed_tags) {
+  if (!rank_open(rank)) return FrameReadStatus::kEof;
+  return read_frame(ranks_[static_cast<std::size_t>(rank)].result_fd, out,
+                    timeout_ms, allowed_tags);
+}
+
+std::string ProcessGroup::describe_rank(int rank) const noexcept {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) {
+    return "no such rank";
+  }
+  const Rank& slot = ranks_[static_cast<std::size_t>(rank)];
+  if (slot.pid < 0) return "already reaped";
+  return describe_waitpid(slot.pid);
 }
 
 void ProcessGroup::send(int rank, std::uint32_t tag,
@@ -146,6 +209,11 @@ Frame ProcessGroup::receive(int rank, int timeout_ms) {
     case FrameReadStatus::kTimeout:
       fail_rank(rank, "it sent no reply within " + std::to_string(timeout_ms) +
                           " ms — the rank " + describe_waitpid(source.pid));
+    case FrameReadStatus::kCorrupt:
+      fail_rank(rank, "its reply failed the frame checksum");
+    case FrameReadStatus::kBadTag:
+      fail_rank(rank, "its reply carried a disallowed tag " +
+                          std::to_string(frame.tag));
   }
   // Unreachable; fail_rank never returns.
   throw RankDeathError(rank, "ProcessGroup::receive: unreachable");

@@ -82,6 +82,50 @@ class ProcessGroup {
   /// expiry, after tearing the group down.
   [[nodiscard]] Frame receive(int rank, int timeout_ms);
 
+  // --- Per-rank fault-tolerant surface -----------------------------------
+  // The throwing send/receive above treat any failure as fatal to the
+  // whole group — the fail-loud contract. A supervisor that recovers
+  // ranks instead uses these: nothing here ever tears the group down or
+  // throws for a transport failure; the caller owns the recovery ladder.
+
+  /// Sends one frame to `rank`; false when its pipe is broken or the
+  /// slot is dead (kill_rank'ed and not yet respawned). Never throws,
+  /// never tears the group down.
+  [[nodiscard]] bool try_send(int rank, std::uint32_t tag,
+                              std::span<const std::uint8_t> payload) noexcept;
+
+  /// Receives one frame from `rank` with the wire layer's full status
+  /// vocabulary (kOk / kEof / kTimeout / kCorrupt / kBadTag — see
+  /// read_frame, including the allowed-tag validation). A dead slot
+  /// reports kEof immediately. Never throws, never tears the group down.
+  [[nodiscard]] FrameReadStatus try_receive(
+      int rank, Frame& out, int timeout_ms,
+      std::span<const std::uint32_t> allowed_tags = {});
+
+  /// True while the slot has live pipes (spawned or respawned, not yet
+  /// kill_rank'ed). A rank that exited on its own still reports true
+  /// until kill_rank reaps it — liveness is discovered through
+  /// try_receive's kEof, not polled.
+  [[nodiscard]] bool rank_open(int rank) const noexcept;
+
+  /// SIGKILLs and reaps `rank` (no-op on a dead slot), closing its
+  /// pipes. The slot stays dead — try_send/try_receive fail — until
+  /// respawn() refills it. Safe on ranks that already exited (the kill
+  /// is a no-op; the reap still collects the zombie).
+  void kill_rank(int rank) noexcept;
+
+  /// Refills a dead (or still-open: it is kill_rank'ed first) slot with
+  /// a fresh fork of `rank_main`, giving it new pipes. Throws
+  /// std::runtime_error when pipe() or fork() fails — the caller's cue
+  /// to degrade rather than retry forever. The respawned process closes
+  /// every sibling fd it inherited, like the initial spawn.
+  void respawn(int rank, const RankMain& rank_main);
+
+  /// waitpid forensics for `rank` ("exited with status 3", "killed by
+  /// signal 9", "still running (wedged or slow)") for error messages and
+  /// recovery-event logs.
+  [[nodiscard]] std::string describe_rank(int rank) const noexcept;
+
   /// Graceful teardown: closes the command pipes (ranks see EOF and
   /// exit), reaps with a deadline, SIGKILLs and reaps whatever remains.
   /// Safe to call repeatedly; the destructor calls it too.
@@ -96,6 +140,10 @@ class ProcessGroup {
 
   /// Tears the group down and throws RankDeathError for `rank`.
   [[noreturn]] void fail_rank(int rank, const std::string& reason);
+
+  /// Forks a fresh process into slot `rank` (new pipes); throws
+  /// std::runtime_error on pipe()/fork() failure with the slot left dead.
+  void fork_into_slot(int rank, const RankMain& rank_main);
 
   std::vector<Rank> ranks_;
 };

@@ -3,6 +3,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -129,50 +130,131 @@ std::string WireReader::get_string() {
   return text;
 }
 
+std::string_view to_string(FrameReadStatus status) noexcept {
+  switch (status) {
+    case FrameReadStatus::kOk:
+      return "ok";
+    case FrameReadStatus::kEof:
+      return "eof";
+    case FrameReadStatus::kTimeout:
+      return "timeout";
+    case FrameReadStatus::kCorrupt:
+      return "corrupt";
+    case FrameReadStatus::kBadTag:
+      return "bad-tag";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t seed) noexcept {
+  // Reflected CRC-32 (0xEDB88320), table built on first use — fast
+  // enough for frames that also cross a pipe, with zero link-time deps.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> entries{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t value = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        value = (value >> 1) ^ ((value & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = value;
+    }
+    return entries;
+  }();
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFFu];
+  }
+  return ~crc;
+}
+
+std::vector<std::uint8_t> encode_frame(std::uint32_t tag,
+                                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes + payload.size());
+  std::uint8_t tag_bytes[sizeof(std::uint32_t)];
+  std::memcpy(tag_bytes, &tag, sizeof(tag));
+  const std::uint32_t crc = crc32(payload, crc32(tag_bytes));
+  const std::uint32_t header[4] = {kFrameMagic,
+                                   static_cast<std::uint32_t>(payload.size()),
+                                   tag, crc};
+  std::memcpy(bytes.data(), header, sizeof(header));
+  if (!payload.empty()) {
+    std::memcpy(bytes.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  }
+  return bytes;
+}
+
+bool write_frame_bytes(int fd, std::span<const std::uint8_t> bytes) noexcept {
+  // One write loop over the whole encoding; pipes deliver byte streams,
+  // so the reader reassembles regardless of how the kernel slices them
+  // (payloads routinely exceed PIPE_BUF).
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE: the reading rank is gone
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
 bool write_frame(int fd, std::uint32_t tag,
                  std::span<const std::uint8_t> payload) noexcept {
   if (payload.size() > kMaxFramePayload) return false;
-  // Header and payload go out as separate write loops; pipes deliver
-  // byte streams, so the reader reassembles regardless of how the kernel
-  // slices them (payloads routinely exceed PIPE_BUF).
-  const std::uint32_t header[2] = {static_cast<std::uint32_t>(payload.size()),
-                                   tag};
-  const auto write_all = [fd](const void* data, std::size_t size) noexcept {
-    const auto* cursor = static_cast<const std::uint8_t*>(data);
-    std::size_t done = 0;
-    while (done < size) {
-      const ssize_t n = ::write(fd, cursor + done, size - done);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;  // EPIPE: the reading rank is gone
-      }
-      done += static_cast<std::size_t>(n);
-    }
-    return true;
-  };
-  if (!write_all(header, sizeof(header))) return false;
-  return payload.empty() || write_all(payload.data(), payload.size());
+  try {
+    return write_frame_bytes(fd, encode_frame(tag, payload));
+  } catch (...) {
+    return false;  // encode allocation failure; the caller sees a broken pipe
+  }
 }
 
-FrameReadStatus read_frame(int fd, Frame& out, int timeout_ms) {
+FrameReadStatus read_frame(int fd, Frame& out, int timeout_ms,
+                           std::span<const std::uint32_t> allowed_tags) {
   const bool has_deadline = timeout_ms >= 0;
   const auto deadline =
-      SteadyClock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
-  std::uint32_t header[2] = {0, 0};
+      SteadyClock::now() +
+      std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+  // Header acquisition with resync: read a full header's worth of bytes,
+  // then — if the magic is absent or the length implausible — slide one
+  // byte at a time until a plausible header lines up. A reader only ever
+  // scans after a fault (truncated frame, corrupted length), and the
+  // per-frame deadline bounds the scan.
+  std::uint8_t header[kFrameHeaderBytes];
   FrameReadStatus status =
       read_exact(fd, header, sizeof(header), has_deadline, deadline);
   if (status != FrameReadStatus::kOk) return status;
-  if (header[0] > kMaxFramePayload) {
-    // A garbage length prefix is indistinguishable from a dead protocol;
-    // treat it as EOF so the supervisor tears the group down.
-    return FrameReadStatus::kEof;
+  std::uint32_t fields[4];
+  for (;;) {
+    std::memcpy(fields, header, sizeof(fields));
+    if (fields[0] == kFrameMagic && fields[1] <= kMaxFramePayload) break;
+    std::memmove(header, header + 1, sizeof(header) - 1);
+    status = read_exact(fd, header + sizeof(header) - 1, 1, has_deadline,
+                        deadline);
+    if (status != FrameReadStatus::kOk) return status;
   }
-  out.tag = header[1];
-  out.payload.resize(header[0]);
-  if (header[0] == 0) return FrameReadStatus::kOk;
-  status = read_exact(fd, out.payload.data(), out.payload.size(), has_deadline,
-                      deadline);
-  return status;
+  out.tag = fields[2];
+  out.payload.resize(fields[1]);
+  if (fields[1] != 0) {
+    status = read_exact(fd, out.payload.data(), out.payload.size(),
+                        has_deadline, deadline);
+    if (status != FrameReadStatus::kOk) return status;
+  }
+  std::uint8_t tag_bytes[sizeof(std::uint32_t)];
+  std::memcpy(tag_bytes, &fields[2], sizeof(tag_bytes));
+  if (crc32(out.payload, crc32(tag_bytes)) != fields[3]) {
+    // The stream stays aligned (the declared length was consumed); the
+    // caller can request a retransmission without tearing anything down.
+    return FrameReadStatus::kCorrupt;
+  }
+  if (!allowed_tags.empty()) {
+    bool known = false;
+    for (const std::uint32_t tag : allowed_tags) known |= (tag == out.tag);
+    if (!known) return FrameReadStatus::kBadTag;
+  }
+  return FrameReadStatus::kOk;
 }
 
 }  // namespace fastbns

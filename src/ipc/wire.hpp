@@ -1,18 +1,25 @@
-// Length-prefixed message frames and a tiny binary wire format — the
+// Checksummed message frames and a tiny binary wire format — the
 // transport vocabulary of the multi-process engine's allreduce barrier.
 //
-// A frame on the wire is [u32 payload length][u32 tag][payload bytes],
-// little-endian as the host writes them (both ends of a pipe are forks of
-// one process, so no byte-order negotiation is needed). The read side is
-// poll()-driven with a deadline so a dead or wedged peer yields a status,
-// never a hang; EOF on the pipe — the immediate kernel-level signal that
-// a rank died, long before any timeout — is its own status so supervisors
-// can report "rank exited" instead of "timed out".
+// A frame on the wire is [u32 magic][u32 payload length][u32 tag]
+// [u32 crc32(tag ‖ payload)][payload bytes], in host byte order (both
+// ends of a pipe are forks of one process, so no byte-order negotiation
+// is needed). The magic lets a reader that lost frame alignment — a
+// writer died or was interrupted mid-frame — resynchronize by scanning
+// the stream for the next plausible header instead of misparsing payload
+// bytes as lengths; the CRC turns a corrupted frame into a kCorrupt
+// status the supervisor answers with a retransmit request rather than
+// merging garbage. The read side is poll()-driven with a per-frame
+// deadline so a dead or wedged peer yields a status, never a hang; EOF
+// on the pipe — the immediate kernel-level signal that a rank died, long
+// before any timeout — is its own status so supervisors can report "rank
+// exited" instead of "timed out".
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -80,19 +87,52 @@ enum class FrameReadStatus : std::uint8_t {
   kOk,       ///< a complete frame landed in `out`
   kEof,      ///< the peer closed its end (a forked rank exited)
   kTimeout,  ///< the deadline expired with the frame incomplete
+  kCorrupt,  ///< a whole frame arrived but its CRC does not match
+  kBadTag,   ///< CRC-valid frame whose tag is not in the allowed set
 };
 
-/// Writes one complete frame to `fd`, looping over short writes and EINTR.
-/// Returns false when the pipe is broken (the reader died — EPIPE, which
-/// requires SIGPIPE to be ignored; ProcessGroup::spawn arranges that) or
-/// any other write error occurs.
+[[nodiscard]] std::string_view to_string(FrameReadStatus status) noexcept;
+
+/// CRC-32 (the reflected 0xEDB88320 polynomial) over `bytes`, seeded so
+/// crc32(a ‖ b) can be built incrementally via the `seed` parameter.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                                  std::uint32_t seed = 0) noexcept;
+
+/// Sentinel starting every frame header; the resync scan looks for it.
+inline constexpr std::uint32_t kFrameMagic = 0xFA57B475u;
+/// Header bytes on the wire: magic, length, tag, crc.
+inline constexpr std::size_t kFrameHeaderBytes = 4 * sizeof(std::uint32_t);
+
+/// One frame, fully encoded (header + payload) — the byte string
+/// write_frame puts on the wire. Exposed so the fault-injection layer
+/// can corrupt, truncate or stall an otherwise well-formed frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    std::uint32_t tag, std::span<const std::uint8_t> payload);
+
+/// Writes raw bytes, looping over short writes and EINTR. Returns false
+/// when the pipe is broken (the reader died — EPIPE, which requires
+/// SIGPIPE to be ignored; ProcessGroup::spawn arranges that) or any
+/// other write error occurs.
+bool write_frame_bytes(int fd, std::span<const std::uint8_t> bytes) noexcept;
+
+/// Writes one complete frame to `fd` (encode_frame + write_frame_bytes).
 bool write_frame(int fd, std::uint32_t tag,
                  std::span<const std::uint8_t> payload) noexcept;
 
 /// Reads one complete frame from `fd` into `out`, waiting at most
-/// `timeout_ms` (negative = forever) across the whole frame. Partial
-/// frames followed by EOF report kEof (the writer died mid-frame).
-[[nodiscard]] FrameReadStatus read_frame(int fd, Frame& out, int timeout_ms);
+/// `timeout_ms` (negative = forever) per frame. Partial frames followed
+/// by EOF report kEof (the writer died mid-frame). A stream that is not
+/// frame-aligned — garbage where the magic should be, or a length beyond
+/// kMaxFramePayload — is scanned forward for the next plausible header
+/// (the resync that lets one truncated frame cost one retransmission
+/// instead of the whole connection). A frame whose CRC fails reports
+/// kCorrupt with the stream left aligned on the next frame. When
+/// `allowed_tags` is non-empty, a CRC-valid frame with a tag outside it
+/// reports kBadTag (the offending tag is left in out.tag) — an unknown
+/// tag must never flow into a merge path.
+[[nodiscard]] FrameReadStatus read_frame(
+    int fd, Frame& out, int timeout_ms,
+    std::span<const std::uint32_t> allowed_tags = {});
 
 /// Caps a frame's payload at 1 GiB: a corrupt length prefix must fail the
 /// protocol, not attempt a 4 GiB allocation.

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/fault_schedule.hpp"
 #include "pc/edge_work.hpp"
 #include "stats/table_builder.hpp"
 #include "topology/placement.hpp"
@@ -73,6 +74,43 @@ void PcOptions::validate() const {
         ", exceeding kMaxThreads (" + std::to_string(kMaxThreads) +
         "); this is almost certainly a typo");
   }
+  if (max_rank_restarts < 0) {
+    throw std::invalid_argument(
+        "PcOptions::max_rank_restarts must be >= 0 (0 = never respawn, "
+        "re-partition a dead rank's shard immediately), got " +
+        std::to_string(max_rank_restarts));
+  }
+  if (max_rank_restarts > kMaxRankRestarts) {
+    throw std::invalid_argument(
+        "PcOptions::max_rank_restarts is " + std::to_string(max_rank_restarts) +
+        ", exceeding kMaxRankRestarts (" + std::to_string(kMaxRankRestarts) +
+        "); each restart forks, replays and re-runs a depth, so this is "
+        "almost certainly a typo");
+  }
+  if (frame_deadline_ms < 0 || frame_deadline_ms > kMaxFrameDeadlineMs) {
+    throw std::invalid_argument(
+        "PcOptions::frame_deadline_ms must be in [0, " +
+        std::to_string(kMaxFrameDeadlineMs) +
+        "] (0 = the FASTBNS_RANK_TIMEOUT_MS default), got " +
+        std::to_string(frame_deadline_ms));
+  }
+  if (frame_retry_limit < 0 || frame_retry_limit > kMaxFrameRetries) {
+    throw std::invalid_argument(
+        "PcOptions::frame_retry_limit must be in [0, " +
+        std::to_string(kMaxFrameRetries) + "], got " +
+        std::to_string(frame_retry_limit));
+  }
+  if (frame_retry_backoff_ms < 0 ||
+      frame_retry_backoff_ms > kMaxFrameBackoffMs) {
+    throw std::invalid_argument(
+        "PcOptions::frame_retry_backoff_ms must be in [0, " +
+        std::to_string(kMaxFrameBackoffMs) + "], got " +
+        std::to_string(frame_retry_backoff_ms));
+  }
+  // Parses the fault-schedule grammar, so a typoed injection fails the
+  // run up front with the offending entry named instead of silently
+  // skipping the fault (FaultSchedule::parse throws invalid_argument).
+  if (!fault_schedule.empty()) (void)FaultSchedule::parse(fault_schedule);
   // Resolves the rule name, throwing the known-rules message (with the
   // offending value) for anything unknown — same contract as engines and
   // table builders.

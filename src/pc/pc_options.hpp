@@ -124,6 +124,33 @@ struct PcOptions {
   /// std::thread teams — never OpenMP, whose runtime does not survive
   /// fork() — so this is deliberately separate from num_threads.
   std::int32_t rank_threads = 0;
+  /// Fault tolerance of the multi-process engine (kProcess only): how
+  /// many times a dead or wedged rank may be respawned (its graph
+  /// replica rebuilt by replaying the committed removal log) before the
+  /// supervisor stops restarting it and re-partitions its shard of edges
+  /// onto the surviving ranks instead. 0 = never respawn (straight to
+  /// re-partition). Either way the run completes with the bit-identical
+  /// result; only the recovery cost differs.
+  std::int32_t max_rank_restarts = 1;
+  /// Supervisor-side deadline for each received frame, in milliseconds
+  /// (kProcess only) — per frame, not per depth, so one slow rank
+  /// cannot consume the whole barrier budget of its siblings. 0 = the
+  /// FASTBNS_RANK_TIMEOUT_MS environment override, default 120000.
+  std::int32_t frame_deadline_ms = 0;
+  /// Bounded retransmit attempts when a received frame fails its CRC or
+  /// its deadline (kProcess only): the supervisor asks the rank to
+  /// resend its buffered reply up to this many times before declaring
+  /// the rank failed and entering the recovery ladder.
+  std::int32_t frame_retry_limit = 2;
+  /// Backoff between retransmit attempts, in milliseconds, scaled
+  /// linearly by the attempt number (kProcess only).
+  std::int32_t frame_retry_backoff_ms = 10;
+  /// Deterministic fault schedule (fault/fault_schedule.hpp grammar,
+  /// e.g. "kill@rank=1,depth=2;corrupt-frame@rank=0,depth=1") injected
+  /// into the multi-process engine's ranks and transport — the CI/test
+  /// hook that exercises every recovery path. Empty = the
+  /// FASTBNS_FAULT_SCHEDULE environment variable (default: no faults).
+  std::string fault_schedule;
 
   /// Largest accepted num_threads; far beyond any machine this targets,
   /// so a mistyped thread count fails here instead of oversubscribing.
@@ -134,6 +161,16 @@ struct PcOptions {
   /// cap is deliberately far below kMaxShards — 1024 ranks is already
   /// beyond any single box this engine forks on.
   static constexpr std::int32_t kMaxRanks = 1024;
+  /// Largest accepted max_rank_restarts: each restart forks, replays
+  /// and re-runs a depth, so a budget beyond this is a typo, not a plan.
+  static constexpr std::int32_t kMaxRankRestarts = 64;
+  /// Largest accepted frame_deadline_ms: one day. A deadline is the
+  /// wedge detector; disabling it by overflow must fail loudly.
+  static constexpr std::int32_t kMaxFrameDeadlineMs = 86'400'000;
+  /// Largest accepted frame_retry_limit.
+  static constexpr std::int32_t kMaxFrameRetries = 64;
+  /// Largest accepted frame_retry_backoff_ms (one minute per step).
+  static constexpr std::int32_t kMaxFrameBackoffMs = 60'000;
 
   /// Throws std::invalid_argument when any field is out of range:
   /// group_size >= 1, alpha in (0, 1), max_depth >= -1, 0 <= num_threads

@@ -33,16 +33,22 @@ PcStableResult learn_structure(const DiscreteDataset& data,
                                const PcOptions& options) {
   const std::unique_ptr<SkeletonEngine> engine =
       EngineRegistry::instance().create(options);
+  return learn_structure(data, options, *engine);
+}
+
+PcStableResult learn_structure(const DiscreteDataset& data,
+                               const PcOptions& options,
+                               SkeletonEngine& engine) {
   CiTestOptions test_options;
   test_options.alpha = options.alpha;
   test_options.max_cells = options.max_table_cells;
   test_options.table_builder = options.table_builder;
-  test_options.sample_parallel = engine->wants_sample_parallel_test();
+  test_options.sample_parallel = engine.wants_sample_parallel_test();
   // The multi-process engine forks worker ranks; mount the dataset in a
   // MAP_SHARED segment first so every rank streams the same physical
   // pages (mapped once, zero per-rank copies — not even COW duplicates)
   // and a pinned rank's first-touch places pages for the whole group.
-  const EngineInfo* info = EngineRegistry::instance().find(engine->name());
+  const EngineInfo* info = EngineRegistry::instance().find(engine.name());
   std::optional<SharedDatasetSegment> shared;
   const DiscreteDataset* active = &data;
   if (info != nullptr && info->kind == EngineKind::kProcess) {
@@ -50,7 +56,7 @@ PcStableResult learn_structure(const DiscreteDataset& data,
     active = &shared->view();
   }
   const DiscreteCiTest test(*active, test_options);
-  return pc_stable(active->num_vars(), test, options, *engine);
+  return pc_stable(active->num_vars(), test, options, engine);
 }
 
 }  // namespace fastbns

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -113,6 +115,85 @@ TEST(Wire, GarbageLengthPrefixFailsInsteadOfAllocatingGigabytes) {
   close(fds[1]);
 }
 
+TEST(Wire, Crc32MatchesTheReferenceVector) {
+  // The standard CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(digits), 0xCBF43926u);
+  // Incremental composition through the seed parameter equals one pass.
+  const std::uint32_t head = crc32(std::span(digits).first(4));
+  EXPECT_EQ(crc32(std::span(digits).subspan(4), head), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Wire, CorruptedPayloadReportsCorruptAndLeavesTheStreamAligned) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  WireWriter payload;
+  payload.put_string("checksummed");
+  std::vector<std::uint8_t> bad = encode_frame(5, payload.payload());
+  bad[kFrameHeaderBytes + 3] ^= 0x40;  // flip one payload bit post-CRC
+  ASSERT_TRUE(write_frame_bytes(fds[1], bad));
+  ASSERT_TRUE(write_frame(fds[1], 6, payload.payload()));
+  Frame frame;
+  // The corrupted frame is detected — never delivered as kOk — and the
+  // reader stays frame-aligned: the clean follow-up parses normally,
+  // which is what makes a retransmission sufficient recovery.
+  EXPECT_EQ(read_frame(fds[0], frame, /*timeout_ms=*/5000),
+            FrameReadStatus::kCorrupt);
+  EXPECT_EQ(read_frame(fds[0], frame, /*timeout_ms=*/5000),
+            FrameReadStatus::kOk);
+  EXPECT_EQ(frame.tag, 6u);
+  WireReader reader(frame.payload);
+  EXPECT_EQ(reader.get_string(), "checksummed");
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Wire, ResyncScanRecoversFramingAfterATruncatedFrame) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // Half a frame (the truncate-frame fault shape: the writer stalled or
+  // was killed mid-record), followed by two clean frames. The reader
+  // misparses the first clean frame's bytes as the truncated frame's
+  // payload (CRC catches it), then the magic scan re-finds alignment on
+  // the second — one truncated frame costs retransmissions, not the
+  // whole connection.
+  const std::vector<std::uint8_t> filler(100, 0);  // no fake magic inside
+  const std::vector<std::uint8_t> full = encode_frame(7, filler);
+  ASSERT_TRUE(
+      write_frame_bytes(fds[1], std::span(full).first(full.size() / 2)));
+  ASSERT_TRUE(write_frame(fds[1], 8, filler));
+  ASSERT_TRUE(write_frame(fds[1], 9, filler));
+  Frame frame;
+  EXPECT_EQ(read_frame(fds[0], frame, /*timeout_ms=*/5000),
+            FrameReadStatus::kCorrupt);
+  EXPECT_EQ(read_frame(fds[0], frame, /*timeout_ms=*/5000),
+            FrameReadStatus::kOk);
+  EXPECT_EQ(frame.tag, 9u);
+  EXPECT_EQ(frame.payload, filler);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Wire, TagOutsideTheAllowedSetReportsBadTagWithTheOffender) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  ASSERT_TRUE(write_frame(fds[1], 99, {}));
+  ASSERT_TRUE(write_frame(fds[1], 2, {}));
+  static constexpr std::uint32_t kAllowed[] = {1, 2};
+  Frame frame;
+  // CRC-valid but unknown tag: rejected loudly with the offending tag
+  // surfaced, and the stream stays aligned for the next frame.
+  EXPECT_EQ(read_frame(fds[0], frame, /*timeout_ms=*/5000, kAllowed),
+            FrameReadStatus::kBadTag);
+  EXPECT_EQ(frame.tag, 99u);
+  EXPECT_EQ(read_frame(fds[0], frame, /*timeout_ms=*/5000, kAllowed),
+            FrameReadStatus::kOk);
+  EXPECT_EQ(frame.tag, 2u);
+  close(fds[0]);
+  close(fds[1]);
+}
+
 TEST(ProcessGroup, RanksEchoFramesAndShutDownCleanly) {
   ProcessGroup group = ProcessGroup::spawn(
       3, [](int rank, int command_fd, int result_fd) {
@@ -180,6 +261,65 @@ TEST(ProcessGroup, DeadRankYieldsAClearErrorNamingTheRankNotAHang) {
   }
   // The whole group was torn down by the failure.
   EXPECT_TRUE(group.empty());
+}
+
+TEST(ProcessGroup, KillRankAndRespawnRefillTheSlotWithFreshPipes) {
+  const ProcessGroup::RankMain echo = [](int rank, int command_fd,
+                                         int result_fd) {
+    Frame frame;
+    while (read_frame(command_fd, frame, -1) == FrameReadStatus::kOk) {
+      WireWriter reply;
+      reply.put_i32(rank);
+      if (!write_frame(result_fd, frame.tag, reply.payload())) return 1;
+    }
+    return 0;
+  };
+  ProcessGroup group = ProcessGroup::spawn(2, echo);
+  ASSERT_TRUE(group.rank_open(1));
+  group.kill_rank(1);
+  // The slot is dead until respawned: sends fail, receives report EOF
+  // immediately, and none of it throws or tears the group down.
+  EXPECT_FALSE(group.rank_open(1));
+  EXPECT_FALSE(group.try_send(1, 1, {}));
+  Frame frame;
+  EXPECT_EQ(group.try_receive(1, frame, /*timeout_ms=*/1000),
+            FrameReadStatus::kEof);
+  EXPECT_TRUE(group.rank_open(0));  // the sibling is untouched
+  group.respawn(1, echo);
+  ASSERT_TRUE(group.rank_open(1));
+  ASSERT_TRUE(group.try_send(1, 3, {}));
+  ASSERT_EQ(group.try_receive(1, frame, /*timeout_ms=*/10000),
+            FrameReadStatus::kOk);
+  EXPECT_EQ(frame.tag, 3u);
+  WireReader reader(frame.payload);
+  EXPECT_EQ(reader.get_i32(), 1);
+}
+
+TEST(ProcessGroup, RankDeathDuringShutdownNeitherHangsNorThrows) {
+  // Ranks that exit on their own — possibly in the middle of the
+  // shutdown sequence's EOF/reap window — must still be reaped cleanly.
+  ProcessGroup group =
+      ProcessGroup::spawn(3, [](int rank, int command_fd, int result_fd) {
+        (void)command_fd;
+        (void)result_fd;
+        // Rank 0 dies instantly, rank 1 a beat later (racing the
+        // reap loop), rank 2 waits for the EOF like a healthy rank.
+        if (rank == 0) return 9;
+        if (rank == 1) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          return 9;
+        }
+        Frame frame;
+        (void)read_frame(command_fd, frame, -1);
+        return 0;
+      });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  group.shutdown();  // must return promptly with every zombie collected
+  EXPECT_TRUE(group.empty());
+  group.shutdown();  // idempotent, also after self-exits
+  // kill_rank on an already-gone group is a harmless no-op too.
+  group.kill_rank(0);
+  group.kill_rank(99);
 }
 
 TEST(SharedMemory, WritesInForkedRanksAreVisibleToTheParent) {

@@ -3,17 +3,23 @@
 // skeleton (adjacency + sepsets + removal depths) and the identical
 // executed-test count the in-process engines produce — at every rank
 // count, including one rank and more ranks than useful. Plus the
-// supervisor contract (an injected rank death is a clear error naming the
-// rank, never a hang), child-exception propagation, the end-to-end
-// learn_structure path over the MAP_SHARED segment, and the rank/thread
-// resolution rules.
+// fault-tolerance layer: under every deterministic injected fault (kill,
+// wedge, corrupt/truncate/delay-frame, slow rank, spawn failure) the
+// supervisor's recovery ladder — retransmit, respawn + checkpoint
+// replay, re-partition, degrade to the in-process engine — must complete
+// the run with the identical fingerprint, and the recovery telemetry
+// must name what happened. Plus child-exception propagation, the
+// end-to-end learn_structure path over the MAP_SHARED segment, and the
+// rank/thread resolution rules.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "engine/engine_registry.hpp"
@@ -125,24 +131,237 @@ TEST(ProcessEngine, LearnStructureOverTheSharedSegmentMatchesSequential) {
   EXPECT_EQ(actual.skeleton.total_ci_tests, expected.skeleton.total_ci_tests);
 }
 
-TEST(ProcessEngine, InjectedRankDeathIsAClearErrorNamingTheRankNotAHang) {
+/// Runs the process engine under `options` and returns the fingerprint,
+/// the skeleton result and the supervisor's recovery events.
+struct FaultRun {
+  fuzz::SkeletonFingerprint fingerprint;
+  SkeletonResult result;
+  std::vector<RecoveryEvent> events;
+  std::vector<ProcessDepthStats> depth_stats;
+};
+
+FaultRun run_process(const fuzz::FuzzInstance& instance, PcOptions options) {
+  const auto engine = EngineRegistry::instance().create("process");
+  const DiscreteCiTest test(instance.data, CiTestOptions{});
+  FaultRun run;
+  run.result =
+      learn_skeleton(instance.data.num_vars(), test, options, *engine);
+  run.fingerprint = fuzz::fingerprint(run.result, instance.data.num_vars());
+  run.events = *process_engine_recovery_events(*engine);
+  run.depth_stats = *process_engine_depth_stats(*engine);
+  return run;
+}
+
+fuzz::SkeletonFingerprint sequential_fingerprint(
+    const fuzz::FuzzInstance& instance, std::int64_t* total_tests = nullptr) {
+  PcOptions options;
+  options.engine = EngineKind::kFastSequential;
+  const DiscreteCiTest test(instance.data, CiTestOptions{});
+  const SkeletonResult result =
+      learn_skeleton(instance.data.num_vars(), test, options);
+  if (total_tests != nullptr) *total_tests = result.total_ci_tests;
+  return fuzz::fingerprint(result, instance.data.num_vars());
+}
+
+bool has_action(const std::vector<RecoveryEvent>& events,
+                RecoveryAction action, int rank = -2) {
+  return std::any_of(events.begin(), events.end(),
+                     [&](const RecoveryEvent& event) {
+                       return event.action == action &&
+                              (rank == -2 || event.rank == rank);
+                     });
+}
+
+std::string describe_events(const std::vector<RecoveryEvent>& events) {
+  std::string text;
+  for (const RecoveryEvent& event : events) {
+    text += "depth " + std::to_string(event.depth) + " rank " +
+            std::to_string(event.rank) + " " +
+            std::string(to_string(event.action)) + ": " + event.detail + "\n";
+  }
+  return text.empty() ? "(no events)" : text;
+}
+
+TEST(ProcessEngine, LegacyInjectedRankDeathRecoversViaRespawnAndReplay) {
   // FASTBNS_PROCESS_DIE_AT_DEPTH=rank:depth makes that rank _exit(42)
   // when the depth's command arrives — the deterministic stand-in for an
-  // OOM-killed or crashed worker. The driver must tear the group down
-  // and throw an error naming rank 1, well before any timeout.
+  // OOM-killed or crashed worker. Since the fault-tolerance layer this
+  // no longer kills the run: the supervisor respawns the rank, replays
+  // the committed removal log, and the result stays bit-identical. (The
+  // clear-error contract for unsupervised dead ranks is still covered at
+  // the ProcessGroup level in test_ipc.)
   setenv("FASTBNS_PROCESS_DIE_AT_DEPTH", "1:1", 1);
   const fuzz::FuzzInstance instance = fuzz::make_instance(2);
-  const DiscreteCiTest test(instance.data, CiTestOptions{});
-  try {
-    (void)learn_skeleton(instance.data.num_vars(), test, process_options(2));
-    unsetenv("FASTBNS_PROCESS_DIE_AT_DEPTH");
-    FAIL() << "expected RankDeathError (is the instance reaching depth 1?)";
-  } catch (const std::runtime_error& error) {
-    unsetenv("FASTBNS_PROCESS_DIE_AT_DEPTH");
-    const std::string message = error.what();
-    EXPECT_NE(message.find("rank 1"), std::string::npos) << message;
-    EXPECT_NE(message.find("42"), std::string::npos)
-        << "expected the exit status in: " << message;
+  std::int64_t reference_tests = 0;
+  const fuzz::SkeletonFingerprint reference =
+      sequential_fingerprint(instance, &reference_tests);
+  const FaultRun run = run_process(instance, process_options(2));
+  unsetenv("FASTBNS_PROCESS_DIE_AT_DEPTH");
+  EXPECT_TRUE(run.fingerprint == reference) << fuzz::describe_divergence(
+      reference, run.fingerprint, instance.data.num_vars());
+  EXPECT_EQ(run.result.total_ci_tests, reference_tests);
+  EXPECT_TRUE(has_action(run.events, RecoveryAction::kRespawn, 1))
+      << describe_events(run.events);
+}
+
+TEST(ProcessEngine, EveryInjectedFaultPreservesTheFingerprint) {
+  // The acceptance sweep: with any single injected fault the run must
+  // complete with the skeleton fingerprint (adjacency + sepsets +
+  // removal depths) and the executed-test count bit-identical to the
+  // sequential reference, at 2 and 4 ranks. Deadlines are tightened so
+  // the wedge/delay/truncate faults trip the per-frame deadline in test
+  // time rather than the 120 s default.
+  const fuzz::FuzzInstance instance = fuzz::make_instance(2);
+  std::int64_t reference_tests = 0;
+  const fuzz::SkeletonFingerprint reference =
+      sequential_fingerprint(instance, &reference_tests);
+  const struct {
+    const char* schedule;
+    bool expect_events;
+  } cases[] = {
+      {"kill@rank=1,depth=1", true},
+      {"kill@rank=0,depth=0", true},
+      {"wedge@rank=0,depth=1", true},
+      {"corrupt-frame@rank=1,depth=0;seed=7", true},
+      {"truncate-frame@rank=1,depth=1", true},
+      {"delay-frame@rank=0,depth=1,ms=900", true},
+      // Slow but inside the deadline: must NOT trigger recovery.
+      {"slow-rank@rank=0,depth=0,ms=10", false},
+  };
+  for (const auto& fault : cases) {
+    for (const std::int32_t ranks : {2, 4}) {
+      PcOptions options = process_options(ranks);
+      options.fault_schedule = fault.schedule;
+      options.frame_deadline_ms = 400;
+      options.frame_retry_limit = 4;
+      options.frame_retry_backoff_ms = 5;
+      const FaultRun run = run_process(instance, options);
+      EXPECT_TRUE(run.fingerprint == reference)
+          << "schedule=" << fault.schedule << " ranks=" << ranks << ": "
+          << fuzz::describe_divergence(reference, run.fingerprint,
+                                       instance.data.num_vars());
+      EXPECT_EQ(run.result.total_ci_tests, reference_tests)
+          << "schedule=" << fault.schedule << " ranks=" << ranks;
+      EXPECT_EQ(!run.events.empty(), fault.expect_events)
+          << "schedule=" << fault.schedule << " ranks=" << ranks << "\n"
+          << describe_events(run.events);
+    }
+  }
+}
+
+TEST(ProcessEngine, DoubleRankDeathInOneDepthRecoversBothRanks) {
+  const fuzz::FuzzInstance instance = fuzz::make_instance(3);
+  const fuzz::SkeletonFingerprint reference = sequential_fingerprint(instance);
+  PcOptions options = process_options(2);
+  options.fault_schedule = "kill@rank=0,depth=1;kill@rank=1,depth=1";
+  const FaultRun run = run_process(instance, options);
+  EXPECT_TRUE(run.fingerprint == reference) << fuzz::describe_divergence(
+      reference, run.fingerprint, instance.data.num_vars());
+  EXPECT_TRUE(has_action(run.events, RecoveryAction::kRespawn, 0))
+      << describe_events(run.events);
+  EXPECT_TRUE(has_action(run.events, RecoveryAction::kRespawn, 1))
+      << describe_events(run.events);
+}
+
+TEST(ProcessEngine, DeathAtDepthZeroBeforeAnyBarrierRecovers) {
+  // The respawned rank replays a checkpoint log holding exactly one
+  // empty batch (depth 0 broadcasts no removals) — the degenerate replay
+  // that must still leave its replica equal to the complete graph.
+  const fuzz::FuzzInstance instance = fuzz::make_instance(5);
+  const fuzz::SkeletonFingerprint reference = sequential_fingerprint(instance);
+  PcOptions options = process_options(2);
+  options.fault_schedule = "kill@rank=1,depth=0";
+  const FaultRun run = run_process(instance, options);
+  EXPECT_TRUE(run.fingerprint == reference) << fuzz::describe_divergence(
+      reference, run.fingerprint, instance.data.num_vars());
+  ASSERT_FALSE(run.depth_stats.empty());
+  EXPECT_GT(run.depth_stats.front().recoveries, 0)
+      << describe_events(run.events);
+}
+
+TEST(ProcessEngine, RespawnedRankDyingDuringRecoveryUsesTheNextRestart) {
+  // gen=1 events target the first respawn: the replacement dies while
+  // re-running the replayed depth and a second respawn finishes it.
+  const fuzz::FuzzInstance instance = fuzz::make_instance(2);
+  const fuzz::SkeletonFingerprint reference = sequential_fingerprint(instance);
+  PcOptions options = process_options(2);
+  options.max_rank_restarts = 2;
+  options.fault_schedule = "kill@rank=1,depth=1;kill@rank=1,depth=1,gen=1";
+  const FaultRun run = run_process(instance, options);
+  EXPECT_TRUE(run.fingerprint == reference) << fuzz::describe_divergence(
+      reference, run.fingerprint, instance.data.num_vars());
+  const auto respawns = std::count_if(
+      run.events.begin(), run.events.end(), [](const RecoveryEvent& event) {
+        return event.action == RecoveryAction::kRespawn;
+      });
+  EXPECT_EQ(respawns, 2) << describe_events(run.events);
+}
+
+TEST(ProcessEngine, RestartBudgetExhaustionRepartitionsOntoSurvivors) {
+  // max_rank_restarts=0: a dead rank goes straight to re-partition; its
+  // shard runs on the survivor for this and every later depth, and the
+  // result is still bit-identical.
+  const fuzz::FuzzInstance instance = fuzz::make_instance(2);
+  std::int64_t reference_tests = 0;
+  const fuzz::SkeletonFingerprint reference =
+      sequential_fingerprint(instance, &reference_tests);
+  PcOptions options = process_options(2);
+  options.max_rank_restarts = 0;
+  options.fault_schedule = "kill@rank=1,depth=1";
+  const FaultRun run = run_process(instance, options);
+  EXPECT_TRUE(run.fingerprint == reference) << fuzz::describe_divergence(
+      reference, run.fingerprint, instance.data.num_vars());
+  EXPECT_EQ(run.result.total_ci_tests, reference_tests);
+  EXPECT_TRUE(has_action(run.events, RecoveryAction::kRepartition, 1))
+      << describe_events(run.events);
+  EXPECT_FALSE(has_action(run.events, RecoveryAction::kRespawn))
+      << describe_events(run.events);
+}
+
+TEST(ProcessEngine, InitialSpawnFailureDegradesToTheShardedEngine) {
+  // spawn-fail with gen=0 declares the whole first fork failed: the run
+  // must complete in-process (the degrade rung) with identical results.
+  const fuzz::FuzzInstance instance = fuzz::make_instance(7);
+  std::int64_t reference_tests = 0;
+  const fuzz::SkeletonFingerprint reference =
+      sequential_fingerprint(instance, &reference_tests);
+  PcOptions options = process_options(2);
+  options.fault_schedule = "spawn-fail";
+  const FaultRun run = run_process(instance, options);
+  EXPECT_TRUE(run.fingerprint == reference) << fuzz::describe_divergence(
+      reference, run.fingerprint, instance.data.num_vars());
+  EXPECT_EQ(run.result.total_ci_tests, reference_tests);
+  EXPECT_TRUE(has_action(run.events, RecoveryAction::kDegrade))
+      << describe_events(run.events);
+}
+
+TEST(ProcessEngine, RespawnFailureMidRunDegradesAndStillFinishes) {
+  // The rank dies, and its respawn is declared failed: the supervisor
+  // finishes the depth locally and hands the rest of the run to the
+  // in-process sharded engine — completion, not an abort.
+  const fuzz::FuzzInstance instance = fuzz::make_instance(2);
+  std::int64_t reference_tests = 0;
+  const fuzz::SkeletonFingerprint reference =
+      sequential_fingerprint(instance, &reference_tests);
+  PcOptions options = process_options(2);
+  options.fault_schedule = "kill@rank=1,depth=1;spawn-fail@rank=1,gen=1";
+  const FaultRun run = run_process(instance, options);
+  EXPECT_TRUE(run.fingerprint == reference) << fuzz::describe_divergence(
+      reference, run.fingerprint, instance.data.num_vars());
+  EXPECT_EQ(run.result.total_ci_tests, reference_tests);
+  EXPECT_TRUE(has_action(run.events, RecoveryAction::kDegrade, 1))
+      << describe_events(run.events);
+}
+
+TEST(ProcessEngine, RecoveryEventsAccessorSeesOnlyProcessEngines) {
+  const auto sequential = EngineRegistry::instance().create("fastbns-seq");
+  EXPECT_EQ(process_engine_recovery_events(*sequential), nullptr);
+  const fuzz::FuzzInstance instance = fuzz::make_instance(2);
+  // A fault-free run reports an empty (but present) event list.
+  const FaultRun clean = run_process(instance, process_options(2));
+  EXPECT_TRUE(clean.events.empty()) << describe_events(clean.events);
+  for (const ProcessDepthStats& stats : clean.depth_stats) {
+    EXPECT_EQ(stats.recoveries, 0);
   }
 }
 

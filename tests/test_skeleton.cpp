@@ -163,6 +163,30 @@ TEST(Skeleton, ValidateMessagesNameTheOffendingValue) {
   options = {};
   options.max_table_cells = 3;
   expect_mentions(options, "3");
+  options = {};
+  options.max_rank_restarts = -2;
+  expect_mentions(options, "-2");
+  options = {};
+  options.max_rank_restarts = PcOptions::kMaxRankRestarts + 5;
+  expect_mentions(options, std::to_string(PcOptions::kMaxRankRestarts + 5));
+  options = {};
+  options.frame_deadline_ms = -8;
+  expect_mentions(options, "-8");
+  options = {};
+  options.frame_deadline_ms = PcOptions::kMaxFrameDeadlineMs + 6;
+  expect_mentions(options, std::to_string(PcOptions::kMaxFrameDeadlineMs + 6));
+  options = {};
+  options.frame_retry_limit = PcOptions::kMaxFrameRetries + 7;
+  expect_mentions(options, std::to_string(PcOptions::kMaxFrameRetries + 7));
+  options = {};
+  options.frame_retry_backoff_ms = PcOptions::kMaxFrameBackoffMs + 8;
+  expect_mentions(options, std::to_string(PcOptions::kMaxFrameBackoffMs + 8));
+  // A typoed fault schedule fails validation naming the offending entry,
+  // so a CI fault sweep with a misspelled kind fails instead of silently
+  // running fault-free.
+  options = {};
+  options.fault_schedule = "explode@rank=1";
+  expect_mentions(options, "explode");
 }
 
 TEST(Skeleton, ValidateRejectsNonsensicalOptionsUpFront) {
