@@ -44,7 +44,9 @@ std::vector<TracedCiCall> record_sharded_trace(const Workload& workload,
                                                std::int32_t shard_count) {
   auto trace = std::make_shared<CiTrace>();
   const TracingCiTest prototype(
-      std::make_unique<DiscreteCiTest>(workload.data, CiTestOptions{}), trace);
+      std::make_unique<DiscreteCiTest>(workload.data.discrete(),
+                                       CiTestOptions{}),
+      trace);
   PcOptions options;
   options.engine = EngineKind::kSharded;
   options.engine_name = "sharded(var-partition)";

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
 
     // Score-based: greedy hill climbing with BIC.
     const WallTimer timer;
-    const HillClimbingResult hc = hill_climb(workload.data);
+    const HillClimbingResult hc = hill_climb(workload.data.discrete());
     const double hc_seconds = timer.seconds();
     const SkeletonMetrics hc_metrics =
         compare_skeletons(hc.dag.skeleton(), truth);

@@ -25,7 +25,9 @@ std::vector<TracedCiCall> record_trace(const Workload& workload,
                                        const std::string& engine_name) {
   auto trace = std::make_shared<CiTrace>();
   const TracingCiTest prototype(
-      std::make_unique<DiscreteCiTest>(workload.data, CiTestOptions{}), trace);
+      std::make_unique<DiscreteCiTest>(workload.data.discrete(),
+                                       CiTestOptions{}),
+      trace);
   PcOptions options;
   options.engine = engine_from_string(engine_name);
   options.engine_name = engine_name;

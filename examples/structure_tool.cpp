@@ -1,6 +1,7 @@
 // fastbns structure-learning command-line tool: learn a CPDAG from a CSV
-// of discrete observations and emit the result as an edge list and/or a
-// Graphviz DOT file.
+// of observations — integer-coded (discrete, G^2) or floating-point
+// (continuous, Fisher-z), auto-detected — and emit the result as an edge
+// list and/or a Graphviz DOT file.
 //
 //   ./structure_tool --data records.csv --engine ci --threads 4 \
 //                    --alpha 0.01 --dot out.dot
@@ -18,6 +19,7 @@
 #include "engine/process_engine.hpp"
 #include "graph/graphviz.hpp"
 #include "pc/pc_stable.hpp"
+#include "stats/ci_test_factory.hpp"
 #include "stats/table_builder.hpp"
 #include "topology/placement.hpp"
 
@@ -45,14 +47,30 @@ std::string engine_help() {
   return help;
 }
 
+// Same registry-driven discipline for the CI-test vocabulary.
+std::string ci_test_help() {
+  std::string help =
+      "conditional-independence statistic (auto = match the dataset "
+      "kind):";
+  for (const std::string& name : fastbns::list_ci_tests()) {
+    help += ' ';
+    help += name;
+  }
+  return help;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace fastbns;
   ArgParser args("structure_tool",
                  "learn a Bayesian-network structure from a CSV dataset");
-  args.add_flag("data", "input CSV (header row; integer-coded values)", "");
+  args.add_flag("data",
+                "input CSV (header row; integer-coded cells load as a "
+                "discrete dataset, floating-point cells as a continuous one)",
+                "");
   args.add_flag("engine", engine_help(), "ci");
+  args.add_flag("ci-test", ci_test_help(), "auto");
   args.add_flag("builder",
                 "table-counting kernel (auto/simd/batched/scalar; auto = "
                 "runtime CPU dispatch)",
@@ -99,17 +117,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  NamedDataset input = [&] {
+  NamedData input = [&] {
     try {
-      return load_csv(data_path);
+      return load_csv_auto(data_path);
     } catch (const std::exception& error) {
       std::fprintf(stderr, "structure_tool: %s\n", error.what());
       std::exit(1);
     }
   }();
-  std::printf("loaded %s: %d variables, %lld samples\n", data_path.c_str(),
-              input.data.num_vars(),
-              static_cast<long long>(input.data.num_samples()));
+  std::printf("loaded %s: %d variables, %lld samples (%s)\n",
+              data_path.c_str(), input.data.num_vars(),
+              static_cast<long long>(input.data.num_samples()),
+              std::string(to_string(input.data.kind())).c_str());
 
   PcOptions options;
   try {
@@ -133,6 +152,7 @@ int main(int argc, char** argv) {
   options.max_rank_restarts =
       static_cast<std::int32_t>(args.get_int("max-rank-restarts"));
   options.fault_schedule = args.get("fault-schedule");
+  options.ci_test = args.get("ci-test");
   options.alpha = args.get_double("alpha");
   options.max_depth = static_cast<std::int32_t>(args.get_int("max-depth"));
   try {
@@ -143,8 +163,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "structure_tool: %s\n", error.what());
     return 1;
   }
-  if (options.engine == EngineKind::kNaiveSequential) {
-    input.data.ensure_layout(DataLayout::kBoth);
+  // Echo the statistic the run will actually use — "auto" resolved
+  // against the loaded dataset's kind, like --engine echoes its resolved
+  // engine name.
+  std::printf("ci test %s%s\n",
+              resolve_ci_test_name(options.ci_test, input.data).c_str(),
+              options.ci_test == "auto" ? " (auto)" : "");
+  if (options.engine == EngineKind::kNaiveSequential &&
+      input.data.is_discrete()) {
+    // The naive baseline walks rows; give it the row-major mirror. The
+    // Dataset holds its store const, so rebuild around a relaid copy.
+    DiscreteDataset relaid = input.data.discrete();
+    relaid.ensure_layout(DataLayout::kBoth);
+    input.data = Dataset(std::move(relaid));
   }
 
   // Echo the resolved NUMA placement before the run, computed from the
@@ -185,7 +216,16 @@ int main(int argc, char** argv) {
       std::exit(1);
     }
   }();
-  const PcStableResult result = learn_structure(input.data, options, *engine);
+  const PcStableResult result = [&] {
+    try {
+      return learn_structure(input.data, options, *engine);
+    } catch (const std::exception& error) {
+      // E.g. --ci-test discrete over floating-point data: the factory
+      // refuses at construction, before any engine work starts.
+      std::fprintf(stderr, "structure_tool: %s\n", error.what());
+      std::exit(1);
+    }
+  }();
 
   std::printf("engine %s finished in %.3f s (%lld CI tests)\n",
               to_string(options.engine).c_str(), result.total_seconds,

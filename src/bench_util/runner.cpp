@@ -5,7 +5,7 @@
 #include "common/timer.hpp"
 #include "engine/engine_registry.hpp"
 #include "ipc/shared_dataset.hpp"
-#include "stats/discrete_ci_test.hpp"
+#include "stats/ci_test_factory.hpp"
 
 namespace fastbns {
 
@@ -69,22 +69,24 @@ EngineRunResult run_skeleton_best(const Workload& workload,
 
 EngineRunResult run_skeleton(const Workload& workload,
                              const EngineRunConfig& config) {
-  CiTestOptions test_options;
-  test_options.alpha = config.alpha;
-  test_options.max_cells = config.max_table_cells;
-  test_options.use_row_major = config.row_major;
-  test_options.sample_parallel = config.sample_parallel;
-  test_options.table_builder = config.table_builder;
+  CiTestRequest request;
+  request.ci_test = config.ci_test;
+  request.alpha = config.alpha;
+  request.max_cells = config.max_table_cells;
+  request.use_row_major = config.row_major;
+  request.sample_parallel = config.sample_parallel;
+  request.table_builder = config.table_builder;
+  request.covariance_builder = config.covariance_builder;
   // Mirror learn_structure: the process engine's ranks stream the
   // dataset out of one MAP_SHARED segment, so the bench measures the
   // same data path production runs use.
   std::optional<SharedDatasetSegment> shared;
-  const DiscreteDataset* data = &workload.data;
+  const Dataset* data = &workload.data;
   if (config.engine == EngineKind::kProcess) {
     shared.emplace(SharedDatasetSegment::create(workload.data));
-    data = &shared->view();
+    data = &shared->dataset();
   }
-  const DiscreteCiTest test(*data, test_options);
+  const std::unique_ptr<CiTest> test = make_ci_test(*data, request);
 
   PcOptions options;
   options.engine = config.engine;
@@ -100,13 +102,14 @@ EngineRunResult run_skeleton(const Workload& workload,
   options.shard_count = config.shard_count;
   options.shard_partition = config.shard_partition;
   options.numa_policy = config.numa_policy;
+  options.ci_test = config.ci_test;
   options.rank_count = config.rank_count;
   options.rank_threads = config.rank_threads;
   options.max_rank_restarts = config.max_rank_restarts;
   options.fault_schedule = config.fault_schedule;
 
   const WallTimer timer;
-  SkeletonResult skeleton = learn_skeleton(data->num_vars(), test, options);
+  SkeletonResult skeleton = learn_skeleton(data->num_vars(), *test, options);
   EngineRunResult result;
   result.seconds = timer.seconds();
   result.ci_tests = skeleton.total_ci_tests;

@@ -24,6 +24,13 @@ struct EngineRunConfig {
   /// TableBuilder kernel name ("auto" = CPU-dispatched SIMD); forwarded
   /// to CiTestOptions::table_builder like PcOptions does.
   std::string table_builder = PcOptions{}.table_builder;
+  /// Statistic name (see PcOptions::ci_test): "auto" matches the
+  /// workload's dataset kind, so discrete benches keep the G^2 test and
+  /// the Gaussian bench gets Fisher-z without per-bench wiring.
+  std::string ci_test = PcOptions{}.ci_test;
+  /// Covariance-builder kernel of the Gaussian statistic ("auto" =
+  /// blocked); ignored by discrete runs, mirroring table_builder.
+  std::string covariance_builder = "auto";
   /// Baseline knobs (bnlearn-style): strided data access, materialized
   /// conditioning sets, ungrouped edge directions.
   bool row_major = false;

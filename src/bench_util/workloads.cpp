@@ -23,7 +23,7 @@ Workload make_workload(const std::string& name, Count num_samples,
   for (const char c : name) seed = seed * 131 + static_cast<unsigned char>(c);
   Rng rng(seed);
   DiscreteDataset data = forward_sample(*network, num_samples, rng, layout);
-  return Workload{name, std::move(*network), std::move(data)};
+  return Workload{name, std::move(*network), Dataset(std::move(data))};
 }
 
 BenchScale bench_scale() {

@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "dataset/discrete_dataset.hpp"
+#include "dataset/dataset.hpp"
 #include "network/bayesian_network.hpp"
 
 namespace fastbns {
@@ -15,7 +15,10 @@ namespace fastbns {
 struct Workload {
   std::string name;
   BayesianNetwork network;
-  DiscreteDataset data;
+  /// Runtime-kinded: Table II workloads are discrete; the Gaussian bench
+  /// builds continuous ones. Benches that need the raw store go through
+  /// data.discrete() / data.continuous().
+  Dataset data;
 };
 
 /// Samples `num_samples` rows from the named Table II network (fixed seed

@@ -63,6 +63,13 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
   return lo + static_cast<std::int64_t>(next_below(span));
 }
 
+double Rng::normal() noexcept {
+  const double u1 = next_double();
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1 <= 0.0 ? 1e-300 : u1));
+  return r * std::cos(6.283185307179586476925286766559 * u2);
+}
+
 double Rng::gamma(double shape) noexcept {
   // Marsaglia & Tsang (2000). For shape < 1 use the boost trick
   // Gamma(a) = Gamma(a+1) * U^(1/a).

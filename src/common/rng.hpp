@@ -42,6 +42,11 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
 
+  /// Standard normal variate (Box-Muller from two uniforms — the same
+  /// construction gamma() uses internally, kept free of <random> for
+  /// cross-platform determinism).
+  [[nodiscard]] double normal() noexcept;
+
   /// Standard Gamma(shape) variate (Marsaglia-Tsang), shape > 0.
   [[nodiscard]] double gamma(double shape) noexcept;
 

@@ -1,0 +1,70 @@
+#include "dataset/dataset.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fastbns {
+
+std::string_view to_string(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kDiscrete:
+      return "discrete";
+    case DatasetKind::kContinuous:
+      return "continuous";
+  }
+  return "unknown";
+}
+
+Dataset::Dataset(DiscreteDataset data)
+    : discrete_(std::make_shared<const DiscreteDataset>(std::move(data))) {}
+
+Dataset::Dataset(ContinuousDataset data)
+    : continuous_(std::make_shared<const ContinuousDataset>(std::move(data))) {}
+
+Dataset Dataset::borrow(const DiscreteDataset& data) {
+  Dataset view;
+  // Aliasing constructor with an empty owner: no control block, no
+  // ownership — a shared_ptr-shaped raw pointer. The caller guarantees
+  // lifetime, exactly like the pre-Dataset reference signatures did.
+  view.discrete_ = std::shared_ptr<const DiscreteDataset>(
+      std::shared_ptr<const DiscreteDataset>{}, &data);
+  return view;
+}
+
+Dataset Dataset::borrow(const ContinuousDataset& data) {
+  Dataset view;
+  view.continuous_ = std::shared_ptr<const ContinuousDataset>(
+      std::shared_ptr<const ContinuousDataset>{}, &data);
+  return view;
+}
+
+const DiscreteDataset& Dataset::discrete() const {
+  if (discrete_ == nullptr) {
+    throw std::logic_error(
+        "Dataset::discrete() called on a " +
+        std::string(to_string(kind())) + " dataset");
+  }
+  return *discrete_;
+}
+
+const ContinuousDataset& Dataset::continuous() const {
+  if (continuous_ == nullptr) {
+    throw std::logic_error(
+        "Dataset::continuous() called on a " +
+        std::string(to_string(kind())) + " dataset");
+  }
+  return *continuous_;
+}
+
+VarId Dataset::num_vars() const noexcept {
+  return discrete_ != nullptr ? discrete_->num_vars()
+                              : continuous_->num_vars();
+}
+
+Count Dataset::num_samples() const noexcept {
+  return discrete_ != nullptr ? discrete_->num_samples()
+                              : continuous_->num_samples();
+}
+
+}  // namespace fastbns

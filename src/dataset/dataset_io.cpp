@@ -1,6 +1,7 @@
 #include "dataset/dataset_io.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -23,13 +24,10 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   return cells;
 }
 
-}  // namespace
-
-bool save_csv(const DiscreteDataset& data, const std::vector<std::string>& names,
-              const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  for (VarId v = 0; v < data.num_vars(); ++v) {
+/// Writes the header row shared by both save_csv overloads.
+void write_header(std::ofstream& out, VarId num_vars,
+                  const std::vector<std::string>& names) {
+  for (VarId v = 0; v < num_vars; ++v) {
     if (v != 0) out << ',';
     if (static_cast<std::size_t>(v) < names.size() && !names[v].empty()) {
       out << names[v];
@@ -38,10 +36,62 @@ bool save_csv(const DiscreteDataset& data, const std::vector<std::string>& names
     }
   }
   out << '\n';
+}
+
+/// Integer in [0, 255] — the discrete-cell grammar. `value` receives the
+/// parse on success.
+bool parse_byte_cell(const std::string& cell, int& value) {
+  if (cell.empty()) return false;
+  std::size_t consumed = 0;
+  try {
+    value = std::stoi(cell, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed == cell.size() && value >= 0 && value <= 255;
+}
+
+/// Any finite floating-point number. `value` receives the parse.
+bool parse_double_cell(const std::string& cell, double& value) {
+  if (cell.empty()) return false;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return consumed == cell.size();
+}
+
+}  // namespace
+
+bool save_csv(const DiscreteDataset& data, const std::vector<std::string>& names,
+              const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_header(out, data.num_vars(), names);
   for (Count s = 0; s < data.num_samples(); ++s) {
     for (VarId v = 0; v < data.num_vars(); ++v) {
       if (v != 0) out << ',';
       out << static_cast<int>(data.value(s, v));
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool save_csv(const ContinuousDataset& data,
+              const std::vector<std::string>& names, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_header(out, data.num_vars(), names);
+  char cell[64];
+  for (Count s = 0; s < data.num_samples(); ++s) {
+    for (VarId v = 0; v < data.num_vars(); ++v) {
+      if (v != 0) out << ',';
+      // 17 significant digits round-trip every double exactly.
+      std::snprintf(cell, sizeof(cell), "%.17g", data.value(s, v));
+      out << cell;
     }
     out << '\n';
   }
@@ -100,6 +150,83 @@ NamedDataset load_csv(const std::string& path, DataLayout layout,
     throw std::runtime_error("load_csv: value exceeds declared cardinality");
   }
   return {std::move(data), names};
+}
+
+NamedData load_csv_auto(const std::string& path, DataLayout layout) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv_auto: cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_csv_auto: empty file " + path);
+  }
+  const std::vector<std::string> names = split_csv_line(line);
+  const auto num_vars = static_cast<VarId>(names.size());
+  if (num_vars == 0) {
+    throw std::runtime_error("load_csv_auto: no columns in " + path);
+  }
+
+  // One parsing pass: cells are kept as doubles (a byte-range integer is
+  // exactly representable), and the first fractional / exponent /
+  // out-of-byte-range cell switches the whole file to continuous.
+  bool discrete = true;
+  std::vector<std::vector<double>> samples;
+  Count row_index = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++row_index;
+    const std::vector<std::string> cells = split_csv_line(line);
+    if (static_cast<VarId>(cells.size()) != num_vars) {
+      throw std::runtime_error("load_csv_auto: ragged row in " + path);
+    }
+    std::vector<double> row(static_cast<std::size_t>(num_vars));
+    for (VarId v = 0; v < num_vars; ++v) {
+      int byte_value = 0;
+      double numeric = 0.0;
+      if (discrete && parse_byte_cell(cells[v], byte_value)) {
+        row[static_cast<std::size_t>(v)] = static_cast<double>(byte_value);
+        continue;
+      }
+      if (!parse_double_cell(cells[v], numeric)) {
+        throw std::runtime_error(
+            "load_csv_auto: cell \"" + cells[v] + "\" (row " +
+            std::to_string(row_index) + ", column " +
+            (static_cast<std::size_t>(v) < names.size() ? names[v]
+                                                        : std::to_string(v)) +
+            ") in " + path + " is not numeric");
+      }
+      discrete = false;
+      row[static_cast<std::size_t>(v)] = numeric;
+    }
+    samples.push_back(std::move(row));
+  }
+
+  const auto num_samples = static_cast<Count>(samples.size());
+  if (discrete) {
+    std::vector<std::int32_t> cards(static_cast<std::size_t>(num_vars), 1);
+    for (const auto& row : samples) {
+      for (VarId v = 0; v < num_vars; ++v) {
+        cards[static_cast<std::size_t>(v)] =
+            std::max(cards[static_cast<std::size_t>(v)],
+                     static_cast<std::int32_t>(row[v]) + 1);
+      }
+    }
+    DiscreteDataset data(num_vars, num_samples, std::move(cards), layout);
+    for (Count s = 0; s < num_samples; ++s) {
+      for (VarId v = 0; v < num_vars; ++v) {
+        data.set(s, v,
+                 static_cast<DataValue>(samples[static_cast<std::size_t>(s)][v]));
+      }
+    }
+    return {Dataset(std::move(data)), names};
+  }
+  ContinuousDataset data(num_vars, num_samples);
+  for (Count s = 0; s < num_samples; ++s) {
+    for (VarId v = 0; v < num_vars; ++v) {
+      data.set(s, v, samples[static_cast<std::size_t>(s)][v]);
+    }
+  }
+  return {Dataset(std::move(data)), names};
 }
 
 }  // namespace fastbns

@@ -56,7 +56,13 @@ SharedMemoryRegion SharedMemoryRegion::create(std::size_t size) {
   return region;
 }
 
-SharedDatasetSegment SharedDatasetSegment::create(const DiscreteDataset& source) {
+SharedDatasetSegment SharedDatasetSegment::create(const Dataset& source) {
+  return source.is_discrete() ? create(source.discrete())
+                              : create(source.continuous());
+}
+
+SharedDatasetSegment SharedDatasetSegment::create(
+    const DiscreteDataset& source) {
   const auto n = static_cast<std::size_t>(source.num_vars());
   const auto m = static_cast<std::size_t>(source.num_samples());
   const std::size_t values = n * m;
@@ -109,8 +115,30 @@ SharedDatasetSegment SharedDatasetSegment::create(const DiscreteDataset& source)
     }
     buffers.rows = {rows, values};
   }
-  segment.view_.emplace(source.num_vars(), source.num_samples(),
-                        source.cardinalities(), buffers);
+  segment.view_ = Dataset(DiscreteDataset(source.num_vars(),
+                                          source.num_samples(),
+                                          source.cardinalities(), buffers));
+  return segment;
+}
+
+SharedDatasetSegment SharedDatasetSegment::create(
+    const ContinuousDataset& source) {
+  const auto n = static_cast<std::size_t>(source.num_vars());
+  const auto m = static_cast<std::size_t>(source.num_samples());
+  // Continuous segment layout: one 64-byte-aligned doubles block.
+  //   [ column-major doubles  n*m ]
+  SharedDatasetSegment segment;
+  segment.region_ = SharedMemoryRegion::create(align_up(n * m * sizeof(double)));
+  auto* doubles = reinterpret_cast<double*>(segment.region_.data());
+  for (VarId v = 0; v < source.num_vars(); ++v) {
+    const std::span<const double> column = source.column(v);
+    std::memcpy(doubles + static_cast<std::size_t>(v) * m, column.data(),
+                column.size_bytes());
+  }
+  ExternalContinuousBuffers buffers;
+  buffers.cols = {doubles, n * m};
+  segment.view_ = Dataset(ContinuousDataset(source.num_vars(),
+                                            source.num_samples(), buffers));
   return segment;
 }
 

@@ -4,21 +4,23 @@
 // fragile (any stray write duplicates a page per rank) and says nothing
 // about placement. A SharedDatasetSegment makes the sharing explicit: one
 // anonymous MAP_SHARED mapping, created before the ranks fork, holding
-// the dataset's column-major values, packed codes8 mirror, and (when
-// materialized) row-major values. Every rank inherits the same mapping at
-// the same address — the dataset is mapped exactly once machine-wide,
-// zero copies per rank — and NUMA first-touch from a pinned rank places a
-// column slice's physical pages on that rank's domain for every process
-// at once. The segment exposes a DiscreteDataset view over the external
-// buffers (the construct-over-external-buffer path of
-// dataset/discrete_dataset.hpp), so CI tests built over the view stream
-// shm pages through the exact code paths they stream heap pages.
+// the dataset's buffers. Every rank inherits the same mapping at the same
+// address — the dataset is mapped exactly once machine-wide, zero copies
+// per rank — and NUMA first-touch from a pinned rank places a column
+// slice's physical pages on that rank's domain for every process at once.
+//
+// The segment is statistic-agnostic: a discrete source lays out the
+// column-major values, packed codes8 mirror, and (when materialized)
+// row-major values; a continuous source lays out one doubles block. The
+// segment exposes a Dataset view over the external buffers (the
+// construct-over-external-buffer paths of dataset/discrete_dataset.hpp
+// and dataset/continuous_dataset.hpp), so CI tests built over the view
+// stream shm pages through the exact code paths they stream heap pages.
 #pragma once
 
 #include <cstddef>
-#include <optional>
 
-#include "dataset/discrete_dataset.hpp"
+#include "dataset/dataset.hpp"
 
 namespace fastbns {
 
@@ -46,27 +48,39 @@ class SharedMemoryRegion {
   std::size_t size_ = 0;
 };
 
-/// A dataset copied once into a SharedMemoryRegion, plus a
-/// DiscreteDataset view whose buffers live entirely in that region.
-/// Create it *before* forking ranks; the view (and the segment object
-/// itself, through the parent's COW heap) is then valid in every rank.
+/// A dataset copied once into a SharedMemoryRegion, plus a Dataset view
+/// whose buffers live entirely in that region. Create it *before*
+/// forking ranks; the view (and the segment object itself, through the
+/// parent's COW heap) is then valid in every rank.
 class SharedDatasetSegment {
  public:
-  /// Copies `source`'s materialized buffers into one shared region.
-  /// `source` must have at least one value layout (it always does by
-  /// construction).
-  [[nodiscard]] static SharedDatasetSegment create(const DiscreteDataset& source);
+  /// Copies `source`'s materialized buffers into one shared region — a
+  /// discrete source's value/codes8/row blocks, or a continuous source's
+  /// doubles block. A discrete source must have at least one value
+  /// layout (it always does by construction).
+  [[nodiscard]] static SharedDatasetSegment create(const Dataset& source);
+  [[nodiscard]] static SharedDatasetSegment create(
+      const DiscreteDataset& source);
+  [[nodiscard]] static SharedDatasetSegment create(
+      const ContinuousDataset& source);
 
-  [[nodiscard]] const DiscreteDataset& view() const noexcept { return *view_; }
+  /// The kind-agnostic view. The underlying dataset objects live behind
+  /// shared_ptr storage, so the view stays address-stable across segment
+  /// moves (engines hold CI tests pointing at it).
+  [[nodiscard]] const Dataset& dataset() const noexcept { return view_; }
+  /// Discrete-view shorthand for callers that know their source kind
+  /// (throws std::logic_error on a continuous segment, like
+  /// Dataset::discrete()).
+  [[nodiscard]] const DiscreteDataset& view() const { return view_.discrete(); }
   [[nodiscard]] std::size_t byte_size() const noexcept {
     return region_.size();
   }
 
  private:
-  SharedDatasetSegment() = default;
+  SharedDatasetSegment() : view_(DiscreteDataset(0, 0, {})) {}
 
   SharedMemoryRegion region_;
-  std::optional<DiscreteDataset> view_;
+  Dataset view_;
 };
 
 }  // namespace fastbns

@@ -1,0 +1,65 @@
+#include "network/linear_gaussian.hpp"
+
+namespace fastbns {
+
+bool LinearGaussianSem::valid() const {
+  const auto n = static_cast<std::size_t>(dag.num_nodes());
+  if (weights.size() != n || noise_scale.size() != n) return false;
+  if (!dag.is_acyclic()) return false;
+  for (VarId v = 0; v < dag.num_nodes(); ++v) {
+    if (weights[static_cast<std::size_t>(v)].size() !=
+        dag.parents(v).size()) {
+      return false;
+    }
+    if (!(noise_scale[static_cast<std::size_t>(v)] > 0.0)) return false;
+  }
+  return true;
+}
+
+LinearGaussianSem random_linear_gaussian_sem(const Dag& dag, Rng& rng,
+                                             double min_abs_weight,
+                                             double max_abs_weight,
+                                             double min_noise,
+                                             double max_noise) {
+  LinearGaussianSem sem;
+  sem.dag = dag;
+  const auto n = static_cast<std::size_t>(dag.num_nodes());
+  sem.weights.resize(n);
+  sem.noise_scale.resize(n);
+  for (VarId v = 0; v < dag.num_nodes(); ++v) {
+    const std::size_t num_parents = dag.parents(v).size();
+    auto& weights = sem.weights[static_cast<std::size_t>(v)];
+    weights.resize(num_parents);
+    for (std::size_t i = 0; i < num_parents; ++i) {
+      const double magnitude =
+          min_abs_weight +
+          (max_abs_weight - min_abs_weight) * rng.next_double();
+      weights[i] = rng.next() & 1 ? magnitude : -magnitude;
+    }
+    sem.noise_scale[static_cast<std::size_t>(v)] =
+        min_noise + (max_noise - min_noise) * rng.next_double();
+  }
+  return sem;
+}
+
+ContinuousDataset sample_linear_gaussian(const LinearGaussianSem& sem,
+                                         Count num_samples, Rng& rng) {
+  const std::vector<VarId> order = sem.dag.topological_order();
+  ContinuousDataset data(sem.dag.num_nodes(), num_samples);
+  for (Count s = 0; s < num_samples; ++s) {
+    for (const VarId v : order) {
+      const std::vector<VarId>& parents = sem.dag.parents(v);
+      const std::vector<double>& weights =
+          sem.weights[static_cast<std::size_t>(v)];
+      double value =
+          sem.noise_scale[static_cast<std::size_t>(v)] * rng.normal();
+      for (std::size_t i = 0; i < parents.size(); ++i) {
+        value += weights[i] * data.value(s, parents[i]);
+      }
+      data.set(s, v, value);
+    }
+  }
+  return data;
+}
+
+}  // namespace fastbns

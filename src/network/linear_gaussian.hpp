@@ -1,0 +1,48 @@
+// Linear-Gaussian structural equation models: the continuous analog of
+// (BayesianNetwork, forward_sample) for the Fisher-z differential fuzz
+// harness and the Gaussian golden workflow.
+//
+// Each node is a linear function of its parents plus independent
+// Gaussian noise:
+//   X_v = sum_{p in parents(v)} w_{pv} * X_p + sigma_v * eps_v,
+//   eps_v ~ N(0, 1) i.i.d.
+// The joint is multivariate normal and faithful to the DAG for generic
+// weights, so Fisher-z over enough samples recovers the DAG's skeleton —
+// exactly what the differential harness needs: a ground truth to sample
+// from, not to assert against (engines are compared to each other, not
+// to the truth).
+#pragma once
+
+#include "common/rng.hpp"
+#include "dataset/continuous_dataset.hpp"
+#include "graph/dag.hpp"
+
+namespace fastbns {
+
+/// A DAG plus per-edge weights and per-node noise scales. Weight lookup
+/// follows the dag's parents(v) ordering: weights[v][i] belongs to the
+/// edge parents(v)[i] -> v.
+struct LinearGaussianSem {
+  Dag dag{0};
+  std::vector<std::vector<double>> weights;  ///< per node, parallel to parents
+  std::vector<double> noise_scale;           ///< sigma_v > 0 per node
+
+  /// Structural sanity: shapes match the DAG, noise scales positive.
+  [[nodiscard]] bool valid() const;
+};
+
+/// Draws generic parameters over `dag`: |weights| uniform in
+/// [min_abs_weight, max_abs_weight] with random sign (bounded away from 0
+/// so no edge is invisibly weak), noise scales uniform in [min_noise,
+/// max_noise]. Deterministic given `rng`'s state.
+[[nodiscard]] LinearGaussianSem random_linear_gaussian_sem(
+    const Dag& dag, Rng& rng, double min_abs_weight = 0.5,
+    double max_abs_weight = 1.5, double min_noise = 0.5,
+    double max_noise = 1.5);
+
+/// Forward-samples `num_samples` i.i.d. rows by visiting nodes in
+/// topological order — the ancestral sampler of the continuous world.
+[[nodiscard]] ContinuousDataset sample_linear_gaussian(
+    const LinearGaussianSem& sem, Count num_samples, Rng& rng);
+
+}  // namespace fastbns

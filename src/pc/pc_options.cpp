@@ -6,6 +6,7 @@
 
 #include "fault/fault_schedule.hpp"
 #include "pc/edge_work.hpp"
+#include "stats/ci_test_factory.hpp"
 #include "stats/table_builder.hpp"
 #include "topology/placement.hpp"
 
@@ -122,6 +123,16 @@ void PcOptions::validate() const {
     std::string message = "PcOptions::table_builder \"" + table_builder +
                           "\" is not a known kernel; known builders:";
     for (const std::string& known : builders) {
+      message += ' ';
+      message += known;
+    }
+    throw std::invalid_argument(message);
+  }
+  const std::vector<std::string> tests = list_ci_tests();
+  if (std::find(tests.begin(), tests.end(), ci_test) == tests.end()) {
+    std::string message = "PcOptions::ci_test \"" + ci_test +
+                          "\" is not a known CI test; known tests:";
+    for (const std::string& known : tests) {
       message += ' ';
       message += known;
     }

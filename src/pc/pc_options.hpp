@@ -95,6 +95,14 @@ struct PcOptions {
   /// learn_structure and the bench runner, exactly like engines are
   /// selected by registry name.
   std::string table_builder = "auto";
+  /// Statistic the learn_structure() wrappers construct — any
+  /// list_ci_tests() name: "auto" matches the dataset kind (discrete
+  /// data -> the G^2 test, continuous data -> Fisher-z), "discrete" and
+  /// "gaussian" force a statistic, "oracle" is rejected at construction
+  /// with a pointer to the direct pc_stable path. Resolved by
+  /// stats/ci_test_factory.hpp the way engines resolve through the
+  /// registry.
+  std::string ci_test = "auto";
   /// Variable shards of the sharded engine (kSharded only): 0 = auto (one
   /// shard per worker thread). Shards may outnumber threads (a thread
   /// then serves several shards) or variables (trailing shards own no
@@ -177,7 +185,8 @@ struct PcOptions {
   /// <= kMaxThreads, 0 <= shard_count <= kMaxShards, 0 <= rank_count <=
   /// kMaxRanks, rank_threads likewise against kMaxThreads, shard_partition
   /// a known rule, numa_policy a known policy (auto/off/forced),
-  /// table_builder a known kernel name, and max_table_cells
+  /// table_builder a known kernel name, ci_test a known statistic name
+  /// (auto/discrete/gaussian/oracle), and max_table_cells
   /// >= 4 (a smaller cap cannot hold even the 2x2 marginal table of two
   /// binary variables, so every test would be skipped and no edge ever
   /// removed). Every rejection message names the offending value, not

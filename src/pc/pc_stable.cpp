@@ -7,7 +7,7 @@
 #include "engine/engine_registry.hpp"
 #include "engine/skeleton_engine.hpp"
 #include "ipc/shared_dataset.hpp"
-#include "stats/discrete_ci_test.hpp"
+#include "stats/ci_test_factory.hpp"
 
 namespace fastbns {
 
@@ -29,34 +29,55 @@ PcStableResult pc_stable(VarId num_nodes, const CiTest& prototype,
   return pc_stable(num_nodes, prototype, options, *engine);
 }
 
-PcStableResult learn_structure(const DiscreteDataset& data,
-                               const PcOptions& options) {
+PcStableResult learn_structure(const Dataset& data, const PcOptions& options) {
   const std::unique_ptr<SkeletonEngine> engine =
       EngineRegistry::instance().create(options);
   return learn_structure(data, options, *engine);
 }
 
-PcStableResult learn_structure(const DiscreteDataset& data,
-                               const PcOptions& options,
+PcStableResult learn_structure(const Dataset& data, const PcOptions& options,
                                SkeletonEngine& engine) {
-  CiTestOptions test_options;
-  test_options.alpha = options.alpha;
-  test_options.max_cells = options.max_table_cells;
-  test_options.table_builder = options.table_builder;
-  test_options.sample_parallel = engine.wants_sample_parallel_test();
+  CiTestRequest request;
+  request.ci_test = options.ci_test;
+  request.alpha = options.alpha;
+  request.max_cells = options.max_table_cells;
+  request.table_builder = options.table_builder;
+  request.sample_parallel = engine.wants_sample_parallel_test();
   // The multi-process engine forks worker ranks; mount the dataset in a
   // MAP_SHARED segment first so every rank streams the same physical
   // pages (mapped once, zero per-rank copies — not even COW duplicates)
   // and a pinned rank's first-touch places pages for the whole group.
   const EngineInfo* info = EngineRegistry::instance().find(engine.name());
   std::optional<SharedDatasetSegment> shared;
-  const DiscreteDataset* active = &data;
+  const Dataset* active = &data;
   if (info != nullptr && info->kind == EngineKind::kProcess) {
     shared.emplace(SharedDatasetSegment::create(data));
-    active = &shared->view();
+    active = &shared->dataset();
   }
-  const DiscreteCiTest test(*active, test_options);
-  return pc_stable(active->num_vars(), test, options, engine);
+  const std::unique_ptr<CiTest> test = make_ci_test(*active, request);
+  return pc_stable(active->num_vars(), *test, options, engine);
+}
+
+PcStableResult learn_structure(const DiscreteDataset& data,
+                               const PcOptions& options) {
+  return learn_structure(Dataset::borrow(data), options);
+}
+
+PcStableResult learn_structure(const DiscreteDataset& data,
+                               const PcOptions& options,
+                               SkeletonEngine& engine) {
+  return learn_structure(Dataset::borrow(data), options, engine);
+}
+
+PcStableResult learn_structure(const ContinuousDataset& data,
+                               const PcOptions& options) {
+  return learn_structure(Dataset::borrow(data), options);
+}
+
+PcStableResult learn_structure(const ContinuousDataset& data,
+                               const PcOptions& options,
+                               SkeletonEngine& engine) {
+  return learn_structure(Dataset::borrow(data), options, engine);
 }
 
 }  // namespace fastbns

@@ -1,16 +1,19 @@
 // End-to-end PC-stable: the library's main entry point.
 //
-//   DiscreteDataset data = ...;                 // or any CiTest
-//   PcOptions options;                          // engine, threads, gs, alpha
+//   Dataset data = ...;     // discrete or continuous (or any CiTest)
+//   PcOptions options;      // engine, threads, gs, alpha, ci_test
 //   PcStableResult result = learn_structure(data, options);
-//   result.cpdag;                               // the learned pattern
+//   result.cpdag;           // the learned pattern
 //
 // All engines produce the identical CPDAG (PC-stable is order-independent
 // and the engines share one canonical test order); they differ only in
-// speed — which is the entire subject of the paper.
+// speed — which is the entire subject of the paper. The statistic is
+// chosen at runtime (PcOptions::ci_test through stats/ci_test_factory):
+// discrete data defaults to the paper's G^2 test, continuous data to
+// Fisher-z partial correlation.
 #pragma once
 
-#include "dataset/discrete_dataset.hpp"
+#include "dataset/dataset.hpp"
 #include "graph/pdag.hpp"
 #include "pc/orientation.hpp"
 #include "pc/pc_options.hpp"
@@ -36,10 +39,11 @@ struct PcStableResult {
                                        const PcOptions& options,
                                        SkeletonEngine& engine);
 
-/// Convenience wrapper: G^2 test with options.alpha on a column-major
-/// dataset (sample-parallel contingency builds when the selected engine
-/// asks for them).
-[[nodiscard]] PcStableResult learn_structure(const DiscreteDataset& data,
+/// Convenience wrapper: constructs the statistic options.ci_test selects
+/// for the dataset's kind (G^2 with options.alpha on discrete data,
+/// Fisher-z on continuous data; sample-parallel contingency builds when
+/// the selected engine asks for them) and runs the full pipeline.
+[[nodiscard]] PcStableResult learn_structure(const Dataset& data,
                                              const PcOptions& options = {});
 
 /// Same convenience wrapper with a caller-supplied engine instance —
@@ -47,7 +51,23 @@ struct PcStableResult {
 /// (process_engine_depth_stats / process_engine_recovery_events).
 /// Mounts the MAP_SHARED dataset segment exactly like the owning
 /// overload when `engine` is the multi-process engine.
+[[nodiscard]] PcStableResult learn_structure(const Dataset& data,
+                                             const PcOptions& options,
+                                             SkeletonEngine& engine);
+
+/// DiscreteDataset conveniences: zero-copy borrow into the Dataset
+/// overloads, preserving the pre-Dataset signatures every existing
+/// caller uses. `data` must outlive the call (it does — the run is
+/// synchronous).
 [[nodiscard]] PcStableResult learn_structure(const DiscreteDataset& data,
+                                             const PcOptions& options = {});
+[[nodiscard]] PcStableResult learn_structure(const DiscreteDataset& data,
+                                             const PcOptions& options,
+                                             SkeletonEngine& engine);
+/// ContinuousDataset conveniences, same borrow semantics.
+[[nodiscard]] PcStableResult learn_structure(const ContinuousDataset& data,
+                                             const PcOptions& options = {});
+[[nodiscard]] PcStableResult learn_structure(const ContinuousDataset& data,
                                              const PcOptions& options,
                                              SkeletonEngine& engine);
 

@@ -48,8 +48,9 @@ inline constexpr double kAvx2BuilderScale = 2.2;
 
 /// Maps a TableBuilder kernel name (CiTest::table_builder_name()) to its
 /// throughput constant. "simd" and "auto" resolve through the runtime
-/// SIMD dispatch tier at call time; unknown or empty names — tests that
-/// count nothing — return 1.0.
+/// SIMD dispatch tier at call time; unknown, empty, or "n/a" names —
+/// tests that build no contingency tables (the oracle, the Fisher-z
+/// test) — return the neutral 1.0.
 [[nodiscard]] double builder_throughput_scale(std::string_view builder_name);
 
 /// Depth-aware variant: the SIMD kernel counts depth <= 1 runs with the

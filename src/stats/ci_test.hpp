@@ -80,7 +80,10 @@ class CiTest {
   /// prefault these pages from the thread-group that owns the variable's
   /// shard before depth 0 (topology/placement.hpp), so a run's
   /// steady-state streaming stays domain-local under a first-touch
-  /// policy.
+  /// policy. The empty default is the degrade-cleanly contract for
+  /// non-discrete tests: every placement pass skips empty spans, so a
+  /// test without per-variable columns gets a no-op prefault, never a
+  /// crash or a bogus touch.
   [[nodiscard]] virtual std::span<const std::byte> workload_column_bytes(
       VarId v) const noexcept {
     (void)v;
@@ -95,11 +98,14 @@ class CiTest {
   }
 
   /// Name of the TableBuilder kernel batched counting goes through
-  /// ("simd", "batched", ...), empty for tests that count nothing (the
-  /// oracle). Cost-predicting engines map it to builder-aware throughput
-  /// constants (perfmodel/workload_model.hpp).
+  /// ("simd", "batched", ...). Tests that build no contingency tables —
+  /// the oracle, the Fisher-z test — report "n/a", which
+  /// builder_throughput_scale maps to the neutral 1.0 exactly like an
+  /// empty name, so cost-predicting engines degrade to the uniform model
+  /// instead of assuming a discrete kernel exists
+  /// (perfmodel/workload_model.hpp).
   [[nodiscard]] virtual std::string_view table_builder_name() const noexcept {
-    return {};
+    return "n/a";
   }
 
   /// Fingerprint of the configuration a clone() of this test would

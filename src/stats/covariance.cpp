@@ -1,0 +1,176 @@
+#include "stats/covariance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+namespace fastbns {
+namespace {
+
+/// Shared normalization: raw moments -> unit-diagonal correlations with
+/// the degeneracy mask. Both builders funnel through this, so they can
+/// only differ in the rounding of the accumulated moments themselves.
+CorrelationMatrix normalize(VarId n, Count m, const std::vector<double>& sums,
+                            std::vector<double>&& cross) {
+  CorrelationMatrix stats;
+  stats.num_vars = n;
+  stats.num_samples = m;
+  stats.correlation = std::move(cross);  // holds sum(x_i * x_j) on entry
+  stats.degenerate.assign(static_cast<std::size_t>(n), 0);
+  const auto nn = static_cast<std::size_t>(n);
+  const double inv_m = 1.0 / static_cast<double>(m);
+
+  std::vector<double> variance(nn, 0.0);
+  for (std::size_t i = 0; i < nn; ++i) {
+    const double mean = sums[i] * inv_m;
+    const double var =
+        stats.correlation[i * nn + i] * inv_m - mean * mean;
+    variance[i] = var;
+    // Relative guard: a column of identical values accumulates rounding
+    // noise proportional to its magnitude, so the threshold scales with
+    // the mean square.
+    if (!(var > kDegenerateVarianceEpsilon * (1.0 + mean * mean))) {
+      stats.degenerate[i] = 1;
+    }
+  }
+  for (std::size_t i = 0; i < nn; ++i) {
+    for (std::size_t j = i; j < nn; ++j) {
+      double r = 0.0;
+      if (i == j) {
+        r = 1.0;
+      } else if (stats.degenerate[i] == 0 && stats.degenerate[j] == 0) {
+        const double cov = stats.correlation[i * nn + j] * inv_m -
+                           (sums[i] * inv_m) * (sums[j] * inv_m);
+        r = cov / std::sqrt(variance[i] * variance[j]);
+        // Rounding can push a perfect correlation epsilon outside [-1, 1];
+        // atanh would turn that into inf/nan.
+        if (r > 1.0) r = 1.0;
+        if (r < -1.0) r = -1.0;
+      }
+      stats.correlation[i * nn + j] = r;
+      stats.correlation[j * nn + i] = r;
+    }
+  }
+  return stats;
+}
+
+std::vector<double> column_sums(const ContinuousDataset& data) {
+  const auto n = static_cast<std::size_t>(data.num_vars());
+  std::vector<double> sums(n, 0.0);
+  for (VarId v = 0; v < data.num_vars(); ++v) {
+    double sum = 0.0;
+    for (const double value : data.column(v)) sum += value;
+    sums[static_cast<std::size_t>(v)] = sum;
+  }
+  return sums;
+}
+
+/// Baseline: one (i, j) pair at a time, one straight accumulation loop
+/// per pair. Re-streams columns n times but is trivially correct.
+class ScalarCovarianceBuilder final : public CovarianceBuilder {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "scalar";
+  }
+
+  [[nodiscard]] CorrelationMatrix build(
+      const ContinuousDataset& data) const override {
+    const auto n = static_cast<std::size_t>(data.num_vars());
+    std::vector<double> cross(n * n, 0.0);
+    for (VarId i = 0; i < data.num_vars(); ++i) {
+      const std::span<const double> ci = data.column(i);
+      for (VarId j = i; j < data.num_vars(); ++j) {
+        const std::span<const double> cj = data.column(j);
+        double sum = 0.0;
+        for (std::size_t s = 0; s < ci.size(); ++s) sum += ci[s] * cj[s];
+        cross[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] =
+            sum;
+      }
+    }
+    return normalize(data.num_vars(), data.num_samples(), column_sums(data),
+                     std::move(cross));
+  }
+};
+
+/// Cache-blocked variant: the sample stream is cut into blocks that keep
+/// a tile of columns resident, and OpenMP parallelizes across tile
+/// *pairs* — never across the samples of one entry — so each (i, j) sum
+/// is accumulated by exactly one thread in ascending block order and the
+/// matrix is bit-identical at every thread count. The per-block partial
+/// sum also shortens the dependency chain enough for the compiler to
+/// vectorize the inner product.
+class BlockedCovarianceBuilder final : public CovarianceBuilder {
+ public:
+  static constexpr std::size_t kTile = 8;          ///< columns per tile
+  static constexpr std::size_t kSampleBlock = 2048; ///< samples per block
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "blocked";
+  }
+
+  [[nodiscard]] CorrelationMatrix build(
+      const ContinuousDataset& data) const override {
+    const auto n = static_cast<std::size_t>(data.num_vars());
+    const auto m = static_cast<std::size_t>(data.num_samples());
+    std::vector<double> cross(n * n, 0.0);
+    const std::size_t tiles = (n + kTile - 1) / kTile;
+    // Upper-triangular tile pairs, flattened for the parallel loop.
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    pairs.reserve(tiles * (tiles + 1) / 2);
+    for (std::size_t ti = 0; ti < tiles; ++ti) {
+      for (std::size_t tj = ti; tj < tiles; ++tj) pairs.push_back({ti, tj});
+    }
+    const auto num_pairs = static_cast<std::int64_t>(pairs.size());
+#pragma omp parallel for schedule(dynamic)
+    for (std::int64_t p = 0; p < num_pairs; ++p) {
+      const std::size_t i_begin = pairs[static_cast<std::size_t>(p)].first * kTile;
+      const std::size_t j_begin = pairs[static_cast<std::size_t>(p)].second * kTile;
+      const std::size_t i_end = std::min(i_begin + kTile, n);
+      const std::size_t j_end = std::min(j_begin + kTile, n);
+      for (std::size_t block = 0; block < m; block += kSampleBlock) {
+        const std::size_t block_end = std::min(block + kSampleBlock, m);
+        for (std::size_t i = i_begin; i < i_end; ++i) {
+          const std::span<const double> ci =
+              data.column(static_cast<VarId>(i));
+          for (std::size_t j = std::max(i, j_begin); j < j_end; ++j) {
+            const std::span<const double> cj =
+                data.column(static_cast<VarId>(j));
+            double partial = 0.0;
+            for (std::size_t s = block; s < block_end; ++s) {
+              partial += ci[s] * cj[s];
+            }
+            cross[i * n + j] += partial;
+          }
+        }
+      }
+    }
+    return normalize(data.num_vars(), data.num_samples(), column_sums(data),
+                     std::move(cross));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CovarianceBuilder> make_covariance_builder(
+    const std::string& name) {
+  if (name == "scalar") return std::make_unique<ScalarCovarianceBuilder>();
+  if (name == "blocked" || name == "auto") {
+    return std::make_unique<BlockedCovarianceBuilder>();
+  }
+  std::string message = "make_covariance_builder: \"" + name +
+                        "\" is not a known builder; known builders:";
+  for (const std::string& known : list_covariance_builders()) {
+    message += ' ';
+    message += known;
+  }
+  throw std::invalid_argument(message);
+}
+
+std::vector<std::string> list_covariance_builders() {
+  return {"auto", "blocked", "scalar"};
+}
+
+}  // namespace fastbns

@@ -69,4 +69,10 @@ double chi_square_survival(double statistic, double df) noexcept {
   return regularized_gamma_q(0.5 * df, 0.5 * statistic);
 }
 
+double standard_normal_survival(double x) noexcept {
+  // P(|Z| > |x|) = Q(1/2, x^2/2), split evenly between the two tails.
+  const double two_sided = regularized_gamma_q(0.5, 0.5 * x * x);
+  return x >= 0.0 ? 0.5 * two_sided : 1.0 - 0.5 * two_sided;
+}
+
 }  // namespace fastbns

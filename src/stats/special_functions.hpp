@@ -21,4 +21,10 @@ namespace fastbns {
 /// P(Chi2_df > statistic); df > 0. Returns 1.0 for statistic <= 0.
 [[nodiscard]] double chi_square_survival(double statistic, double df) noexcept;
 
+/// P(N(0,1) > x), the standard normal survival function — the Fisher-z
+/// test's p-value is 2 * standard_normal_survival(|z|). Computed through
+/// the incomplete gamma machinery above (Z^2 ~ Chi2_1), keeping the
+/// no-external-math-library rule.
+[[nodiscard]] double standard_normal_survival(double x) noexcept;
+
 }  // namespace fastbns

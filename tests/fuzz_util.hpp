@@ -18,6 +18,7 @@
 
 #include "common/rng.hpp"
 #include "network/forward_sampler.hpp"
+#include "network/linear_gaussian.hpp"
 #include "network/random_network.hpp"
 #include "pc/skeleton.hpp"
 
@@ -50,6 +51,34 @@ inline FuzzInstance make_instance(std::uint64_t seed) {
   DiscreteDataset data =
       forward_sample(network, samples, rng, DataLayout::kBoth);
   return FuzzInstance{std::move(network), std::move(data)};
+}
+
+struct GaussianFuzzInstance {
+  LinearGaussianSem sem;
+  ContinuousDataset data;
+};
+
+/// Continuous analog of make_instance for the Fisher-z backend: the same
+/// seeded DAG shapes, parameterised as a linear-Gaussian SEM and
+/// ancestrally sampled with Box-Muller noise. Seeds are offset from the
+/// discrete generator's so the two suites never share a network by
+/// accident.
+inline GaussianFuzzInstance make_gaussian_instance(std::uint64_t seed) {
+  RandomNetworkConfig config;
+  config.num_nodes = static_cast<VarId>(10 + seed % 11);
+  config.num_edges = config.num_nodes + static_cast<std::int64_t>(
+                                            (2 + seed % 5) * config.num_nodes /
+                                            5);
+  config.max_parents = 4;
+  config.min_cardinality = 2;
+  config.max_cardinality = 2;  // cardinalities are unused by the SEM
+  config.seed = 5000 + seed;
+  const BayesianNetwork network = generate_random_network(config);
+  Rng rng(6000 + seed);
+  LinearGaussianSem sem = random_linear_gaussian_sem(network.dag(), rng);
+  const Count samples = static_cast<Count>(600 + 200 * (seed % 5));
+  ContinuousDataset data = sample_linear_gaussian(sem, samples, rng);
+  return GaussianFuzzInstance{std::move(sem), std::move(data)};
 }
 
 /// Canonical outcome of a skeleton run. The removal depth of a separated

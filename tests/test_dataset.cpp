@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "dataset/dataset.hpp"
+
 namespace fastbns {
 namespace {
 
@@ -173,6 +175,66 @@ TEST(DiscreteDataset, Codes8RidesWithTheColumnMajorBuffer) {
                 head.value(s, v));
     }
   }
+}
+
+TEST(ContinuousDataset, StoresAndReadsBackDoubles) {
+  ContinuousDataset data(3, 4);
+  for (Count s = 0; s < 4; ++s) {
+    for (VarId v = 0; v < 3; ++v) {
+      data.set(s, v, 0.5 * static_cast<double>(s) - static_cast<double>(v));
+    }
+  }
+  EXPECT_EQ(data.num_vars(), 3);
+  EXPECT_EQ(data.num_samples(), 4);
+  EXPECT_EQ(data.value(2, 1), 0.0);
+  EXPECT_EQ(data.column(1).size(), 4u);
+  EXPECT_EQ(data.column(1)[2], 0.0);
+  EXPECT_EQ(data.column_bytes(0).size(), 4 * sizeof(double));
+  const ContinuousDataset head = data.head(2);
+  EXPECT_EQ(head.num_samples(), 2);
+  EXPECT_EQ(head.value(1, 2), data.value(1, 2));
+}
+
+TEST(ContinuousDataset, ExternalBuffersRejectWrongSizes) {
+  std::vector<double> cols(6, 0.0);
+  const ExternalContinuousBuffers ok{.cols = cols};
+  EXPECT_NO_THROW(ContinuousDataset(3, 2, ok));
+  const ExternalContinuousBuffers short_buffer{
+      .cols = std::span<double>(cols.data(), 5)};
+  EXPECT_THROW(ContinuousDataset(3, 2, short_buffer), std::invalid_argument);
+}
+
+TEST(Dataset, KindDispatchAndAccessorGuards) {
+  const Dataset discrete(DiscreteDataset(2, 3, {2, 2}));
+  EXPECT_EQ(discrete.kind(), DatasetKind::kDiscrete);
+  EXPECT_TRUE(discrete.is_discrete());
+  EXPECT_FALSE(discrete.is_continuous());
+  EXPECT_EQ(discrete.num_vars(), 2);
+  EXPECT_EQ(discrete.num_samples(), 3);
+  EXPECT_NO_THROW(discrete.discrete());
+  EXPECT_THROW(discrete.continuous(), std::logic_error);
+  EXPECT_EQ(discrete.continuous_ptr(), nullptr);
+
+  const Dataset continuous(ContinuousDataset(2, 3));
+  EXPECT_EQ(continuous.kind(), DatasetKind::kContinuous);
+  EXPECT_TRUE(continuous.is_continuous());
+  EXPECT_NO_THROW(continuous.continuous());
+  EXPECT_THROW(continuous.discrete(), std::logic_error);
+  EXPECT_EQ(std::string(to_string(DatasetKind::kDiscrete)), "discrete");
+  EXPECT_EQ(std::string(to_string(DatasetKind::kContinuous)), "continuous");
+}
+
+TEST(Dataset, BorrowAliasesWithoutCopying) {
+  const DiscreteDataset owned(2, 3, {2, 2});
+  const Dataset borrowed = Dataset::borrow(owned);
+  EXPECT_EQ(&borrowed.discrete(), &owned);  // no copy, same object
+  // Copies of the wrapper stay shallow: same underlying store.
+  const Dataset copy = borrowed;
+  EXPECT_EQ(&copy.discrete(), &owned);
+
+  const ContinuousDataset owned_cont(2, 3);
+  const Dataset borrowed_cont = Dataset::borrow(owned_cont);
+  EXPECT_EQ(&borrowed_cont.continuous(), &owned_cont);
 }
 
 }  // namespace

@@ -98,5 +98,75 @@ TEST_F(DatasetIoTest, WindowsLineEndingsHandled) {
   EXPECT_EQ(loaded.data.value(0, 1), 0);
 }
 
+TEST_F(DatasetIoTest, AutoLoaderDetectsIntegerFileAsDiscrete) {
+  std::ofstream out(path("auto_discrete.csv"));
+  out << "a,b\n0,2\n1,0\n1,1\n";
+  out.close();
+  const NamedData loaded = load_csv_auto(path("auto_discrete.csv"));
+  ASSERT_TRUE(loaded.data.is_discrete());
+  const DiscreteDataset& data = loaded.data.discrete();
+  EXPECT_EQ(data.cardinality(0), 2);
+  EXPECT_EQ(data.cardinality(1), 3);
+  EXPECT_EQ(data.value(0, 1), 2);
+  // Same file through the classic loader: identical dataset.
+  const NamedDataset classic = load_csv(path("auto_discrete.csv"));
+  for (Count s = 0; s < data.num_samples(); ++s) {
+    for (VarId v = 0; v < data.num_vars(); ++v) {
+      EXPECT_EQ(data.value(s, v), classic.data.value(s, v));
+    }
+  }
+}
+
+TEST_F(DatasetIoTest, AutoLoaderSwitchesToContinuousOnFractionalCell) {
+  std::ofstream out(path("auto_cont.csv"));
+  // The first row is all byte-range integers; the 2.5 in row two flips
+  // the whole file (earlier rows included) to continuous.
+  out << "a,b\n1,3\n2.5,-1\n0,1e2\n";
+  out.close();
+  const NamedData loaded = load_csv_auto(path("auto_cont.csv"));
+  ASSERT_TRUE(loaded.data.is_continuous());
+  const ContinuousDataset& data = loaded.data.continuous();
+  EXPECT_EQ(data.value(0, 0), 1.0);
+  EXPECT_EQ(data.value(1, 0), 2.5);
+  EXPECT_EQ(data.value(1, 1), -1.0);
+  EXPECT_EQ(data.value(2, 1), 100.0);
+}
+
+TEST_F(DatasetIoTest, ContinuousRoundTripIsExact) {
+  ContinuousDataset data(2, 3);
+  data.set(0, 0, 1.0 / 3.0);
+  data.set(1, 0, -2.718281828459045);
+  data.set(2, 0, 1e-17);
+  data.set(0, 1, 0.0);
+  data.set(1, 1, 1234567.89);
+  data.set(2, 1, -0.1);
+  const std::vector<std::string> names = {"u", "v"};
+  ASSERT_TRUE(save_csv(data, names, path("cont_roundtrip.csv")));
+  const NamedData loaded = load_csv_auto(path("cont_roundtrip.csv"));
+  EXPECT_EQ(loaded.names, names);
+  ASSERT_TRUE(loaded.data.is_continuous());
+  for (Count s = 0; s < 3; ++s) {
+    for (VarId v = 0; v < 2; ++v) {
+      // %.17g round-trips doubles bit-exactly.
+      EXPECT_EQ(loaded.data.continuous().value(s, v), data.value(s, v));
+    }
+  }
+}
+
+TEST_F(DatasetIoTest, AutoLoaderNamesTheOffendingCell) {
+  std::ofstream out(path("auto_bad.csv"));
+  out << "a,b\n1,2\n1,oops\n";
+  out.close();
+  try {
+    (void)load_csv_auto(path("auto_bad.csv"));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("oops"), std::string::npos) << message;
+    EXPECT_NE(message.find("row 2"), std::string::npos) << message;
+    EXPECT_NE(message.find("column b"), std::string::npos) << message;
+  }
+}
+
 }  // namespace
 }  // namespace fastbns

@@ -14,9 +14,11 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "dataset/dataset.hpp"
 #include "engine/engine_registry.hpp"
 #include "engine/skeleton_engine.hpp"
 #include "network/forward_sampler.hpp"
+#include "network/linear_gaussian.hpp"
 #include "network/random_network.hpp"
 #include "network/standard_networks.hpp"
 #include "pc/pc_stable.hpp"
@@ -432,6 +434,88 @@ TEST(EngineEquivalence, HybridHeavyRouteIsResultIdentical) {
       }
     }
   }
+}
+
+TEST(EngineEquivalence, GaussianSkeletonIdenticalAcrossRegisteredEngines) {
+  // The statistic-agnostic counterpart of the central property: swap the
+  // G^2 test for Fisher-z over a linear-Gaussian SEM sample and every
+  // registered engine — the process engine at one and two ranks — must
+  // still produce the byte-identical skeleton, sepsets, and CPDAG. This
+  // goes through learn_structure's Dataset path, so the factory, the
+  // continuous shm segment, and per-thread Fisher-z clones are all on
+  // the line, not just the engines.
+  static const Dataset data = [] {
+    RandomNetworkConfig config;
+    config.num_nodes = 18;
+    config.num_edges = 26;
+    config.seed = 301;
+    const BayesianNetwork network = generate_random_network(config);
+    Rng rng(302);
+    const LinearGaussianSem sem =
+        random_linear_gaussian_sem(network.dag(), rng);
+    return Dataset(sample_linear_gaussian(sem, 1500, rng));
+  }();
+
+  PcOptions reference_options;
+  reference_options.engine = engine_from_string("fastbns-seq");
+  reference_options.ci_test = "gaussian";
+  const PcStableResult reference = learn_structure(data, reference_options);
+  EXPECT_GT(reference.skeleton.graph.num_edges(), 0);
+
+  for (const std::string& name : list_engines()) {
+    const bool is_process = name == "process(rank-partition)";
+    for (const std::int32_t ranks : is_process
+                                        ? std::vector<std::int32_t>{1, 2}
+                                        : std::vector<std::int32_t>{0}) {
+      PcOptions options;
+      options.engine = engine_from_string(name);
+      options.engine_name = name;
+      options.num_threads = 2;
+      options.group_size = 4;
+      options.ci_test = "gaussian";
+      options.rank_count = ranks;
+      const PcStableResult result = learn_structure(data, options);
+      const std::string label = name + " ranks=" + std::to_string(ranks);
+      EXPECT_TRUE(result.skeleton.graph == reference.skeleton.graph) << label;
+      EXPECT_TRUE(result.cpdag == reference.cpdag) << label;
+      const VarId n = data.num_vars();
+      for (VarId u = 0; u < n; ++u) {
+        for (VarId v = u + 1; v < n; ++v) {
+          const auto* expected = reference.skeleton.sepsets.find(u, v);
+          const auto* actual = result.skeleton.sepsets.find(u, v);
+          ASSERT_EQ(expected == nullptr, actual == nullptr)
+              << label << ": " << u << "," << v;
+          if (expected != nullptr) {
+            EXPECT_EQ(*expected, *actual) << label << ": " << u << "," << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, GaussianAutoResolutionMatchesExplicitName) {
+  // "auto" on continuous data must be exactly the Fisher-z run.
+  static const Dataset data = [] {
+    RandomNetworkConfig config;
+    config.num_nodes = 12;
+    config.num_edges = 16;
+    config.seed = 311;
+    const BayesianNetwork network = generate_random_network(config);
+    Rng rng(312);
+    const LinearGaussianSem sem =
+        random_linear_gaussian_sem(network.dag(), rng);
+    return Dataset(sample_linear_gaussian(sem, 900, rng));
+  }();
+  PcOptions explicit_options;
+  explicit_options.ci_test = "gaussian";
+  PcOptions auto_options;
+  auto_options.ci_test = "auto";
+  const PcStableResult a = learn_structure(data, explicit_options);
+  const PcStableResult b = learn_structure(data, auto_options);
+  EXPECT_TRUE(a.skeleton.graph == b.skeleton.graph);
+  EXPECT_TRUE(a.cpdag == b.cpdag);
+  EXPECT_EQ(a.skeleton.total_ci_tests, b.skeleton.total_ci_tests);
 }
 
 TEST(EngineEquivalence, OracleRunsAgreeAcrossRegisteredEngines) {

@@ -253,8 +253,11 @@ TEST(WorkloadModel, BuilderThroughputConstantsAreOrdered) {
   EXPECT_LE(kScalarBuilderScale, kBatchedBuilderScale);
   EXPECT_LE(kBatchedBuilderScale, kSse42BuilderScale);
   EXPECT_LE(kSse42BuilderScale, kAvx2BuilderScale);
-  // Metadata-free tests (empty name) cost like the scalar kernel.
+  // Metadata-free tests (empty name) cost like the scalar kernel, and so
+  // does the "n/a" that table-free statistics (Fisher-z, the oracle)
+  // report — the degrade-cleanly contract of CiTest::table_builder_name.
   EXPECT_DOUBLE_EQ(builder_throughput_scale(""), kScalarBuilderScale);
+  EXPECT_DOUBLE_EQ(builder_throughput_scale("n/a"), kScalarBuilderScale);
   // "simd"/"auto" resolve through the dispatch tier; forcing the scalar
   // tier degrades them to the batched constant (the kernel degrades to
   // the batched scalar pass the same way).

@@ -207,6 +207,18 @@ TEST(Skeleton, ValidateRejectsNonsensicalOptionsUpFront) {
   PcOptions typo_builder;
   typo_builder.table_builder = "vectorised";
   EXPECT_THROW(typo_builder.validate(), std::invalid_argument);
+  // Unknown CI-test names too, and the message names the offending value
+  // plus the known vocabulary (the PR 5 error-message convention).
+  PcOptions typo_ci_test;
+  typo_ci_test.ci_test = "pearson";
+  try {
+    typo_ci_test.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("pearson"), std::string::npos) << message;
+    EXPECT_NE(message.find("gaussian"), std::string::npos) << message;
+  }
   // The engine-dependent combination — every permitted table smaller
   // than the effective thread count makes sample-parallel builds pure
   // atomic contention — is enforced by the driver once the engine is

@@ -13,9 +13,10 @@ TEST(Workloads, MakeWorkloadShapes) {
   EXPECT_EQ(workload.network.num_nodes(), 37);
   EXPECT_EQ(workload.data.num_vars(), 37);
   EXPECT_EQ(workload.data.num_samples(), 500);
-  EXPECT_TRUE(workload.data.has_row_major());
-  EXPECT_TRUE(workload.data.has_column_major());
-  EXPECT_TRUE(workload.data.values_in_range());
+  EXPECT_TRUE(workload.data.is_discrete());
+  EXPECT_TRUE(workload.data.discrete().has_row_major());
+  EXPECT_TRUE(workload.data.discrete().has_column_major());
+  EXPECT_TRUE(workload.data.discrete().values_in_range());
 }
 
 TEST(Workloads, DeterministicPerNameAndSize) {
@@ -23,7 +24,7 @@ TEST(Workloads, DeterministicPerNameAndSize) {
   const Workload b = make_workload("insurance", 300);
   for (Count s = 0; s < 300; ++s) {
     for (VarId v = 0; v < a.data.num_vars(); ++v) {
-      ASSERT_EQ(a.data.value(s, v), b.data.value(s, v));
+      ASSERT_EQ(a.data.discrete().value(s, v), b.data.discrete().value(s, v));
     }
   }
 }
