@@ -86,6 +86,7 @@
 #include "engine/engines.hpp"
 #include "fault/fault_schedule.hpp"
 #include "ipc/process_group.hpp"
+#include "ipc/transport.hpp"
 #include "ipc/wire.hpp"
 #include "topology/placement.hpp"
 
@@ -297,6 +298,20 @@ int run_rank(const RankConfig& config, const CiTest& prototype, int command_fd,
         if (lethal->kind == FaultKind::kKill) {
           ::_exit(42);  // injected mid-depth death; the parent must notice
         }
+        if (lethal->kind == FaultKind::kDropConn) {
+          // Sever the channel with the process still alive: the
+          // supervisor sees EOF (pipe) / FIN (socket) while waitpid
+          // still says "running" — the dropped-connection shape a
+          // network transport produces — and must run the same respawn
+          // ladder a death triggers. Park (capped, like wedge) so an
+          // orphan cannot outlive a crashed parent forever.
+          if (result_fd != command_fd) ::close(result_fd);
+          ::close(command_fd);
+          for (int i = 0; i < 6000; ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          }
+          ::_exit(44);
+        }
         // Wedge: alive but unresponsive — only the supervisor's
         // per-frame deadline and SIGKILL clear it. Capped so an orphan
         // cannot outlive a crashed parent forever.
@@ -378,6 +393,19 @@ int run_rank(const RankConfig& config, const CiTest& prototype, int command_fd,
                                       writer.payload(), frame_fault,
                                       injector.seed(), config.rank, depth)
               : write_frame_bytes(result_fd, last_reply);
+      if (frame_fault != nullptr &&
+          frame_fault->kind == FaultKind::kPartialWrite) {
+        // The prefix went out (send_frame_with_fault wrote half the
+        // frame); now sever the channel — the supervisor reads a partial
+        // frame ending in EOF, the mid-write crash shape of a TCP peer,
+        // and must respawn + replay. Park alive, capped like wedge.
+        if (result_fd != command_fd) ::close(result_fd);
+        ::close(command_fd);
+        for (int i = 0; i < 6000; ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+        ::_exit(45);
+      }
       if (!sent) {
         return 1;  // parent is gone; nothing left to report to
       }
@@ -914,6 +942,9 @@ class ProcessEngine final : public SkeletonEngine {
     rank_threads_ = resolve_rank_threads(options.rank_threads, rank_count_,
                                          options.num_threads);
     partition_ = shard_partition_from_string(options.shard_partition);
+    // "auto" follows FASTBNS_IPC_TRANSPORT (default pipe) — the knob the
+    // CI socket leg turns without touching any call site.
+    transport_ = resolve_transport(options.ipc_transport);
     // Rank→domain placement reuses the PR 6 shard plan verbatim: ranks
     // are shards. Pinning needs physical cpu ids; first-touch follows
     // the plan's active flag even on simulated topologies (the logic
@@ -957,7 +988,7 @@ class ProcessEngine final : public SkeletonEngine {
       return false;
     }
     try {
-      group_ = ProcessGroup::spawn(rank_count_, rank_main_);
+      group_ = ProcessGroup::spawn(rank_count_, rank_main_, transport_);
     } catch (const std::exception& error) {
       record_event(depth, -1, RecoveryAction::kDegrade,
                    std::string("initial spawn failed (") + error.what() +
@@ -974,6 +1005,7 @@ class ProcessEngine final : public SkeletonEngine {
   std::int32_t rank_threads_ = 1;
   VarId num_vars_ = 0;
   ShardPartition partition_ = ShardPartition::kContiguous;
+  TransportKind transport_ = TransportKind::kPipe;
   FaultSchedule schedule_;
   int deadline_ms_ = kDefaultRankTimeoutMs;
   std::int32_t retry_limit_ = 2;

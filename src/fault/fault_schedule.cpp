@@ -25,6 +25,8 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kCorruptFrame, "corrupt-frame"},
     {FaultKind::kTruncateFrame, "truncate-frame"},
     {FaultKind::kSpawnFail, "spawn-fail"},
+    {FaultKind::kDropConn, "drop-conn"},
+    {FaultKind::kPartialWrite, "partial-write"},
 };
 
 /// Strict non-negative integer parse; throws naming `entry` otherwise.
@@ -224,7 +226,8 @@ bool RankFaultInjector::matches(const FaultEvent& event,
 
 const FaultEvent* RankFaultInjector::lethal_fault(std::int32_t depth) const {
   for (const FaultEvent& event : schedule_.events) {
-    if (event.kind != FaultKind::kKill && event.kind != FaultKind::kWedge) {
+    if (event.kind != FaultKind::kKill && event.kind != FaultKind::kWedge &&
+        event.kind != FaultKind::kDropConn) {
       continue;
     }
     if (matches(event, depth)) return &event;
@@ -237,7 +240,8 @@ const FaultEvent* RankFaultInjector::take_frame_fault(std::int32_t depth) {
     const FaultEvent& event = schedule_.events[i];
     if (event.kind != FaultKind::kDelayFrame &&
         event.kind != FaultKind::kCorruptFrame &&
-        event.kind != FaultKind::kTruncateFrame) {
+        event.kind != FaultKind::kTruncateFrame &&
+        event.kind != FaultKind::kPartialWrite) {
       continue;
     }
     if (fired_[i] || !matches(event, depth)) continue;
@@ -291,10 +295,13 @@ bool send_frame_with_fault(int fd, std::uint32_t tag,
       }
       return write_frame_bytes(fd, frame);
     }
-    case FaultKind::kTruncateFrame: {
+    case FaultKind::kTruncateFrame:
+    case FaultKind::kPartialWrite: {
       // Half a frame, then silence with the writer still alive: the
       // reader's per-frame deadline must expire and its resync scan must
-      // recover on the retransmission.
+      // recover on the retransmission. (For kPartialWrite the caller
+      // follows up by severing the channel — the receiver then sees the
+      // partial frame end in EOF instead of a timeout.)
       const std::size_t half = std::max<std::size_t>(1, frame.size() / 2);
       (void)write_frame_bytes(fd, std::span(frame).first(half));
       return true;
@@ -303,6 +310,7 @@ bool send_frame_with_fault(int fd, std::uint32_t tag,
     case FaultKind::kWedge:
     case FaultKind::kSlowRank:
     case FaultKind::kSpawnFail:
+    case FaultKind::kDropConn:
       break;  // not frame faults; fall through to a clean write
   }
   return write_frame_bytes(fd, frame);

@@ -11,17 +11,22 @@
 //   schedule := entry (';' entry)*
 //   entry    := kind ('@' kv (',' kv)*)?  |  'seed=' N
 //   kind     := kill | wedge | slow-rank | delay-frame | corrupt-frame
-//             | truncate-frame | spawn-fail
+//             | truncate-frame | spawn-fail | drop-conn | partial-write
 //   kv       := rank=N | depth=N | gen=N | ms=N
 //
 // Two consumers split the kinds: the forked rank's main loop executes
 // kill (exit without replying), wedge (stop responding until the
 // supervisor's per-frame deadline kills it), slow-rank (sleep ms before
-// every reply from `depth` on) and the frame faults (delay-frame,
-// corrupt-frame, truncate-frame — applied to the outgoing result frame,
-// where the checksummed retrying transport must recover); the supervisor
-// executes spawn-fail (a fork/respawn that is declared to have failed —
-// the deterministic trigger of the degrade-to-sharded rung). All
+// every reply from `depth` on), drop-conn (sever the channel — close the
+// fds with the process still alive, the socket-flavored death where the
+// kernel reports EOF/FIN but waitpid says "still running"), and the
+// frame faults (delay-frame, corrupt-frame, truncate-frame,
+// partial-write — applied to the outgoing result frame, where the
+// checksummed retrying transport must recover; partial-write sends a
+// frame prefix and then severs the connection, the mid-write crash shape
+// a TCP peer produces); the supervisor executes spawn-fail (a
+// fork/respawn that is declared to have failed — the deterministic
+// trigger of the degrade-to-sharded rung). All
 // randomness (which payload byte a corrupt-frame flips) derives from the
 // schedule's seed plus the event coordinates, so every injected fault —
 // and therefore every recovery path — replays bit-identically.
@@ -61,6 +66,17 @@ enum class FaultKind : std::uint8_t {
   /// rank=-1, gen=0: the initial whole-group spawn) to have failed —
   /// the supervisor must degrade to the in-process sharded engine.
   kSpawnFail,
+  /// Sever the channel without replying when a depth >= the event's
+  /// arms: close both channel fds (EOF/FIN at the supervisor) while the
+  /// process parks alive — the socket-flavored failure where the
+  /// connection dies before the process does. The supervisor's EOF
+  /// handling must run the respawn ladder exactly as for a kill.
+  kDropConn,
+  /// Write only a prefix of the reply frame and then sever the channel,
+  /// once — a peer crashing mid-write over TCP. The receiver sees a
+  /// partial frame ending in EOF (kEof, not kTimeout) and must respawn +
+  /// replay.
+  kPartialWrite,
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
@@ -132,14 +148,17 @@ class RankFaultInjector {
   [[nodiscard]] std::int32_t generation() const noexcept { return generation_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return schedule_.seed; }
 
-  /// The first armed kill/wedge event for `depth`, or nullptr. The
-  /// caller executes it (these do not return control, so no fired
+  /// The first armed kill/wedge/drop-conn event for `depth`, or nullptr.
+  /// The caller executes it (these do not return control, so no fired
   /// bookkeeping is needed).
   [[nodiscard]] const FaultEvent* lethal_fault(std::int32_t depth) const;
 
-  /// Claims the first unfired frame fault (delay/corrupt/truncate) armed
-  /// at `depth`, marking it fired; nullptr when none. One-shot: the
-  /// retransmitted frame after a caught corruption goes out clean.
+  /// Claims the first unfired frame fault (delay/corrupt/truncate/
+  /// partial-write) armed at `depth`, marking it fired; nullptr when
+  /// none. One-shot: the retransmitted frame after a caught corruption
+  /// goes out clean. (partial-write does not return control either — the
+  /// rank severs its channel after the prefix — but it rides the frame-
+  /// fault channel because it fires on a specific outgoing reply.)
   [[nodiscard]] const FaultEvent* take_frame_fault(std::int32_t depth);
 
   /// Total slow-rank sleep for a reply at `depth` (0 when none apply).

@@ -29,31 +29,57 @@ void close_fd(int& fd) noexcept {
   }
 }
 
+/// How long the parent waits for a freshly forked rank to complete the
+/// transport handshake (sockets: connect + HELLO/ACK; pipes: instant).
+/// Generous — a loopback handshake takes microseconds; this only bounds
+/// pathological cases (a child that segfaults before connecting is
+/// caught earlier via waitid).
+constexpr int kSpawnHandshakeTimeoutMs = 30'000;
+
 /// Non-throwing waitpid status probe: "exited with status 3", "killed by
 /// signal 9", or "still running" — the forensic detail a RankDeathError
 /// carries so a dead rank is diagnosable from the message alone.
-std::string describe_waitpid(pid_t pid) noexcept {
-  int status = 0;
-  const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
-  if (reaped == pid) {
-    if (WIFEXITED(status)) {
-      return "exited with status " + std::to_string(WEXITSTATUS(status));
+///
+/// `grace_ms` keeps re-probing for that long before settling on "still
+/// running". Callers that just saw the rank's channel close (EOF, EPIPE)
+/// pass a small grace: the peer has provably closed its fds, but on the
+/// socket transport the FIN is delivered through the network stack and
+/// can arrive a beat before the exiting process becomes waitpid-visible
+/// — without the grace the message would misreport a cleanly dead rank
+/// as wedged. Timeout paths pass 0: there the rank really may be alive,
+/// and stalling the recovery ladder to re-ask would cost latency for no
+/// information.
+std::string describe_waitpid(pid_t pid, int grace_ms = 0) noexcept {
+  for (;;) {
+    int status = 0;
+    const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == pid) {
+      if (WIFEXITED(status)) {
+        return "exited with status " + std::to_string(WEXITSTATUS(status));
+      }
+      if (WIFSIGNALED(status)) {
+        return "killed by signal " + std::to_string(WTERMSIG(status));
+      }
+      return "terminated";
     }
-    if (WIFSIGNALED(status)) {
-      return "killed by signal " + std::to_string(WTERMSIG(status));
-    }
-    return "terminated";
+    if (reaped != 0) return "already reaped";
+    if (grace_ms <= 0) return "still running (wedged or slow)";
+    const int slice_ms = grace_ms < 2 ? grace_ms : 2;
+    ::usleep(static_cast<useconds_t>(slice_ms) * 1000);
+    grace_ms -= slice_ms;
   }
-  if (reaped == 0) return "still running (wedged or slow)";
-  return "already reaped";
 }
+
+/// The grace for channel-closed forensics (see describe_waitpid).
+constexpr int kEofForensicsGraceMs = 500;
 
 }  // namespace
 
 ProcessGroup::~ProcessGroup() { shutdown(); }
 
 ProcessGroup::ProcessGroup(ProcessGroup&& other) noexcept
-    : ranks_(std::move(other.ranks_)) {
+    : ranks_(std::move(other.ranks_)),
+      transport_(std::move(other.transport_)) {
   other.ranks_.clear();
 }
 
@@ -61,18 +87,21 @@ ProcessGroup& ProcessGroup::operator=(ProcessGroup&& other) noexcept {
   if (this != &other) {
     shutdown();
     ranks_ = std::move(other.ranks_);
+    transport_ = std::move(other.transport_);
     other.ranks_.clear();
   }
   return *this;
 }
 
-ProcessGroup ProcessGroup::spawn(int rank_count, const RankMain& rank_main) {
+ProcessGroup ProcessGroup::spawn(int rank_count, const RankMain& rank_main,
+                                 TransportKind transport) {
   if (rank_count < 1) {
     throw std::runtime_error("ProcessGroup::spawn: rank_count must be >= 1, got " +
                              std::to_string(rank_count));
   }
   ignore_sigpipe_once();
   ProcessGroup group;
+  group.transport_ = make_rank_transport(transport, rank_count);
   group.ranks_.resize(static_cast<std::size_t>(rank_count));
   for (int rank = 0; rank < rank_count; ++rank) {
     try {
@@ -85,45 +114,46 @@ ProcessGroup ProcessGroup::spawn(int rank_count, const RankMain& rank_main) {
   return group;
 }
 
+void ProcessGroup::close_rank_fds(Rank& slot) noexcept {
+  // A duplex transport aliases result_fd to command_fd; drop the alias
+  // before closing so the fd is closed exactly once (a second close
+  // could hit an unrelated fd another thread just opened).
+  if (slot.result_fd == slot.command_fd) slot.result_fd = -1;
+  close_fd(slot.command_fd);
+  close_fd(slot.result_fd);
+}
+
 void ProcessGroup::fork_into_slot(int rank, const RankMain& rank_main) {
   Rank& slot = ranks_.at(static_cast<std::size_t>(rank));
-  int command_pipe[2] = {-1, -1};  // parent writes [1], rank reads [0]
-  int result_pipe[2] = {-1, -1};   // rank writes [1], parent reads [0]
-  if (::pipe(command_pipe) != 0) {
-    throw std::runtime_error("ProcessGroup: pipe() failed for rank " +
-                             std::to_string(rank));
+  if (!transport_) {
+    // A default-constructed group being refilled directly (tests do
+    // this): fall back to the original pipe topology.
+    transport_ = make_rank_transport(TransportKind::kPipe, rank_count());
   }
-  if (::pipe(result_pipe) != 0) {
-    ::close(command_pipe[0]);
-    ::close(command_pipe[1]);
-    throw std::runtime_error("ProcessGroup: pipe() failed for rank " +
-                             std::to_string(rank));
-  }
+  transport_->stage(rank);
   const pid_t pid = ::fork();
   if (pid < 0) {
-    ::close(command_pipe[0]);
-    ::close(command_pipe[1]);
-    ::close(result_pipe[0]);
-    ::close(result_pipe[1]);
+    transport_->unstage(rank);
     throw std::runtime_error("ProcessGroup: fork() failed for rank " +
                              std::to_string(rank));
   }
   if (pid == 0) {
     // Rank side. Drop every fd that belongs to the parent or to the
     // sibling ranks alive at fork time: a rank holding a sibling's
-    // command write-end would keep that sibling alive past the parent's
-    // EOF-based shutdown. (Respawned ranks inherit every current
-    // sibling's fds, so the loop covers the whole table, skipping the
-    // closed slots.)
-    ::close(command_pipe[1]);
-    ::close(result_pipe[0]);
-    for (const Rank& sibling : ranks_) {
-      if (sibling.command_fd >= 0) ::close(sibling.command_fd);
-      if (sibling.result_fd >= 0) ::close(sibling.result_fd);
+    // command write-end (or duplex socket) would keep that sibling alive
+    // past the parent's EOF-based shutdown. (Respawned ranks inherit
+    // every current sibling's fds, so the loop covers the whole table,
+    // skipping the closed slots.) Then drop the transport's parent-global
+    // resources (a socket listener) and finish this rank's attachment —
+    // for sockets, connect + rank-hello handshake.
+    for (Rank& sibling : ranks_) {
+      close_rank_fds(sibling);
     }
+    transport_->close_in_child();
     int status = 1;
     try {
-      status = rank_main(rank, command_pipe[0], result_pipe[1]);
+      const ChannelFds fds = transport_->child_attach(rank);
+      status = rank_main(rank, fds.command_fd, fds.result_fd);
     } catch (...) {
       status = 1;
     }
@@ -131,23 +161,31 @@ void ProcessGroup::fork_into_slot(int rank, const RankMain& rank_main) {
     // gtest state and sanitizer hooks, none of which may run twice.
     ::_exit(status);
   }
-  // Parent side.
-  ::close(command_pipe[0]);
-  ::close(result_pipe[1]);
-  slot = {pid, command_pipe[1], result_pipe[0]};
+  // Parent side: complete the attachment (for sockets this accepts the
+  // rank's connection and validates its hello; a child that dies before
+  // connecting fails this fast rather than after the full deadline).
+  ChannelFds fds{};
+  try {
+    fds = transport_->parent_attach(rank, pid, kSpawnHandshakeTimeoutMs);
+  } catch (...) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    transport_->unstage(rank);
+    throw;
+  }
+  slot = {pid, fds.command_fd, fds.result_fd};
 }
 
 void ProcessGroup::respawn(int rank, const RankMain& rank_main) {
   ignore_sigpipe_once();
-  kill_rank(rank);  // idempotent on a dead slot; frees pipes + reaps
+  kill_rank(rank);  // idempotent on a dead slot; frees channels + reaps
   fork_into_slot(rank, rank_main);
 }
 
 void ProcessGroup::kill_rank(int rank) noexcept {
   if (rank < 0 || static_cast<std::size_t>(rank) >= ranks_.size()) return;
   Rank& slot = ranks_[static_cast<std::size_t>(rank)];
-  close_fd(slot.command_fd);
-  close_fd(slot.result_fd);
+  close_rank_fds(slot);
   if (slot.pid >= 0) {
     // SIGKILL then a blocking reap: after a SIGKILL the reap cannot
     // hang, and on a rank that already exited the kill is a no-op while
@@ -193,7 +231,7 @@ void ProcessGroup::send(int rank, std::uint32_t tag,
   Rank& target = ranks_.at(static_cast<std::size_t>(rank));
   if (!write_frame(target.command_fd, tag, payload)) {
     fail_rank(rank, "its command pipe broke mid-send — the rank " +
-                        describe_waitpid(target.pid));
+                        describe_waitpid(target.pid, kEofForensicsGraceMs));
   }
 }
 
@@ -205,7 +243,7 @@ Frame ProcessGroup::receive(int rank, int timeout_ms) {
       return frame;
     case FrameReadStatus::kEof:
       fail_rank(rank, "its result pipe closed before a reply — the rank " +
-                          describe_waitpid(source.pid));
+                          describe_waitpid(source.pid, kEofForensicsGraceMs));
     case FrameReadStatus::kTimeout:
       fail_rank(rank, "it sent no reply within " + std::to_string(timeout_ms) +
                           " ms — the rank " + describe_waitpid(source.pid));
@@ -231,11 +269,10 @@ void ProcessGroup::fail_rank(int rank, const std::string& reason) {
 
 void ProcessGroup::shutdown(int timeout_ms) noexcept {
   if (ranks_.empty()) return;
-  // Phase 1: EOF every command pipe — a healthy rank's read loop ends and
-  // it _exit(0)s on its own.
+  // Phase 1: EOF every command channel — a healthy rank's read loop ends
+  // and it _exit(0)s on its own.
   for (Rank& rank : ranks_) {
-    close_fd(rank.command_fd);
-    close_fd(rank.result_fd);
+    close_rank_fds(rank);
   }
   // Phase 2: reap with a deadline.
   const auto deadline = std::chrono::steady_clock::now() +
@@ -263,6 +300,7 @@ void ProcessGroup::shutdown(int timeout_ms) noexcept {
     rank.pid = -1;
   }
   ranks_.clear();
+  transport_.reset();  // drops the socket listener (or staged pipe ends)
 }
 
 }  // namespace fastbns

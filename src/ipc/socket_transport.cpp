@@ -1,0 +1,349 @@
+#include "ipc/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ipc/wire.hpp"
+
+namespace fastbns {
+
+namespace {
+
+// One slice of the accept loop: short enough that a pre-handshake child
+// death is noticed promptly, long enough that the poll itself is cheap.
+constexpr int kAcceptSliceMs = 100;
+// Defense-in-depth receive timeout behind the poll deadlines: a read
+// that somehow blocks outside poll() (it should never) surfaces as
+// EAGAIN → kTimeout after this long instead of hanging forever.
+constexpr int kRcvtimeoBackstopSec = 600;
+// How long a forked child waits for its connect + handshake round trip.
+constexpr int kChildHandshakeTimeoutMs = 30'000;
+
+[[nodiscard]] std::int64_t now_ms() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1'000'000;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  std::ostringstream oss;
+  oss << what << ": " << std::strerror(errno);
+  throw std::runtime_error(oss.str());
+}
+
+/// TCP_NODELAY (the barrier exchanges small frames; Nagle would stall
+/// them against delayed ACKs) + the SO_RCVTIMEO backstop. Best-effort:
+/// a failure here degrades latency, not correctness.
+void tune_channel_socket(int fd) noexcept {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = kRcvtimeoBackstopSec;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+[[nodiscard]] std::uint64_t fresh_token() {
+  std::random_device rd;
+  std::uint64_t token = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  // Mix in the pid so even a stuck random_device cannot hand two
+  // concurrent drivers the same token.
+  token ^= static_cast<std::uint64_t>(::getpid()) * 0x9E3779B97F4A7C15ull;
+  return token;
+}
+
+/// True (and fills `status`) when `pid` has terminated. WNOWAIT leaves
+/// the zombie unreaped so ProcessGroup's waitpid forensics still see it.
+[[nodiscard]] bool child_has_exited(pid_t pid) noexcept {
+  if (pid <= 0) return false;
+  siginfo_t info;
+  std::memset(&info, 0, sizeof(info));
+  info.si_pid = 0;
+  if (::waitid(P_PID, static_cast<id_t>(pid), &info,
+               WEXITED | WNOHANG | WNOWAIT) != 0) {
+    // ECHILD: already reaped elsewhere — treat as exited.
+    return errno == ECHILD;
+  }
+  return info.si_pid == pid;
+}
+
+[[nodiscard]] int parse_connect_port(const std::string& connect_string) {
+  const std::string prefix = "tcp://127.0.0.1:";
+  if (connect_string.rfind(prefix, 0) != 0) {
+    throw std::runtime_error("socket transport: unparseable connect string '" +
+                             connect_string + "'");
+  }
+  int port = 0;
+  for (std::size_t i = prefix.size(); i < connect_string.size(); ++i) {
+    char c = connect_string[i];
+    if (c < '0' || c > '9') {
+      throw std::runtime_error(
+          "socket transport: unparseable connect string '" + connect_string +
+          "'");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) break;
+  }
+  if (port <= 0 || port > 65535) {
+    throw std::runtime_error("socket transport: port out of range in '" +
+                             connect_string + "'");
+  }
+  return port;
+}
+
+}  // namespace
+
+SocketListener SocketListener::create(int backlog) {
+  SocketListener listener;
+  listener.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener.fd_ < 0) throw_errno("socket transport: socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral — the kernel picks a free port
+  if (::bind(listener.fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("socket transport: bind(127.0.0.1) failed");
+  }
+  if (::listen(listener.fd_, backlog > 0 ? backlog : 1) != 0) {
+    throw_errno("socket transport: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    throw_errno("socket transport: getsockname() failed");
+  }
+  listener.port_ = static_cast<int>(ntohs(addr.sin_port));
+  listener.token_ = fresh_token();
+  return listener;
+}
+
+SocketListener::SocketListener(SocketListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      token_(std::exchange(other.token_, 0)) {}
+
+SocketListener& SocketListener::operator=(SocketListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+    token_ = std::exchange(other.token_, 0);
+  }
+  return *this;
+}
+
+SocketListener::~SocketListener() { close(); }
+
+void SocketListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string SocketListener::connect_string() const {
+  std::ostringstream oss;
+  oss << "tcp://127.0.0.1:" << port_;
+  return oss.str();
+}
+
+int SocketListener::accept_rank(int rank, pid_t pid, int timeout_ms) {
+  if (fd_ < 0) {
+    throw std::runtime_error("socket transport: accept on a closed listener");
+  }
+  const std::int64_t deadline = now_ms() + (timeout_ms < 0 ? 0 : timeout_ms);
+  const bool has_deadline = timeout_ms >= 0;
+
+  for (;;) {
+    if (child_has_exited(pid)) {
+      std::ostringstream oss;
+      oss << "socket transport: rank " << rank
+          << " (pid " << pid << ") exited before completing the handshake";
+      throw std::runtime_error(oss.str());
+    }
+    int wait_ms = kAcceptSliceMs;
+    if (has_deadline) {
+      const std::int64_t remaining = deadline - now_ms();
+      if (remaining <= 0) {
+        std::ostringstream oss;
+        oss << "socket transport: timed out after " << timeout_ms
+            << " ms waiting for rank " << rank << " to connect";
+        throw std::runtime_error(oss.str());
+      }
+      if (remaining < wait_ms) wait_ms = static_cast<int>(remaining);
+    }
+
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket transport: poll() on listener failed");
+    }
+    if (ready == 0) continue;  // slice expired — re-check pid and deadline
+
+    int conn = -1;
+    do {
+      conn = ::accept(fd_, nullptr, nullptr);
+    } while (conn < 0 && errno == EINTR);
+    if (conn < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+        continue;  // the connector vanished between poll and accept
+      }
+      throw_errno("socket transport: accept() failed");
+    }
+    tune_channel_socket(conn);
+
+    // The connector must prove it is the rank we are waiting on: right
+    // protocol version, right session token, right proto rank. Anything
+    // else — a stale connector from a crashed run, a port scanner — is
+    // dropped and the loop keeps listening.
+    const int hello_ms =
+        has_deadline
+            ? static_cast<int>(std::max<std::int64_t>(1, deadline - now_ms()))
+            : kChildHandshakeTimeoutMs;
+    Frame hello;
+    const std::uint32_t allowed[] = {kTagSocketHello};
+    if (read_frame(conn, hello, hello_ms, allowed) != FrameReadStatus::kOk) {
+      ::close(conn);
+      continue;
+    }
+    try {
+      WireReader reader(hello.payload);
+      const std::uint32_t version = reader.get_u32();
+      const std::int32_t proto_rank = reader.get_i32();
+      const std::uint64_t token = reader.get_u64();
+      if (version != kSocketHandshakeVersion || token != token_ ||
+          proto_rank != proto_rank_of_worker(rank)) {
+        ::close(conn);
+        continue;
+      }
+    } catch (const std::exception&) {
+      ::close(conn);  // short hello — not our rank
+      continue;
+    }
+
+    WireWriter ack;
+    ack.put_u32(kSocketHandshakeVersion);
+    ack.put_i32(kDriverProtoRank);
+    ack.put_string(connect_string());
+    if (!write_frame(conn, kTagSocketHelloAck, ack.payload())) {
+      ::close(conn);
+      continue;
+    }
+    return conn;
+  }
+}
+
+int connect_as_rank(const std::string& connect_string, int rank,
+                    std::uint64_t token, int timeout_ms) {
+  const int port = parse_connect_port(connect_string);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket transport: socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EINTR) {
+      // POSIX: an EINTR'd connect completes asynchronously — wait for
+      // writability, then read the outcome from SO_ERROR.
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, timeout_ms);
+      } while (ready < 0 && errno == EINTR);
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (ready <= 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+          err != 0) {
+        ::close(fd);
+        errno = err != 0 ? err : ETIMEDOUT;
+        throw_errno("socket transport: connect() failed");
+      }
+    } else {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("socket transport: connect() to " + connect_string +
+                  " failed");
+    }
+  }
+  tune_channel_socket(fd);
+
+  WireWriter hello;
+  hello.put_u32(kSocketHandshakeVersion);
+  hello.put_i32(proto_rank_of_worker(rank));
+  hello.put_u64(token);
+  if (!write_frame(fd, kTagSocketHello, hello.payload())) {
+    ::close(fd);
+    throw std::runtime_error("socket transport: writing HELLO failed");
+  }
+
+  Frame ack;
+  const std::uint32_t allowed[] = {kTagSocketHelloAck};
+  const FrameReadStatus status = read_frame(fd, ack, timeout_ms, allowed);
+  if (status != FrameReadStatus::kOk) {
+    ::close(fd);
+    std::ostringstream oss;
+    oss << "socket transport: rank " << rank << " HELLO-ACK failed ("
+        << to_string(status) << ")";
+    throw std::runtime_error(oss.str());
+  }
+  try {
+    WireReader reader(ack.payload);
+    const std::uint32_t version = reader.get_u32();
+    const std::int32_t driver_rank = reader.get_i32();
+    (void)reader.get_string();  // echo of the connect string
+    if (version != kSocketHandshakeVersion || driver_rank != kDriverProtoRank) {
+      throw std::runtime_error("bad ack fields");
+    }
+  } catch (const std::exception&) {
+    ::close(fd);
+    throw std::runtime_error(
+        "socket transport: HELLO-ACK is not from driver rank 0");
+  }
+  return fd;
+}
+
+SocketTransport::SocketTransport(int rank_count)
+    : listener_(SocketListener::create(rank_count)) {}
+
+ChannelFds SocketTransport::child_attach(int rank) {
+  const int fd = connect_as_rank(listener_.connect_string(), rank,
+                                 listener_.token(), kChildHandshakeTimeoutMs);
+  // One duplex socket carries both directions; consumers closing rank
+  // fds must not double-close the alias (ProcessGroup guards this).
+  return ChannelFds{fd, fd};
+}
+
+ChannelFds SocketTransport::parent_attach(int rank, pid_t pid,
+                                          int timeout_ms) {
+  const int fd = listener_.accept_rank(rank, pid, timeout_ms);
+  return ChannelFds{fd, fd};
+}
+
+}  // namespace fastbns

@@ -1,0 +1,140 @@
+// TCP loopback transport: a listener on the driver, one duplex
+// connection per rank, and a rank-hello handshake that makes the driver
+// a proper rank 0 in the protocol.
+//
+// The frame protocol (ipc/wire.hpp) runs unchanged over the accepted
+// sockets — poll()-deadline reads, EOF-vs-timeout-vs-corrupt statuses,
+// magic resync — because nothing in it assumed a pipe. What changes is
+// connection establishment:
+//
+//   driver                              rank r (forked worker)
+//   ------                              ----------------------
+//   listen 127.0.0.1:ephemeral
+//   fork(r) ────────────────────────▶   connect(connect_string)
+//   accept (poll-sliced; notices        send HELLO {version, proto
+//     the child dying pre-connect         rank r+1, session token}
+//     via waitid WNOWAIT instead of
+//     waiting out the deadline)
+//   validate version/token/rank;
+//     a stray or stale connector is
+//     rejected and the accept loop
+//     continues
+//   send HELLO-ACK {version, driver
+//     proto rank 0, connect string} ▶   validate; channel is live
+//
+// Proto ranks shift worker ranks up by one so the driver can occupy 0 —
+// the convention a future multi-host launcher inherits: a worker given
+// only `connect_string()` and the token can join the group without
+// sharing an address space (the dataset then arrives by file; see
+// SharedDatasetSegment::create_file_backed). The session token, drawn
+// fresh per listener, keeps a connector from a previous (crashed) run
+// from being mistaken for the rank the driver is waiting on.
+//
+// Accepted sockets get TCP_NODELAY (the barrier exchanges small frames;
+// Nagle would serialize them against delayed ACKs) and a generous
+// SO_RCVTIMEO as defense-in-depth behind the poll deadlines — a read
+// that somehow blocks outside poll() still surfaces as kTimeout, never
+// a hang.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+#include "ipc/transport.hpp"
+
+namespace fastbns {
+
+inline constexpr std::uint32_t kSocketHandshakeVersion = 1;
+/// Handshake tags live far from the engine's command tags (1..5) so a
+/// handshake frame can never be mistaken for a command or reply.
+inline constexpr std::uint32_t kTagSocketHello = 0x7E110001u;
+inline constexpr std::uint32_t kTagSocketHelloAck = 0x7E110002u;
+/// The driver's rank in the wire protocol; workers are 1..N.
+inline constexpr std::int32_t kDriverProtoRank = 0;
+
+/// Worker rank r speaks as proto rank r+1 — rank 0 is the driver.
+[[nodiscard]] constexpr std::int32_t proto_rank_of_worker(int rank) noexcept {
+  return static_cast<std::int32_t>(rank) + 1;
+}
+
+/// A bound-and-listening loopback socket plus the session token ranks
+/// must echo. Movable, not copyable; closes the listener on destruction.
+class SocketListener {
+ public:
+  /// Binds 127.0.0.1 on an ephemeral port and starts listening.
+  /// `backlog` should cover the rank count. Throws std::runtime_error
+  /// on any socket-layer failure.
+  [[nodiscard]] static SocketListener create(int backlog);
+
+  SocketListener(SocketListener&& other) noexcept;
+  SocketListener& operator=(SocketListener&& other) noexcept;
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+  ~SocketListener();
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t token() const noexcept { return token_; }
+  [[nodiscard]] std::string connect_string() const;
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Accepts the connection for worker `rank`, completing the handshake
+  /// within `timeout_ms`. Connectors with a wrong token, version or
+  /// proto rank are rejected (their socket closed) and the loop keeps
+  /// listening until the right one arrives or the deadline expires.
+  /// When `pid` is positive, the loop also watches that child via
+  /// waitid(WNOWAIT) and fails fast — without reaping, so the
+  /// supervisor's exit forensics still work — if it died before
+  /// completing the handshake. Returns the connected fd (caller owns
+  /// it); throws std::runtime_error naming the rank on timeout, child
+  /// death, or listener failure.
+  [[nodiscard]] int accept_rank(int rank, pid_t pid, int timeout_ms);
+
+  /// Closes the listening socket (idempotent) — what forked children
+  /// call so only the driver can accept.
+  void close() noexcept;
+
+ private:
+  SocketListener() = default;
+
+  int fd_ = -1;
+  int port_ = 0;
+  std::uint64_t token_ = 0;
+};
+
+/// Worker-side handshake: connects to `connect_string`
+/// ("tcp://127.0.0.1:PORT"), sends HELLO as worker `rank` carrying
+/// `token`, and waits for the driver's HELLO-ACK. EINTR-safe throughout.
+/// Returns the connected duplex fd; throws std::runtime_error on
+/// connect failure, deadline expiry, or an ack that is not from proto
+/// rank 0.
+[[nodiscard]] int connect_as_rank(const std::string& connect_string, int rank,
+                                  std::uint64_t token, int timeout_ms);
+
+/// RankTransport over one SocketListener: child_attach connects +
+/// handshakes, parent_attach accepts + validates. The listener persists
+/// across respawns — a replacement rank re-runs the same handshake.
+class SocketTransport final : public RankTransport {
+ public:
+  explicit SocketTransport(int rank_count);
+
+  [[nodiscard]] TransportKind kind() const noexcept override {
+    return TransportKind::kSocket;
+  }
+  [[nodiscard]] std::string connect_string() const override {
+    return listener_.connect_string();
+  }
+
+  void stage(int /*rank*/) override {}  // listener is transport-global
+  [[nodiscard]] ChannelFds child_attach(int rank) override;
+  void close_in_child() noexcept override { listener_.close(); }
+  [[nodiscard]] ChannelFds parent_attach(int rank, pid_t pid,
+                                         int timeout_ms) override;
+  void unstage(int /*rank*/) noexcept override {}
+
+ private:
+  SocketListener listener_;
+};
+
+}  // namespace fastbns

@@ -1,0 +1,171 @@
+#include "ipc/transport.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ipc/socket_transport.hpp"
+
+namespace fastbns {
+
+std::string_view to_string(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kPipe:
+      return "pipe";
+    case TransportKind::kSocket:
+      return "socket";
+  }
+  return "?";
+}
+
+TransportKind transport_from_string(std::string_view name) {
+  if (name == "pipe") return TransportKind::kPipe;
+  if (name == "socket") return TransportKind::kSocket;
+  std::ostringstream oss;
+  oss << "unknown ipc transport '" << name << "' (known: pipe socket)";
+  throw std::invalid_argument(oss.str());
+}
+
+std::vector<std::string> list_transports() {
+  return {"auto", "pipe", "socket"};
+}
+
+std::string resolve_transport_name(const std::string& name) {
+  if (!name.empty() && name != "auto") {
+    // Explicit selection: invalid names throw (validate() path).
+    (void)transport_from_string(name);
+    return name;
+  }
+  const char* env = std::getenv("FASTBNS_IPC_TRANSPORT");
+  if (env != nullptr && env[0] != '\0') {
+    std::string value(env);
+    if (value == "pipe" || value == "socket") return value;
+    // Same contract as FASTBNS_FAULT_SCHEDULE: a bad env override must
+    // degrade loudly to the default, never crash the run.
+    std::fprintf(stderr,
+                 "fastbns: ignoring invalid FASTBNS_IPC_TRANSPORT '%s' "
+                 "(known: pipe socket); using pipe\n",
+                 value.c_str());
+  }
+  return "pipe";
+}
+
+TransportKind resolve_transport(const std::string& name) {
+  return transport_from_string(resolve_transport_name(name));
+}
+
+namespace {
+
+void close_if_open(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// The PR 7 topology: one pipe pair per rank, endpoints split by
+/// inheritance. stage() creates both pipes; each side closes the ends it
+/// does not own.
+class PipeTransport final : public RankTransport {
+ public:
+  explicit PipeTransport(int rank_count)
+      : staged_(static_cast<std::size_t>(rank_count)) {}
+
+  ~PipeTransport() override {
+    for (auto& s : staged_) {
+      close_if_open(s.command[0]);
+      close_if_open(s.command[1]);
+      close_if_open(s.result[0]);
+      close_if_open(s.result[1]);
+    }
+  }
+
+  [[nodiscard]] TransportKind kind() const noexcept override {
+    return TransportKind::kPipe;
+  }
+
+  [[nodiscard]] std::string connect_string() const override {
+    return "pipe://fork";
+  }
+
+  void stage(int rank) override {
+    Staged& s = slot(rank);
+    if (::pipe(s.command) != 0) {
+      throw std::runtime_error("pipe() failed for command channel");
+    }
+    if (::pipe(s.result) != 0) {
+      close_if_open(s.command[0]);
+      close_if_open(s.command[1]);
+      throw std::runtime_error("pipe() failed for result channel");
+    }
+  }
+
+  [[nodiscard]] ChannelFds child_attach(int rank) override {
+    Staged& s = slot(rank);
+    close_if_open(s.command[1]);
+    close_if_open(s.result[0]);
+    ChannelFds fds{s.command[0], s.result[1]};
+    s.command[0] = -1;
+    s.result[1] = -1;
+    return fds;
+  }
+
+  void close_in_child() noexcept override {
+    // No transport-global parent resources; the per-rank staged ends of
+    // OTHER ranks are closed by ProcessGroup's sibling-fd loop (it knows
+    // the live slots; we only track the one being spawned).
+  }
+
+  [[nodiscard]] ChannelFds parent_attach(int rank, pid_t /*pid*/,
+                                         int /*timeout_ms*/) override {
+    Staged& s = slot(rank);
+    close_if_open(s.command[0]);
+    close_if_open(s.result[1]);
+    ChannelFds fds{s.command[1], s.result[0]};
+    s.command[1] = -1;
+    s.result[0] = -1;
+    return fds;
+  }
+
+  void unstage(int rank) noexcept override {
+    Staged& s = slot(rank);
+    close_if_open(s.command[0]);
+    close_if_open(s.command[1]);
+    close_if_open(s.result[0]);
+    close_if_open(s.result[1]);
+  }
+
+ private:
+  struct Staged {
+    int command[2] = {-1, -1};
+    int result[2] = {-1, -1};
+  };
+
+  Staged& slot(int rank) {
+    if (rank < 0 || static_cast<std::size_t>(rank) >= staged_.size()) {
+      throw std::runtime_error("pipe transport: rank out of range");
+    }
+    return staged_[static_cast<std::size_t>(rank)];
+  }
+
+  std::vector<Staged> staged_;
+};
+
+}  // namespace
+
+std::unique_ptr<RankTransport> make_rank_transport(TransportKind kind,
+                                                   int rank_count) {
+  switch (kind) {
+    case TransportKind::kPipe:
+      return std::make_unique<PipeTransport>(rank_count);
+    case TransportKind::kSocket:
+      return std::make_unique<SocketTransport>(rank_count);
+  }
+  throw std::invalid_argument("make_rank_transport: unknown kind");
+}
+
+}  // namespace fastbns

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "fault/fault_schedule.hpp"
+#include "ipc/transport.hpp"
 #include "pc/edge_work.hpp"
 #include "stats/ci_test_factory.hpp"
 #include "stats/table_builder.hpp"
@@ -117,6 +118,17 @@ void PcOptions::validate() const {
   // table builders.
   (void)shard_partition_from_string(shard_partition);
   (void)numa_policy_from_string(numa_policy);
+  const std::vector<std::string> transports = list_transports();
+  if (std::find(transports.begin(), transports.end(), ipc_transport) ==
+      transports.end()) {
+    std::string message = "PcOptions::ipc_transport \"" + ipc_transport +
+                          "\" is not a known transport; known transports:";
+    for (const std::string& known : transports) {
+      message += ' ';
+      message += known;
+    }
+    throw std::invalid_argument(message);
+  }
   const std::vector<std::string> builders = list_table_builders();
   if (std::find(builders.begin(), builders.end(), table_builder) ==
       builders.end()) {

@@ -153,6 +153,15 @@ struct PcOptions {
   /// Backoff between retransmit attempts, in milliseconds, scaled
   /// linearly by the attempt number (kProcess only).
   std::int32_t frame_retry_backoff_ms = 10;
+  /// Rank IPC transport of the multi-process engine (kProcess only):
+  /// "pipe" (fork-inherited pipe pairs + anonymous MAP_SHARED dataset),
+  /// "socket" (TCP loopback with a rank-hello handshake + file-backed
+  /// dataset the ranks mmap read-only — the multi-host stepping stone),
+  /// or "auto" (the FASTBNS_IPC_TRANSPORT environment override,
+  /// defaulting to pipe). Both transports speak the identical frame
+  /// protocol and produce bit-identical results; only the channel
+  /// plumbing differs. Resolved by ipc/transport.hpp.
+  std::string ipc_transport = "auto";
   /// Deterministic fault schedule (fault/fault_schedule.hpp grammar,
   /// e.g. "kill@rank=1,depth=2;corrupt-frame@rank=0,depth=1") injected
   /// into the multi-process engine's ranks and transport — the CI/test
@@ -185,6 +194,7 @@ struct PcOptions {
   /// <= kMaxThreads, 0 <= shard_count <= kMaxShards, 0 <= rank_count <=
   /// kMaxRanks, rank_threads likewise against kMaxThreads, shard_partition
   /// a known rule, numa_policy a known policy (auto/off/forced),
+  /// ipc_transport a known transport (auto/pipe/socket),
   /// table_builder a known kernel name, ci_test a known statistic name
   /// (auto/discrete/gaussian/oracle), and max_table_cells
   /// >= 4 (a smaller cap cannot hold even the 2x2 marginal table of two

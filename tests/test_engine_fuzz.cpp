@@ -95,6 +95,10 @@ TEST(EngineFuzz, EveryEngineEveryBuilderMatchesTheSequentialReference) {
     const std::int32_t rank_count[] = {1, 2, 4};
     const auto ranks = rank_count[seed % 3];
     const auto rank_threads = static_cast<std::int32_t>(1 + seed % 2);
+    // Alternate the rank IPC transport per seed so the differential
+    // sweep covers the socket path (TCP loopback + file-backed dataset)
+    // as heavily as the pipe path — only process engines consume it.
+    const char* ipc_transport = seed % 2 == 0 ? "pipe" : "socket";
 
     for (const std::string& engine : engines) {
       for (const std::string& builder : builders) {
@@ -108,6 +112,7 @@ TEST(EngineFuzz, EveryEngineEveryBuilderMatchesTheSequentialReference) {
         options.numa_policy = numa_policy;
         options.rank_count = ranks;
         options.rank_threads = rank_threads;
+        options.ipc_transport = ipc_transport;
         options.table_builder = builder;
         CiTestOptions test_options;
         test_options.sample_parallel =
@@ -122,7 +127,8 @@ TEST(EngineFuzz, EveryEngineEveryBuilderMatchesTheSequentialReference) {
                       << "(" << builder << ")"
                       << " gs=" << gs << " shards=" << shard_count << "/"
                       << shard_partition << " numa=" << numa_policy
-                      << " ranks=" << ranks << "x" << rank_threads << ": "
+                      << " ranks=" << ranks << "x" << rank_threads << " ipc="
+                      << ipc_transport << ": "
                       << fuzz::describe_divergence(reference, actual, n);
       }
     }
